@@ -1,0 +1,77 @@
+//! Figure 3 — F1 vs labeling budget, for EM (upper panel, budgets 300–750 in
+//! the paper) and EDT (lower panel, 50–200 labeled cells), comparing the
+//! five methods (plus Raha's 20-tuple horizontal line for EDT).
+//!
+//! Output: one series block per dataset, one row per budget — the series the
+//! paper plots.
+
+use rotom::Method;
+use rotom_baselines::run_raha;
+use rotom_bench::{pct, print_table, Suite};
+use rotom_datasets::edt::{self, EdtFlavor};
+use rotom_datasets::em::{self, EmFlavor};
+
+fn main() {
+    let suite = Suite::from_env();
+    println!(
+        "Figure 3: F1 vs labeling budget ({:?} scale; EM budgets {:?}, EDT budgets {:?})",
+        suite.scale, suite.em_budgets, suite.edt_budgets
+    );
+
+    // In quick mode sweep a representative subset of datasets; full mode
+    // sweeps all ten like the paper.
+    let (em_flavors, edt_flavors): (Vec<EmFlavor>, Vec<EdtFlavor>) = match suite.scale {
+        rotom_bench::Scale::Quick => (
+            vec![EmFlavor::AbtBuy, EmFlavor::DblpAcm],
+            vec![EdtFlavor::Beers, EdtFlavor::Movies],
+        ),
+        rotom_bench::Scale::Full => (EmFlavor::ALL.to_vec(), EdtFlavor::ALL.to_vec()),
+    };
+
+    let header: Vec<String> = std::iter::once("Budget".to_string())
+        .chain(Method::ALL.iter().map(|m| m.name().to_string()))
+        .collect();
+
+    // Upper panel: EM.
+    for flavor in em_flavors {
+        let task = em::generate(flavor, &suite.em).to_task();
+        let ctx = suite.prepare(&task, 23);
+        let rows: Vec<Vec<String>> = suite
+            .em_budgets
+            .iter()
+            .map(|&budget| {
+                let mut row = vec![budget.to_string()];
+                for method in Method::ALL {
+                    let avg = suite.run_avg(&task, budget, method, &ctx, false);
+                    row.push(pct(avg.mean));
+                }
+                row
+            })
+            .collect();
+        print_table(&format!("Figure 3 (EM): {} — F1 vs budget", task.name), &header, &rows);
+    }
+
+    // Lower panel: EDT (+ the Raha 20-tuple reference line).
+    let mut edt_header = header.clone();
+    edt_header.push("Raha(20-tpl)".to_string());
+    for flavor in edt_flavors {
+        let data = edt::generate(flavor, &suite.edt);
+        let raha_f1 = run_raha(&data, 20, 0).prf1.f1;
+        let task = data.to_task();
+        let ctx = suite.prepare(&task, 29);
+        let rows: Vec<Vec<String>> = suite
+            .edt_budgets
+            .iter()
+            .map(|&budget| {
+                let mut row = vec![budget.to_string()];
+                for method in Method::ALL {
+                    let avg = suite.run_avg(&task, budget, method, &ctx, true);
+                    row.push(pct(avg.mean));
+                }
+                row.push(pct(raha_f1));
+                row
+            })
+            .collect();
+        print_table(&format!("Figure 3 (EDT): {} — F1 vs budget", task.name), &edt_header, &rows);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 4 — training time per domain (EM, EDT, TextCLS) for the baseline,
+//! MixDA/InvDA, Rotom, and Rotom+SSL, averaged over the domain's datasets at
+//! each labeling budget.
+//!
+//! The reproduction target is the *relative overhead*: the paper reports
+//! Rotom at ~5.6× MixDA on average (max 9.8×), far below the 22× cost of a
+//! grid search over operator pairs, with Rotom+SSL within 30% of Rotom.
+
+use rotom::Method;
+use rotom_bench::{print_table, Suite};
+use rotom_datasets::edt::{self, EdtFlavor};
+use rotom_datasets::em::{self, EmFlavor};
+use rotom_datasets::textcls::{self, TextClsFlavor};
+use rotom_datasets::TaskDataset;
+
+struct Domain {
+    name: &'static str,
+    tasks: Vec<TaskDataset>,
+    budgets: Vec<usize>,
+    balanced: bool,
+}
+
+fn main() {
+    let suite = Suite::from_env();
+    println!("Figure 4: training time (seconds) per domain and method ({:?} scale)", suite.scale);
+
+    let quick = suite.scale == rotom_bench::Scale::Quick;
+    let domains = vec![
+        Domain {
+            name: "EM",
+            tasks: if quick {
+                vec![em::generate(EmFlavor::DblpAcm, &suite.em).to_task()]
+            } else {
+                EmFlavor::ALL.iter().map(|&f| em::generate(f, &suite.em).to_task()).collect()
+            },
+            budgets: suite.em_budgets.clone(),
+            balanced: false,
+        },
+        Domain {
+            name: "EDT",
+            tasks: if quick {
+                vec![edt::generate(EdtFlavor::Beers, &suite.edt).to_task()]
+            } else {
+                EdtFlavor::ALL.iter().map(|&f| edt::generate(f, &suite.edt).to_task()).collect()
+            },
+            budgets: suite.edt_budgets.clone(),
+            balanced: true,
+        },
+        Domain {
+            name: "TextCLS",
+            tasks: if quick {
+                vec![textcls::generate(TextClsFlavor::Trec, &suite.textcls)]
+            } else {
+                TextClsFlavor::ALL
+                    .iter()
+                    .map(|&f| textcls::generate(f, &suite.textcls))
+                    .collect()
+            },
+            budgets: suite.textcls_sizes.iter().map(|&s| 2 * s).collect(),
+            balanced: false,
+        },
+    ];
+
+    let header: Vec<String> = std::iter::once("Budget".to_string())
+        .chain(Method::ALL.iter().map(|m| m.name().to_string()))
+        .chain(std::iter::once("Rotom/MixDA".to_string()))
+        .collect();
+
+    for domain in domains {
+        let ctxs: Vec<_> =
+            domain.tasks.iter().map(|t| suite.prepare(t, 31)).collect();
+        let rows: Vec<Vec<String>> = domain
+            .budgets
+            .iter()
+            .map(|&budget| {
+                let mut row = vec![budget.to_string()];
+                let mut times = Vec::new();
+                for method in Method::ALL {
+                    let secs: f32 = domain
+                        .tasks
+                        .iter()
+                        .zip(&ctxs)
+                        .map(|(task, ctx)| {
+                            suite.run_avg(task, budget, method, ctx, domain.balanced).seconds
+                        })
+                        .sum::<f32>()
+                        / domain.tasks.len() as f32;
+                    times.push(secs);
+                    row.push(format!("{secs:.2}"));
+                }
+                // Overhead ratio: Rotom vs MixDA (index 3 vs 1).
+                let ratio = if times[1] > 0.0 { times[3] / times[1] } else { 0.0 };
+                row.push(format!("{ratio:.1}x"));
+                row
+            })
+            .collect();
+        print_table(&format!("Figure 4: {} training time (s)", domain.name), &header, &rows);
+    }
+}

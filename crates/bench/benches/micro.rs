@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the performance-critical building blocks:
+//! tensor matmul, the simple DA operators, InvDA generation, and one
+//! plain-vs-meta training step (the per-step overhead behind Figure 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rotom::{ModelConfig, TinyLm};
+use rotom_augment::{apply, DaContext, DaOp, InvDa, InvDaConfig};
+use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+use rotom_meta::{MetaConfig, MetaTrainer, MetaTarget, WeightedItem};
+use rotom_nn::Tensor;
+use rotom_text::example::AugExample;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::full(48, 48, 0.5);
+    let b = Tensor::full(48, 48, 0.25);
+    c.bench_function("tensor/matmul_48x48", |bch| {
+        bch.iter(|| black_box(a.matmul(black_box(&b))))
+    });
+    c.bench_function("tensor/matmul_tb_48x48", |bch| {
+        bch.iter(|| black_box(a.matmul_transpose_b(black_box(&b))))
+    });
+}
+
+fn bench_da_ops(c: &mut Criterion) {
+    let ctx = DaContext::default();
+    let tokens: Vec<String> = "the quick brown fox jumps over the lazy dog near the river bank"
+        .split(' ')
+        .map(String::from)
+        .collect();
+    let mut group = c.benchmark_group("da_ops");
+    for op in [DaOp::TokenDel, DaOp::TokenRepl, DaOp::TokenSwap, DaOp::SpanDel, DaOp::SpanShuffle] {
+        group.bench_function(op.name(), |bch| {
+            let mut rng = StdRng::seed_from_u64(0);
+            bch.iter(|| black_box(apply(op, black_box(&tokens), &ctx, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn toy_task() -> rotom_datasets::TaskDataset {
+    let cfg = TextClsConfig { train_pool: 40, test: 20, unlabeled: 40, seed: 0 };
+    textcls::generate(TextClsFlavor::Sst2, &cfg)
+}
+
+fn bench_invda_generate(c: &mut Criterion) {
+    let task = toy_task();
+    let model = InvDa::train(&task.unlabeled, InvDaConfig::test_tiny(), 0);
+    let input = task.train_pool[0].tokens.clone();
+    c.bench_function("invda/generate", |bch| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bch.iter(|| black_box(model.generate(black_box(&input), &mut rng)))
+    });
+}
+
+fn bench_train_steps(c: &mut Criterion) {
+    let task = toy_task();
+    let corpus: Vec<Vec<String>> = task.unlabeled.clone();
+    let mcfg = ModelConfig::test_tiny();
+    let items: Vec<WeightedItem> = task
+        .train_pool
+        .iter()
+        .take(6)
+        .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, 2))
+        .collect();
+    let pool: Vec<AugExample> = task
+        .train_pool
+        .iter()
+        .take(6)
+        .map(|e| AugExample { orig: e.tokens.clone(), aug: e.tokens.clone(), label: e.label })
+        .collect();
+    let val: Vec<_> = task.train_pool.iter().take(6).cloned().collect();
+
+    c.bench_function("train/plain_step", |bch| {
+        let mut model = TinyLm::from_corpus(&corpus, 2, &mcfg, 1e-3, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        bch.iter(|| {
+            model.weighted_loss_backward(black_box(&items), true, &mut rng);
+            model.optimizer_step();
+        })
+    });
+
+    c.bench_function("train/meta_epoch_6ex", |bch| {
+        let mut model = TinyLm::from_corpus(&corpus, 2, &mcfg, 1e-3, 0);
+        let enc = mcfg.encoder(model.vocab().len());
+        let meta_cfg = MetaConfig { batch_size: 6, val_batch_size: 6, ..Default::default() };
+        let mut trainer = MetaTrainer::new(2, model.vocab().clone(), enc, meta_cfg);
+        bch.iter(|| {
+            black_box(trainer.train_epoch(&mut model, black_box(&pool), &val, &[]));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul, bench_da_ops, bench_invda_generate, bench_train_steps
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 10 — accuracy on the 8 TextCLS datasets, varying the train/valid
+//! sample size (paper: 100/300/500), for the five methods. The AVG column
+//! reports the mean accuracy and the delta against the baseline at the same
+//! size (the paper's "(+x.xx)" annotation).
+
+use rotom::Method;
+use rotom_bench::{pct, print_table, Suite};
+use rotom_datasets::textcls::{self, TextClsFlavor};
+
+fn main() {
+    let suite = Suite::from_env();
+    println!(
+        "Table 10: TextCLS accuracy at sizes {:?} ({:?} scale, {} seed(s))",
+        suite.textcls_sizes, suite.scale, suite.seeds
+    );
+
+    let tasks: Vec<_> =
+        TextClsFlavor::ALL.iter().map(|&f| textcls::generate(f, &suite.textcls)).collect();
+    let ctxs: Vec<_> = tasks.iter().map(|t| suite.prepare(t, 11)).collect();
+
+    let mut header: Vec<String> = vec!["Method".to_string(), "Size".to_string()];
+    header.extend(tasks.iter().map(|t| t.name.clone()));
+    header.push("AVG".to_string());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    // Baseline averages per size, for the delta annotation.
+    let mut baseline_avg: Vec<f32> = Vec::new();
+
+    for method in Method::ALL {
+        for (si, &size) in suite.textcls_sizes.iter().enumerate() {
+            let label =
+                if method == Method::Baseline { "TinyLm".to_string() } else { method.name().to_string() };
+            let mut row = vec![label, size.to_string()];
+            let mut scores = Vec::with_capacity(tasks.len());
+            for (task, ctx) in tasks.iter().zip(&ctxs) {
+                let avg = suite.run_avg(task, size, method, ctx, false);
+                scores.push(avg.mean);
+                row.push(pct(avg.mean));
+            }
+            let avg = scores.iter().sum::<f32>() / scores.len() as f32;
+            if method == Method::Baseline {
+                baseline_avg.push(avg);
+                row.push(pct(avg));
+            } else {
+                let delta = avg - baseline_avg[si];
+                row.push(format!("{} ({}{})", pct(avg), if delta >= 0.0 { "+" } else { "" }, pct(delta)));
+            }
+            rows.push(row);
+        }
+    }
+
+    print_table("Table 10: TextCLS accuracy (x100)", &header, &rows);
+}

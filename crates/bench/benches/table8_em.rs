@@ -1,0 +1,81 @@
+//! Table 8 — F1 scores on the 5 EM datasets (plus 3 dirty variants) with at
+//! most `em_headline_budget` training+validation examples.
+//!
+//! Rows follow the paper: DeepMatcher (full data), DM+TinyLm, TinyLm
+//! baseline, Brunner et al., MixDA, InvDA, Rotom, Rotom+SSL.
+
+use rotom::Method;
+use rotom_baselines::deepmatcher::{DeepMatcher, DmConfig, DmEncoder};
+use rotom_baselines::run_brunner;
+use rotom_bench::{pct, print_table, Suite};
+use rotom_datasets::em::{self, EmConfig, EmFlavor};
+
+fn main() {
+    let suite = Suite::from_env();
+    let budget = suite.em_headline_budget();
+    println!(
+        "Table 8: EM F1 with at most {budget} train+valid examples ({:?} scale, {} seed(s))",
+        suite.scale, suite.seeds
+    );
+
+    // Column per dataset: 5 clean + 3 dirty.
+    let mut datasets = Vec::new();
+    for flavor in EmFlavor::ALL {
+        datasets.push(em::generate(flavor, &suite.em));
+    }
+    for flavor in EmFlavor::WITH_DIRTY {
+        let cfg = EmConfig { dirty: true, ..suite.em.clone() };
+        datasets.push(em::generate(flavor, &cfg));
+    }
+
+    let header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(datasets.iter().map(|d| d.name.clone()))
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // DeepMatcher trained on the FULL train pool (the paper's DM row uses
+    // the full datasets) and the low-resource DM+TinyLm variant.
+    for (label, encoder, full_data) in [
+        ("DM (full)", DmEncoder::Gru, true),
+        ("DM+TinyLm", DmEncoder::TinyLm, false),
+    ] {
+        let mut row = vec![label.to_string()];
+        for data in &datasets {
+            let n = if full_data { data.train_pairs.len() } else { budget.min(data.train_pairs.len()) };
+            let idx: Vec<usize> = (0..n).collect();
+            let cfg = DmConfig {
+                epochs: if full_data { 12 } else { 6 },
+                encoder,
+                ..Default::default()
+            };
+            let m = DeepMatcher::train(data, &idx, cfg, 0);
+            row.push(pct(m.evaluate(data).f1));
+        }
+        rows.push(row);
+    }
+
+    // Brunner et al.: alternative serialization, baseline fine-tuning.
+    {
+        let mut row = vec!["Brunner et al.".to_string()];
+        for data in &datasets {
+            let r = run_brunner(data, budget, &suite.rotom_for(rotom_datasets::TaskKind::EntityMatching), 0);
+            row.push(pct(r.prf1.f1));
+        }
+        rows.push(row);
+    }
+
+    // The five LM methods over the [COL]/[VAL] serialization.
+    let tasks: Vec<_> = datasets.iter().map(|d| d.to_task()).collect();
+    let ctxs: Vec<_> = tasks.iter().map(|t| suite.prepare(t, 7)).collect();
+    for method in Method::ALL {
+        let label = if method == Method::Baseline { "TinyLm" } else { method.name() };
+        let mut row = vec![label.to_string()];
+        for (task, ctx) in tasks.iter().zip(&ctxs) {
+            let avg = suite.run_avg(task, budget, method, ctx, false);
+            row.push(pct(avg.mean));
+        }
+        rows.push(row);
+    }
+
+    print_table("Table 8: EM F1 (x100)", &header, &rows);
+}

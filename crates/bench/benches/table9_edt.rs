@@ -1,0 +1,55 @@
+//! Table 9 — F1 scores on the 5 error-detection datasets.
+//!
+//! Raha is given 20 labeled tuples; the LM methods get at most 200 labeled
+//! cells (strictly fewer labels than Raha on wide tables). Training sets are
+//! class-balanced between clean and dirty cells (§6.2).
+
+use rotom::Method;
+use rotom_baselines::run_raha;
+use rotom_bench::{pct, print_table, Suite};
+use rotom_datasets::edt::{self, EdtFlavor};
+
+fn main() {
+    let suite = Suite::from_env();
+    let budget = *suite.edt_budgets.last().unwrap();
+    println!(
+        "Table 9: EDT F1 with Raha @ 20 tuples vs LM methods @ {budget} cells ({:?} scale)",
+        suite.scale
+    );
+
+    let datasets: Vec<_> = EdtFlavor::ALL.iter().map(|&f| edt::generate(f, &suite.edt)).collect();
+
+    let mut header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(datasets.iter().map(|d| d.name.clone()))
+        .collect();
+    header.push("AVG".to_string());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    let push_row = |label: &str, scores: Vec<f32>, rows: &mut Vec<Vec<String>>| {
+        let avg = scores.iter().sum::<f32>() / scores.len() as f32;
+        let mut row = vec![label.to_string()];
+        row.extend(scores.iter().map(|&s| pct(s)));
+        row.push(pct(avg));
+        rows.push(row);
+    };
+
+    // Raha with 20 labeled tuples.
+    let raha_scores: Vec<f32> =
+        datasets.iter().map(|d| run_raha(d, 20, 0).prf1.f1).collect();
+    push_row("Raha (20-tpl)", raha_scores, &mut rows);
+
+    // LM methods with ≤ `budget` labeled cells (balanced clean/dirty).
+    let tasks: Vec<_> = datasets.iter().map(|d| d.to_task()).collect();
+    let ctxs: Vec<_> = tasks.iter().map(|t| suite.prepare(t, 9)).collect();
+    for method in Method::ALL {
+        let label = if method == Method::Baseline { "TinyLm" } else { method.name() };
+        let scores: Vec<f32> = tasks
+            .iter()
+            .zip(&ctxs)
+            .map(|(task, ctx)| suite.run_avg(task, budget, method, ctx, true).mean)
+            .collect();
+        push_row(label, scores, &mut rows);
+    }
+
+    print_table("Table 9: Error-detection F1 (x100)", &header, &rows);
+}

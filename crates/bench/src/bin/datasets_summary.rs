@@ -1,0 +1,72 @@
+//! Tables 6 & 7 — the dataset inventory: sizes and class counts of every
+//! generated benchmark, in the layout of the paper's dataset tables.
+
+use rotom_bench::{print_table, Suite};
+use rotom_datasets::edt::{self, EdtFlavor};
+use rotom_datasets::em::{self, EmFlavor};
+use rotom_datasets::textcls::{self, TextClsFlavor};
+
+fn main() {
+    let suite = Suite::from_env();
+
+    // Table 6 (left): EM datasets.
+    let mut rows = Vec::new();
+    for flavor in EmFlavor::ALL {
+        let d = em::generate(flavor, &suite.em);
+        let has_dirty = EmFlavor::WITH_DIRTY.contains(&flavor);
+        rows.push(vec![
+            format!("{}{}", d.name, if has_dirty { "*" } else { "" }),
+            d.train_pairs.len().to_string(),
+            d.test_pairs.len().to_string(),
+            d.train_pairs.iter().filter(|p| p.is_match).count().to_string(),
+        ]);
+    }
+    print_table(
+        "Table 6 (EM): generated datasets (* = dirty variant available)",
+        &["Dataset".into(), "#Train+Valid".into(), "#Test".into(), "#Pos".into()],
+        &rows,
+    );
+
+    // Table 6 (right): EDT datasets.
+    let mut rows = Vec::new();
+    for flavor in EdtFlavor::ALL {
+        let d = edt::generate(flavor, &suite.edt);
+        let test_cells = d.test_rows.len() * d.columns.len();
+        rows.push(vec![
+            d.name.clone(),
+            format!("{} / {}", test_cells, d.test_rows.len()),
+            d.rows.len().to_string(),
+            d.num_errors().to_string(),
+        ]);
+    }
+    print_table(
+        "Table 6 (EDT): generated datasets",
+        &["Dataset".into(), "Test (#cell,#tpl)".into(), "Table (#tpl)".into(), "#Errors".into()],
+        &rows,
+    );
+
+    // Table 7: TextCLS datasets.
+    let mut rows = Vec::new();
+    for flavor in TextClsFlavor::ALL {
+        let d = textcls::generate(flavor, &suite.textcls);
+        let semantics = match flavor {
+            TextClsFlavor::Ag => "News topic",
+            TextClsFlavor::Am2 | TextClsFlavor::Am5 => "Product review sentiment",
+            TextClsFlavor::Atis => "Airline reservation intent",
+            TextClsFlavor::Snips => "Voice assistant intent",
+            TextClsFlavor::Sst2 | TextClsFlavor::Sst5 => "Movie review sentiment",
+            TextClsFlavor::Trec => "Open-domain question intent",
+        };
+        rows.push(vec![
+            d.name.clone(),
+            d.num_classes.to_string(),
+            format!("({}, {})", d.train_pool.len(), d.test.len()),
+            semantics.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 7: TextCLS datasets",
+        &["Dataset".into(), "#classes".into(), "(#Train, #Test)".into(), "Class semantics".into()],
+        &rows,
+    );
+}

@@ -1,0 +1,567 @@
+//! The meta-training loop (paper Algorithm 2, plus the §5 SSL extension).
+//!
+//! Each step alternates two phases:
+//!
+//! 1. **Target update** — assemble a batch of augmented examples, drop the
+//!    ones rejected by the filtering model (sampled, explore-and-exploit),
+//!    weight the rest with the weighting model, and descend the weighted
+//!    training loss.
+//! 2. **Policy update** — take the virtual step `M' = M − η∇M Losstrain`,
+//!    measure `Lossval` at `M'`, then update the filtering model by
+//!    REINFORCE (Eq. 3) and the weighting model by the finite-difference
+//!    second-order estimate (Eq. 4) using probes `M± = M ± ε∇M'Lossval`.
+//!
+//! With SSL enabled, a batch of unlabeled examples with sharpened guessed
+//! labels joins every training batch; unlabeled examples bypass the filter
+//! (to avoid amplifying class imbalance) but are weighted like any other.
+//!
+//! **Implementation note (REINFORCE baseline).** Eq. 3 uses the raw
+//! validation loss as the reward signal; since a loss is always positive,
+//! the raw estimator would uniformly suppress keep-probabilities. Like most
+//! REINFORCE implementations we subtract a running-mean baseline, so
+//! keeping a batch is reinforced exactly when it achieves a
+//! *better-than-recent-average* validation loss. This is a pure
+//! variance-reduction change: the estimator stays unbiased.
+
+use crate::filter::FilterModel;
+use crate::sharpen::guess_label;
+use crate::target::{MetaTarget, WeightedItem};
+use crate::weight::{l2_distance, WeightModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rotom_nn::TransformerConfig;
+use rotom_text::example::{AugExample, Example};
+use rotom_text::vocab::Vocab;
+use serde::{Deserialize, Serialize};
+
+/// Semi-supervised learning options (§5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SslConfig {
+    /// Temperature for `sharpen_v1` (paper default 0.5).
+    pub temperature: f32,
+    /// Confidence threshold for `sharpen_v2` / pseudo-labeling.
+    pub threshold: f32,
+    /// Minimum model confidence for an unlabeled example to enter the batch
+    /// at all; below it the example is skipped this step (FixMatch-style
+    /// gating — unconfident guesses are pure noise early in training).
+    pub min_confidence: f32,
+}
+
+impl Default for SslConfig {
+    fn default() -> Self {
+        Self { temperature: 0.5, threshold: 0.8, min_confidence: 0.6 }
+    }
+}
+
+/// Ablation switches for the meta-learning framework (used by the ablation
+/// benchmark to quantify each component's contribution).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AblationConfig {
+    /// Disable the filtering model (keep every augmented example).
+    pub disable_filter: bool,
+    /// Disable the weighting model (uniform weights, no Eq.-4 updates).
+    pub disable_weighting: bool,
+    /// Drop the additive L2 uncertainty term from Eq. 2.
+    pub disable_l2: bool,
+}
+
+/// Meta-trainer hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaConfig {
+    /// Training batch size (paper: 32).
+    pub batch_size: usize,
+    /// Validation batch size.
+    pub val_batch_size: usize,
+    /// Finite-difference probe scale ε (paper: 0.01).
+    pub epsilon: f32,
+    /// Learning rate of the weighting model.
+    pub weight_lr: f32,
+    /// Learning rate of the filtering model.
+    pub filter_lr: f32,
+    /// Enable the SSL extension.
+    pub ssl: Option<SslConfig>,
+    /// Component ablations (all off by default).
+    pub ablation: AblationConfig,
+    /// RNG seed for batch sampling and filter exploration.
+    pub seed: u64,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 16,
+            val_batch_size: 16,
+            epsilon: 0.01,
+            weight_lr: 1e-3,
+            filter_lr: 1e-2,
+            ssl: None,
+            ablation: AblationConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics from one meta-training epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    /// Mean weighted training loss across steps.
+    pub train_loss: f32,
+    /// Mean validation loss at the virtual step across steps.
+    pub val_loss: f32,
+    /// Mean filter keep-rate.
+    pub keep_rate: f32,
+    /// Mean (raw) example weight.
+    pub mean_weight: f32,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+}
+
+/// The Rotom meta-trainer: owns the filtering and weighting policy models
+/// and drives Algorithm 2 over any [`MetaTarget`].
+pub struct MetaTrainer {
+    /// Filtering model `M_F`.
+    pub filter: FilterModel,
+    /// Weighting model `M_W`.
+    pub weight: WeightModel,
+    cfg: MetaConfig,
+    rng: StdRng,
+    /// Running-mean baseline for the REINFORCE reward.
+    val_baseline: f32,
+    baseline_initialized: bool,
+}
+
+impl MetaTrainer {
+    /// Create a meta-trainer. `vocab`/`enc_cfg` configure the weighting
+    /// model's LM encoder ("the same LM architecture as the target model").
+    pub fn new(num_classes: usize, vocab: Vocab, enc_cfg: TransformerConfig, cfg: MetaConfig) -> Self {
+        let filter = FilterModel::new(num_classes, cfg.filter_lr, cfg.seed ^ 0xf11);
+        let weight = WeightModel::new(vocab, enc_cfg, cfg.weight_lr, cfg.seed ^ 0x3e1);
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a9);
+        Self { filter, weight, cfg, rng, val_baseline: 0.0, baseline_initialized: false }
+    }
+
+    /// Run one epoch of Algorithm 2.
+    ///
+    /// * `train_aug` — this epoch's pool of augmented examples (identity +
+    ///   simple DA + InvDA candidates, assembled by the caller).
+    /// * `val` — validation examples (may alias the training set to save
+    ///   labeling budget, as the paper does for EM/EDT).
+    /// * `unlabeled_aug` — `(x, x̂)` pairs of unlabeled sequences for SSL;
+    ///   ignored unless `cfg.ssl` is set.
+    pub fn train_epoch<T: MetaTarget>(
+        &mut self,
+        target: &mut T,
+        train_aug: &[AugExample],
+        val: &[Example],
+        unlabeled_aug: &[(Vec<String>, Vec<String>)],
+    ) -> EpochStats {
+        assert!(!train_aug.is_empty(), "empty augmented pool");
+        assert!(!val.is_empty(), "empty validation set");
+        let k = target.num_classes();
+        let b = self.cfg.batch_size;
+        let mut order: Vec<usize> = (0..train_aug.len()).collect();
+        crate::shuffle(&mut order, &mut self.rng);
+
+        let mut stats = EpochStats::default();
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            // ----------------------------------------------------------
+            // Batch assembly with filtering (+ refill on aggressive drops).
+            // ----------------------------------------------------------
+            let mut items: Vec<WeightedItem> = Vec::with_capacity(2 * b);
+            let mut l2_terms: Vec<f32> = Vec::with_capacity(2 * b);
+            let mut kept_features: Vec<Vec<f32>> = Vec::new();
+            let mut keep_probs_sum = 0.0f32;
+            let mut seen = 0usize;
+            while items.len() < b && cursor < order.len() {
+                let e = &train_aug[order[cursor]];
+                cursor += 1;
+                seen += 1;
+                let p_orig = target.predict_proba(&e.orig);
+                let p_aug = target.predict_proba(&e.aug);
+                let mut y = vec![0.0f32; k];
+                y[e.label] = 1.0;
+                let feat = FilterModel::features(&y, &p_orig, &p_aug);
+                keep_probs_sum += self.filter.prob_keep(&feat);
+                if !self.cfg.ablation.disable_filter
+                    && !self.filter.sample_keep(&feat, &mut self.rng)
+                {
+                    continue;
+                }
+                let l2 = if self.cfg.ablation.disable_l2 { 0.0 } else { l2_distance(&p_aug, &y) };
+                l2_terms.push(l2);
+                kept_features.push(feat);
+                items.push(WeightedItem { tokens: e.aug.clone(), target: y, weight: 1.0 });
+            }
+            if items.is_empty() {
+                continue;
+            }
+            let keep_rate = if seen > 0 { keep_probs_sum / seen as f32 } else { 1.0 };
+
+            // ----------------------------------------------------------
+            // SSL: append a batch of unlabeled examples with guessed labels
+            // (no filtering, to avoid class imbalance).
+            // ----------------------------------------------------------
+            if let Some(ssl) = &self.cfg.ssl {
+                if !unlabeled_aug.is_empty() {
+                    let n_unl = items.len();
+                    let mut attempts = 0;
+                    let mut added = 0;
+                    while added < n_unl && attempts < 3 * n_unl {
+                        attempts += 1;
+                        let (x, x_hat) =
+                            &unlabeled_aug[self.rng.random_range(0..unlabeled_aug.len())];
+                        let p_x = target.predict_proba(x);
+                        // Confidence gate: unconfident guesses are skipped
+                        // this step (the weighting model handles the rest).
+                        if p_x[rotom_nn::argmax(&p_x)] < ssl.min_confidence {
+                            continue;
+                        }
+                        let guessed = guess_label(&p_x, ssl.temperature, ssl.threshold);
+                        let p_aug = target.predict_proba(x_hat);
+                        let l2 = if self.cfg.ablation.disable_l2 {
+                            0.0
+                        } else {
+                            l2_distance(&p_aug, &guessed)
+                        };
+                        l2_terms.push(l2);
+                        items.push(WeightedItem {
+                            tokens: x_hat.clone(),
+                            target: guessed,
+                            weight: 1.0,
+                        });
+                        added += 1;
+                    }
+                }
+            }
+
+            // ----------------------------------------------------------
+            // Weighting (M_W forward; weights enter phase 1 as constants).
+            // ----------------------------------------------------------
+            let weight_batch = if self.cfg.ablation.disable_weighting {
+                None
+            } else {
+                let weight_inputs: Vec<(Vec<String>, f32)> = items
+                    .iter()
+                    .zip(&l2_terms)
+                    .map(|(it, &l2)| (it.tokens.clone(), l2))
+                    .collect();
+                let batch = self.weight.forward_batch(&weight_inputs);
+                let normalized = batch.normalized();
+                for (it, &w) in items.iter_mut().zip(&normalized) {
+                    it.weight = w;
+                }
+                stats.mean_weight +=
+                    batch.raw.iter().sum::<f32>() / batch.raw.len() as f32;
+                Some(batch)
+            };
+            if self.cfg.ablation.disable_weighting {
+                stats.mean_weight += 1.0;
+            }
+
+            // ----------------------------------------------------------
+            // Phase 1: update the target model on the weighted batch.
+            // ----------------------------------------------------------
+            let train_loss = target.weighted_loss_backward(&items, true, &mut self.rng);
+            let g = target.flat_grads();
+            target.optimizer_step();
+
+            // ----------------------------------------------------------
+            // Phase 2: virtual step, validation loss, policy updates.
+            // ----------------------------------------------------------
+            let eta = target.learning_rate();
+            // M' = M − η·∇M Losstrain (paper line 8; M here is the
+            // post-phase-1 parameters, matching the overloaded notation).
+            target.add_scaled(&g, -eta);
+            let val_batch: Vec<WeightedItem> = sample_items(val, self.cfg.val_batch_size, k, &mut self.rng);
+            let val_loss = target.weighted_loss_backward(&val_batch, false, &mut self.rng);
+            let v = target.flat_grads();
+            // Restore M.
+            target.add_scaled(&g, eta);
+
+            // Probes M± = M ± ε·∇M'Lossval, per-example losses under each.
+            if let Some(weight_batch) = weight_batch {
+                let eps = self.cfg.epsilon;
+                target.add_scaled(&v, eps);
+                let c_plus = target.per_example_losses(&items);
+                target.add_scaled(&v, -2.0 * eps);
+                let c_minus = target.per_example_losses(&items);
+                target.add_scaled(&v, eps);
+                self.weight.update_finite_difference(weight_batch, &c_plus, &c_minus, eta, eps);
+            }
+
+            // REINFORCE with a running-mean baseline (see module docs).
+            let reward = if self.baseline_initialized { val_loss - self.val_baseline } else { 0.0 };
+            if self.baseline_initialized {
+                self.val_baseline = 0.9 * self.val_baseline + 0.1 * val_loss;
+            } else {
+                self.val_baseline = val_loss;
+                self.baseline_initialized = true;
+            }
+            if !self.cfg.ablation.disable_filter {
+                self.filter.reinforce_update(&kept_features, reward);
+            }
+
+            stats.train_loss += train_loss;
+            stats.val_loss += val_loss;
+            stats.keep_rate += keep_rate;
+            stats.steps += 1;
+        }
+        if stats.steps > 0 {
+            let n = stats.steps as f32;
+            stats.train_loss /= n;
+            stats.val_loss /= n;
+            stats.keep_rate /= n;
+            stats.mean_weight /= n;
+        }
+        stats
+    }
+}
+
+fn sample_items(pool: &[Example], n: usize, k: usize, rng: &mut StdRng) -> Vec<WeightedItem> {
+    let n = n.min(pool.len()).max(1);
+    (0..n)
+        .map(|_| {
+            let e = &pool[rng.random_range(0..pool.len())];
+            WeightedItem::hard(e.tokens.clone(), e.label, k)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A hand-rolled bag-of-words logistic-regression target with manual
+    /// gradients — small enough to verify the full meta loop end-to-end.
+    struct BowTarget {
+        vocab: HashMap<String, usize>,
+        w: Vec<f32>,     // V x K
+        grads: Vec<f32>, // V x K
+        k: usize,
+        lr: f32,
+    }
+
+    impl BowTarget {
+        fn new(words: &[&str], k: usize, lr: f32) -> Self {
+            let vocab: HashMap<String, usize> =
+                words.iter().enumerate().map(|(i, w)| (w.to_string(), i)).collect();
+            let v = vocab.len();
+            Self { vocab, w: vec![0.0; v * k], grads: vec![0.0; v * k], k, lr }
+        }
+
+        fn feats(&self, tokens: &[String]) -> Vec<f32> {
+            let mut f = vec![0.0f32; self.vocab.len()];
+            for t in tokens {
+                if let Some(&i) = self.vocab.get(t) {
+                    f[i] += 1.0;
+                }
+            }
+            f
+        }
+
+        fn logits(&self, f: &[f32]) -> Vec<f32> {
+            let mut z = vec![0.0f32; self.k];
+            for (i, &fi) in f.iter().enumerate() {
+                if fi != 0.0 {
+                    for c in 0..self.k {
+                        z[c] += fi * self.w[i * self.k + c];
+                    }
+                }
+            }
+            z
+        }
+    }
+
+    impl MetaTarget for BowTarget {
+        fn num_classes(&self) -> usize {
+            self.k
+        }
+        fn predict_proba(&self, tokens: &[String]) -> Vec<f32> {
+            rotom_nn::softmax_slice(&self.logits(&self.feats(tokens)))
+        }
+        fn weighted_loss_backward(&mut self, items: &[WeightedItem], _train: bool, _rng: &mut StdRng) -> f32 {
+            self.grads.fill(0.0);
+            let mut loss = 0.0f32;
+            let n = items.len() as f32;
+            for it in items {
+                let f = self.feats(&it.tokens);
+                let p = rotom_nn::softmax_slice(&self.logits(&f));
+                for c in 0..self.k {
+                    if it.target[c] > 0.0 {
+                        loss -= it.weight * it.target[c] * p[c].max(1e-9).ln() / n;
+                    }
+                }
+                for (i, &fi) in f.iter().enumerate() {
+                    if fi != 0.0 {
+                        for c in 0..self.k {
+                            self.grads[i * self.k + c] +=
+                                it.weight * fi * (p[c] - it.target[c]) / n;
+                        }
+                    }
+                }
+            }
+            loss
+        }
+        fn per_example_losses(&self, items: &[WeightedItem]) -> Vec<f32> {
+            items
+                .iter()
+                .map(|it| {
+                    let p = self.predict_proba(&it.tokens);
+                    -(0..self.k)
+                        .map(|c| it.target[c] * p[c].max(1e-9).ln())
+                        .sum::<f32>()
+                })
+                .collect()
+        }
+        fn flat_params(&self) -> Vec<f32> {
+            self.w.clone()
+        }
+        fn set_flat_params(&mut self, flat: &[f32]) {
+            self.w.copy_from_slice(flat);
+        }
+        fn add_scaled(&mut self, delta: &[f32], alpha: f32) {
+            for (w, &d) in self.w.iter_mut().zip(delta) {
+                *w += alpha * d;
+            }
+        }
+        fn flat_grads(&self) -> Vec<f32> {
+            self.grads.clone()
+        }
+        fn optimizer_step(&mut self) {
+            let lr = self.lr;
+            let g = self.grads.clone();
+            self.add_scaled(&g, -lr);
+        }
+        fn learning_rate(&self) -> f32 {
+            self.lr
+        }
+    }
+
+    fn toy_data() -> (Vec<Example>, Vec<AugExample>) {
+        // Two classes separated by "good"/"bad"; a minority of poisoned
+        // augmentations flip a positive example's token to "bad" while
+        // keeping the label (the classic label-corrupting DA failure of
+        // Example 1.1 in the paper).
+        let mk = |s: &str, y: usize| Example::new(s.split(' ').map(String::from).collect(), y);
+        let train: Vec<Example> = (0..16)
+            .map(|i| {
+                if i % 2 == 0 {
+                    mk("the plot is good stuff", 1)
+                } else {
+                    mk("the plot is bad stuff", 0)
+                }
+            })
+            .collect();
+        let mut aug: Vec<AugExample> = train.iter().map(AugExample::identity).collect();
+        // Corrupted augmentations: label says positive, text says bad.
+        for _ in 0..5 {
+            aug.push(AugExample {
+                orig: mk("the plot is good stuff", 1).tokens,
+                aug: mk("the plot is bad stuff", 1).tokens,
+                label: 1,
+            });
+        }
+        (train, aug)
+    }
+
+    fn words() -> Vec<&'static str> {
+        vec!["the", "plot", "is", "good", "bad", "stuff"]
+    }
+
+    fn trainer(ssl: bool) -> MetaTrainer {
+        let seqs: Vec<Vec<String>> = vec![words().iter().map(|s| s.to_string()).collect()];
+        let refs: Vec<&[String]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let vocab = Vocab::build(refs, 32);
+        let enc = TransformerConfig { vocab: 0, d_model: 16, heads: 2, d_ff: 32, layers: 1, max_len: 12, dropout: 0.0 };
+        let cfg = MetaConfig {
+            batch_size: 4,
+            val_batch_size: 8,
+            filter_lr: 5e-2,
+            ssl: ssl.then(SslConfig::default),
+            ..Default::default()
+        };
+        MetaTrainer::new(2, vocab, enc, cfg)
+    }
+
+    #[test]
+    fn meta_training_learns_despite_poisoned_augmentations() {
+        // ~24% of the pool carries a corrupted label on text identical to
+        // the clean negatives. The filter sees the corruption through its
+        // KL features (the augmented text's predicted distribution diverges
+        // from the original's) and the validation loss provides the reward
+        // signal; the target must still classify both classes cleanly.
+        let (train, aug) = toy_data();
+        let mut target = BowTarget::new(&words(), 2, 0.5);
+        let mut t = trainer(false);
+        let mut last = EpochStats::default();
+        for _ in 0..30 {
+            last = t.train_epoch(&mut target, &aug, &train, &[]);
+        }
+        assert!(last.steps > 0);
+        let p_good = target.predict_proba(&train[0].tokens);
+        let p_bad = target.predict_proba(&train[1].tokens);
+        assert!(p_good[1] > 0.7, "positive example scored {p_good:?}");
+        assert!(p_bad[0] > 0.6, "negative example scored {p_bad:?}");
+    }
+
+    #[test]
+    fn epoch_stats_are_populated() {
+        let (train, aug) = toy_data();
+        let mut target = BowTarget::new(&words(), 2, 0.2);
+        let mut t = trainer(false);
+        let stats = t.train_epoch(&mut target, &aug, &train, &[]);
+        assert!(stats.steps >= 2);
+        assert!(stats.train_loss > 0.0);
+        assert!(stats.val_loss > 0.0);
+        assert!((0.0..=1.0).contains(&stats.keep_rate));
+        assert!(stats.mean_weight > 0.0);
+    }
+
+    #[test]
+    fn ssl_consumes_unlabeled_pairs() {
+        let (train, aug) = toy_data();
+        let mk = |s: &str| s.split(' ').map(String::from).collect::<Vec<_>>();
+        let unlabeled: Vec<(Vec<String>, Vec<String>)> = vec![
+            (mk("the plot is good stuff"), mk("plot is good stuff")),
+            (mk("the plot is bad stuff"), mk("the plot bad stuff")),
+        ];
+        let mut target = BowTarget::new(&words(), 2, 0.2);
+        let mut t = trainer(true);
+        // Must not panic and must still learn.
+        for _ in 0..12 {
+            t.train_epoch(&mut target, &aug, &train, &unlabeled);
+        }
+        let p_good = target.predict_proba(&mk("the plot is good stuff"));
+        assert!(p_good[1] > 0.6);
+    }
+
+    #[test]
+    fn ablations_disable_components() {
+        let (train, aug) = toy_data();
+        let mut target = BowTarget::new(&words(), 2, 0.2);
+        let mut t = trainer(false);
+        t.cfg.ablation =
+            AblationConfig { disable_filter: true, disable_weighting: true, disable_l2: true };
+        let stats = t.train_epoch(&mut target, &aug, &train, &[]);
+        // No filtering: every example enters a batch, so with batch 4 and a
+        // 21-example pool we get at least 5 full steps.
+        assert!(stats.steps >= 5, "steps {}", stats.steps);
+        // Uniform weights (mean_weight accumulates exactly 1 per step).
+        assert!((stats.mean_weight - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parameters_restored_after_probes() {
+        let (train, aug) = toy_data();
+        let mut target = BowTarget::new(&words(), 2, 0.2);
+        let mut t = trainer(false);
+        let _ = t.train_epoch(&mut target, &aug, &train, &[]);
+        // After an epoch, run a forward pass and record params; another
+        // forward must not change them (probe arithmetic is balanced).
+        let before = target.flat_params();
+        let _ = target.predict_proba(&train[0].tokens);
+        assert_eq!(before, target.flat_params());
+    }
+}

@@ -1,0 +1,229 @@
+//! Parameter checkpointing with a dependency-free text format.
+//!
+//! No serialization-format crate is available offline, so checkpoints use a
+//! simple line-oriented format that is diff-able and versionable:
+//!
+//! ```text
+//! rotom-checkpoint v1
+//! <name> <rows> <cols> <v0> <v1> …
+//! …
+//! ```
+//!
+//! Values round-trip exactly through the hex encoding of their IEEE-754
+//! bits.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "rotom-checkpoint v1";
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid checkpoint.
+    Format(String),
+    /// The checkpoint does not match the model (missing/extra/mis-shaped
+    /// parameters).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialize all parameter values (trainable and frozen) to a string.
+pub fn to_string(store: &ParamStore) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    for id in store.ids() {
+        let t = store.value(id);
+        let _ = write!(out, "{} {} {}", store.name(id), t.rows(), t.cols());
+        for &v in t.data() {
+            let _ = write!(out, " {:08x}", v.to_bits());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a checkpoint string into `(name, tensor)` pairs.
+pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l == MAGIC => {}
+        other => {
+            return Err(CheckpointError::Format(format!(
+                "bad header: {:?}",
+                other.unwrap_or("<empty>")
+            )))
+        }
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let name = it
+            .next()
+            .ok_or_else(|| CheckpointError::Format(format!("line {}: missing name", lineno + 2)))?
+            .to_string();
+        let rows: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Format(format!("line {}: bad rows", lineno + 2)))?;
+        let cols: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Format(format!("line {}: bad cols", lineno + 2)))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for tok in it {
+            let bits = u32::from_str_radix(tok, 16).map_err(|_| {
+                CheckpointError::Format(format!("line {}: bad value {tok:?}", lineno + 2))
+            })?;
+            data.push(f32::from_bits(bits));
+        }
+        if data.len() != rows * cols {
+            return Err(CheckpointError::Format(format!(
+                "line {}: {} values for shape {rows}x{cols}",
+                lineno + 2,
+                data.len()
+            )));
+        }
+        out.push((name, Tensor::from_vec(data, rows, cols)));
+    }
+    Ok(out)
+}
+
+/// Load parsed `(name, tensor)` pairs into a store, matching by name.
+/// Every store parameter must be covered with an identical shape.
+pub fn load_into(store: &mut ParamStore, params: &[(String, Tensor)]) -> Result<(), CheckpointError> {
+    for id in store.ids().collect::<Vec<_>>() {
+        let name = store.name(id).to_string();
+        let found = params.iter().find(|(n, _)| *n == name).ok_or_else(|| {
+            CheckpointError::Mismatch(format!("parameter {name:?} missing from checkpoint"))
+        })?;
+        let current = store.value(id);
+        if (current.rows(), current.cols()) != (found.1.rows(), found.1.cols()) {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {name:?}: shape {}x{} vs checkpoint {}x{}",
+                current.rows(),
+                current.cols(),
+                found.1.rows(),
+                found.1.cols()
+            )));
+        }
+        *store.value_mut(id) = found.1.clone();
+    }
+    Ok(())
+}
+
+/// Write a store checkpoint to a file.
+pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_string(store).as_bytes())?;
+    Ok(())
+}
+
+/// Read a file checkpoint into a store (matching parameters by name).
+pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut text = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut text)?;
+    let params = parse(&text)?;
+    load_into(store, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store() -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = ParamStore::new();
+        s.alloc("layer.w", 2, 3, Initializer::XavierUniform, &mut rng);
+        s.alloc("layer.b", 1, 3, Initializer::Uniform(0.5), &mut rng);
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let src = store();
+        let text = to_string(&src);
+        let mut dst = store();
+        // Perturb so the load has observable effect.
+        dst.value_mut(dst.ids().next().unwrap()).data_mut().fill(9.0);
+        load_into(&mut dst, &parse(&text).unwrap()).unwrap();
+        assert_eq!(src.flat_values(), dst.flat_values());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(parse("nonsense"), Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = store();
+        let text = to_string(&src).replace("layer.b 1 3", "layer.b 3 1");
+        let parsed = parse(&text).unwrap();
+        let mut dst = store();
+        assert!(matches!(load_into(&mut dst, &parsed), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn rejects_missing_parameter() {
+        let src = store();
+        let mut parsed = parse(&to_string(&src)).unwrap();
+        parsed.pop();
+        let mut dst = store();
+        assert!(matches!(load_into(&mut dst, &parsed), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let src = store();
+        let dir = std::env::temp_dir().join("rotom_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save(&src, &path).unwrap();
+        let mut dst = store();
+        dst.value_mut(dst.ids().next().unwrap()).data_mut().fill(0.0);
+        load(&mut dst, &path).unwrap();
+        assert_eq!(src.flat_values(), dst.flat_values());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn special_float_values_roundtrip() {
+        let mut s = ParamStore::new();
+        s.push(
+            "weird",
+            Tensor::from_vec(vec![0.0, -0.0, f32::MIN_POSITIVE, 1e-40, 3.1415927], 1, 5),
+        );
+        let parsed = parse(&to_string(&s)).unwrap();
+        assert_eq!(parsed[0].1.data(), s.value(s.ids().next().unwrap()).data());
+    }
+}

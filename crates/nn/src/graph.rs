@@ -1,0 +1,1105 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a DAG of tensor operations as it is built; nodes are
+//! appended in topological order, so a single reverse sweep computes all
+//! gradients. Parameters live outside the tape in a
+//! [`ParamStore`](crate::params::ParamStore): `param` nodes clone the current
+//! value at construction time (so finite-difference probes that mutate the
+//! store cannot corrupt an in-flight graph) and `backward` accumulates
+//! gradients back into the store.
+//!
+//! The op set is deliberately small — exactly what a Transformer
+//! encoder/decoder, the Rotom filtering/weighting models, and the baseline
+//! RNNs need.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Additive attention mask: `0.0` for visible positions, `-1e9` for hidden.
+pub type AttnMask = Tensor;
+
+// Some op payloads (softmax mask, layer-norm eps) are only read during the
+// forward computation that creates the node; they are kept in the enum for
+// debuggability and future introspection.
+#[allow(dead_code)]
+enum Op {
+    /// Leaf holding a constant (input) value.
+    Input,
+    /// Leaf holding a snapshot of a parameter value.
+    Param(ParamId),
+    /// Row-gather from an embedding table parameter.
+    Embedding { table: ParamId, indices: Vec<usize> },
+    /// `a (m x k) * b (k x n)`.
+    Matmul(NodeId, NodeId),
+    /// `a (m x k) * b^T (n x k)`.
+    MatmulTb(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    /// Broadcast add of a `1 x n` row to every row of an `m x n` matrix.
+    AddRow(NodeId, NodeId),
+    /// Broadcast multiply of a `1 x n` row into every row of an `m x n` matrix.
+    MulRow(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddConst(NodeId, f32),
+    Relu(NodeId),
+    Gelu(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    /// Row-wise softmax with an optional additive mask.
+    Softmax(NodeId, Option<AttnMask>),
+    /// Row-wise log-softmax.
+    LogSoftmax(NodeId),
+    /// Row-wise layer normalization; `gamma`/`beta` are `1 x n` nodes.
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+        /// Cached per-row (mean, inv_std) from the forward pass.
+        cache: Vec<(f32, f32)>,
+    },
+    /// Inverted dropout; `mask` holds `0` or `1/(1-p)` per element.
+    Dropout { x: NodeId, mask: Vec<f32> },
+    ConcatCols(Vec<NodeId>),
+    ConcatRows(Vec<NodeId>),
+    SliceCols { x: NodeId, start: usize, len: usize },
+    SliceRows { x: NodeId, start: usize, len: usize },
+    /// Mean over rows: `m x n -> 1 x n`.
+    MeanRows(NodeId),
+    /// Sum of equal-shaped nodes.
+    SumNodes(Vec<NodeId>),
+    /// Multiply a tensor by a `1x1` scalar node.
+    MulScalar { x: NodeId, s: NodeId },
+    /// Mean cross-entropy over rows of logits against soft targets.
+    CrossEntropy {
+        logits: NodeId,
+        /// Row-major `m x C` soft target distribution.
+        targets: Vec<f32>,
+        /// Cached softmax of logits.
+        probs: Vec<f32>,
+    },
+    /// Sum of all elements: `m x n -> 1 x 1`.
+    SumAll(NodeId),
+    /// Elementwise reciprocal `1 / x`.
+    Recip(NodeId),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+/// A gradient tape. Create one per forward pass (typically per batch).
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(256) }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> NodeId {
+        self.nodes.push(Node { op, value, grad: None });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of a node after [`backward`](Self::backward); zeros if the
+    /// node did not participate.
+    pub fn grad(&self, id: NodeId) -> Tensor {
+        match &self.nodes[id.0].grad {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(self.nodes[id.0].value.rows(), self.nodes[id.0].value.cols()),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Constant input leaf.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(Op::Input, value)
+    }
+
+    /// Parameter leaf: snapshots the current value from the store.
+    pub fn param(&mut self, id: ParamId, store: &ParamStore) -> NodeId {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Embedding lookup: gathers `indices` rows of the table parameter into
+    /// an `indices.len() x d` matrix.
+    pub fn embedding(&mut self, table: ParamId, store: &ParamStore, indices: &[usize]) -> NodeId {
+        let t = store.value(table);
+        let d = t.cols();
+        let mut out = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            out.extend_from_slice(t.row_slice(i));
+        }
+        let value = Tensor::from_vec(out, indices.len(), d);
+        self.push(
+            Op::Embedding { table, indices: indices.to_vec() },
+            value,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// `a * b` (matrix product).
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::Matmul(a, b), v)
+    }
+
+    /// `a * b^T` without materializing the transpose.
+    pub fn matmul_tb(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul_transpose_b(self.value(b));
+        self.push(Op::MatmulTb(a, b), v)
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise `a ⊙ b`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Add a `1 x n` row vector node to every row of an `m x n` node.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let m = self.value(a);
+        let r = self.value(row);
+        assert_eq!(r.rows(), 1, "add_row expects a 1 x n row vector");
+        assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let dst = out.row_slice_mut(i);
+            for (d, &s) in dst.iter_mut().zip(r.data()) {
+                *d += s;
+            }
+        }
+        self.push(Op::AddRow(a, row), out)
+    }
+
+    /// Multiply every row of an `m x n` node by a `1 x n` row vector node.
+    pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let m = self.value(a);
+        let r = self.value(row);
+        assert_eq!(r.rows(), 1, "mul_row expects a 1 x n row vector");
+        assert_eq!(m.cols(), r.cols(), "mul_row width mismatch");
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let dst = out.row_slice_mut(i);
+            for (d, &s) in dst.iter_mut().zip(r.data()) {
+                *d *= s;
+            }
+        }
+        self.push(Op::MulRow(a, row), out)
+    }
+
+    /// `a * c` for a compile-time constant `c`.
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = self.value(a).map(|x| x * c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// `a + c` elementwise for a constant `c`.
+    pub fn add_const(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = self.value(a).map(|x| x + c);
+        self.push(Op::AddConst(a, c), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(gelu_fwd);
+        self.push(Op::Gelu(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        self.masked_softmax(a, None)
+    }
+
+    /// Row-wise softmax with an optional additive mask (same shape as `a`).
+    pub fn masked_softmax(&mut self, a: NodeId, mask: Option<AttnMask>) -> NodeId {
+        let x = self.value(a);
+        if let Some(m) = &mask {
+            assert_eq!((m.rows(), m.cols()), (x.rows(), x.cols()), "mask shape mismatch");
+        }
+        let mut out = Tensor::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            let row = x.row_slice(i);
+            let mrow = mask.as_ref().map(|m| m.row_slice(i));
+            softmax_row(row, mrow, out.row_slice_mut(i));
+        }
+        self.push(Op::Softmax(a, mask), out)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let mut out = Tensor::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            let row = x.row_slice(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for (o, &v) in out.row_slice_mut(i).iter_mut().zip(row) {
+                *o = v - lse;
+            }
+        }
+        self.push(Op::LogSoftmax(a), out)
+    }
+
+    /// Row-wise layer normalization with learned `gamma`/`beta` row nodes.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let xv = self.value(x);
+        let g = self.value(gamma);
+        let b = self.value(beta);
+        assert_eq!(g.rows(), 1);
+        assert_eq!(b.rows(), 1);
+        assert_eq!(g.cols(), xv.cols());
+        let n = xv.cols() as f32;
+        let mut out = Tensor::zeros(xv.rows(), xv.cols());
+        let mut cache = Vec::with_capacity(xv.rows());
+        for i in 0..xv.rows() {
+            let row = xv.row_slice(i);
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            cache.push((mean, inv_std));
+            for ((o, &v), (&gg, &bb)) in out
+                .row_slice_mut(i)
+                .iter_mut()
+                .zip(row)
+                .zip(g.data().iter().zip(b.data()))
+            {
+                *o = (v - mean) * inv_std * gg + bb;
+            }
+        }
+        self.push(Op::LayerNorm { x, gamma, beta, eps, cache }, out)
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`. `mask_bits` must have
+    /// one Bernoulli(1-p) draw per element; pass `None` to disable (eval).
+    pub fn dropout(&mut self, x: NodeId, p: f32, mask_bits: Option<Vec<bool>>) -> NodeId {
+        match mask_bits {
+            None => x,
+            Some(bits) => {
+                let xv = self.value(x);
+                assert_eq!(bits.len(), xv.len(), "dropout mask length mismatch");
+                let keep = 1.0 - p;
+                let mask: Vec<f32> = bits.iter().map(|&b| if b { 1.0 / keep } else { 0.0 }).collect();
+                let data: Vec<f32> = xv.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+                let value = Tensor::from_vec(data, xv.rows(), xv.cols());
+                self.push(Op::Dropout { x, mask }, value)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Concatenate nodes along columns (all must share the row count).
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let v = self.value(p);
+            assert_eq!(v.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                out.row_slice_mut(r)[off..off + v.cols()].copy_from_slice(v.row_slice(r));
+            }
+            off += v.cols();
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), out)
+    }
+
+    /// Concatenate nodes along rows (all must share the column count).
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut data = Vec::with_capacity(total * cols);
+        for &p in parts {
+            let v = self.value(p);
+            assert_eq!(v.cols(), cols, "concat_rows col mismatch");
+            data.extend_from_slice(v.data());
+        }
+        self.push(Op::ConcatRows(parts.to_vec()), Tensor::from_vec(data, total, cols))
+    }
+
+    /// Take columns `start..start+len`.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let v = self.value(x);
+        assert!(start + len <= v.cols(), "slice_cols out of bounds");
+        let mut out = Tensor::zeros(v.rows(), len);
+        for r in 0..v.rows() {
+            out.row_slice_mut(r).copy_from_slice(&v.row_slice(r)[start..start + len]);
+        }
+        self.push(Op::SliceCols { x, start, len }, out)
+    }
+
+    /// Take rows `start..start+len`.
+    pub fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let v = self.value(x);
+        assert!(start + len <= v.rows(), "slice_rows out of bounds");
+        let mut data = Vec::with_capacity(len * v.cols());
+        for r in start..start + len {
+            data.extend_from_slice(v.row_slice(r));
+        }
+        self.push(Op::SliceRows { x, start, len }, Tensor::from_vec(data, len, v.cols()))
+    }
+
+    /// Mean over rows: `m x n -> 1 x n`.
+    pub fn mean_rows(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x);
+        let m = v.rows() as f32;
+        let mut out = vec![0.0f32; v.cols()];
+        for r in 0..v.rows() {
+            for (o, &s) in out.iter_mut().zip(v.row_slice(r)) {
+                *o += s / m;
+            }
+        }
+        self.push(Op::MeanRows(x), Tensor::row(out))
+    }
+
+    /// Elementwise sum of equal-shaped nodes.
+    pub fn sum_nodes(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let mut out = self.value(parts[0]).clone();
+        for &p in &parts[1..] {
+            out.axpy(1.0, self.value(p));
+        }
+        self.push(Op::SumNodes(parts.to_vec()), out)
+    }
+
+    /// Mean of equal-shaped nodes (convenience over sum + scale).
+    pub fn mean_nodes(&mut self, parts: &[NodeId]) -> NodeId {
+        let s = self.sum_nodes(parts);
+        self.scale(s, 1.0 / parts.len() as f32)
+    }
+
+    /// Multiply tensor `x` by scalar node `s` (`1x1`).
+    pub fn mul_scalar(&mut self, x: NodeId, s: NodeId) -> NodeId {
+        assert_eq!(self.value(s).len(), 1, "mul_scalar expects 1x1 scalar node");
+        let sv = self.value(s).item();
+        let v = self.value(x).map(|a| a * sv);
+        self.push(Op::MulScalar { x, s }, v)
+    }
+
+    /// Sum of all elements as a `1x1` node.
+    pub fn sum_all(&mut self, x: NodeId) -> NodeId {
+        let s = self.value(x).sum();
+        self.push(Op::SumAll(x), Tensor::scalar(s))
+    }
+
+    /// Elementwise reciprocal `1 / x` (used for in-graph weight
+    /// normalization; inputs must be nonzero).
+    pub fn recip(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|a| 1.0 / a);
+        self.push(Op::Recip(x), v)
+    }
+
+    /// Mean cross-entropy over logit rows against (soft) target rows.
+    ///
+    /// `targets` is row-major `m x C` and each row should be a probability
+    /// distribution (one-hot for hard labels).
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[f32]) -> NodeId {
+        let lv = self.value(logits);
+        let (m, c) = (lv.rows(), lv.cols());
+        assert_eq!(targets.len(), m * c, "target shape mismatch");
+        let mut probs = vec![0.0f32; m * c];
+        let mut loss = 0.0f64;
+        for i in 0..m {
+            let row = lv.row_slice(i);
+            softmax_row(row, None, &mut probs[i * c..(i + 1) * c]);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for j in 0..c {
+                let t = targets[i * c + j];
+                if t != 0.0 {
+                    loss -= (t * (row[j] - lse)) as f64;
+                }
+            }
+        }
+        let value = Tensor::scalar((loss / m as f64) as f32);
+        self.push(
+            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+            value,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Reverse sweep from `loss` (must be `1x1`), accumulating parameter
+    /// gradients into `store`. Gradients add onto whatever is already in the
+    /// store, so call [`ParamStore::zero_grad`] first for a fresh pass.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).len(), 1, "backward target must be scalar");
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            let grad = match self.nodes[i].grad.take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.accumulate(i, &grad, store);
+            // Leaf gradients are kept readable after the sweep.
+            self.nodes[i].grad = Some(grad);
+        }
+    }
+
+    fn add_grad(&mut self, id: NodeId, delta: &Tensor) {
+        let node = &mut self.nodes[id.0];
+        match &mut node.grad {
+            Some(g) => g.axpy(1.0, delta),
+            None => node.grad = Some(delta.clone()),
+        }
+    }
+
+    fn accumulate(&mut self, i: usize, grad: &Tensor, store: &mut ParamStore) {
+        // Take op temporarily to appease the borrow checker; values of other
+        // nodes are read through `self.value`.
+        let op = std::mem::replace(&mut self.nodes[i].op, Op::Input);
+        match &op {
+            Op::Input => {}
+            Op::Param(pid) => {
+                store.grad_mut(*pid).axpy(1.0, grad);
+            }
+            Op::Embedding { table, indices } => {
+                let g = store.grad_mut(*table);
+                for (r, &idx) in indices.iter().enumerate() {
+                    let src = grad.row_slice(r);
+                    for (d, &s) in g.row_slice_mut(idx).iter_mut().zip(src) {
+                        *d += s;
+                    }
+                }
+            }
+            Op::Matmul(a, b) => {
+                // dA = dC * B^T ; dB = A^T * dC
+                let da = grad.matmul_transpose_b(self.value(*b));
+                let db = self.value(*a).transpose().matmul(grad);
+                self.add_grad(*a, &da);
+                self.add_grad(*b, &db);
+            }
+            Op::MatmulTb(a, b) => {
+                // C = A * B^T ; dA = dC * B ; dB = dC^T * A
+                let da = grad.matmul(self.value(*b));
+                let db = grad.transpose().matmul(self.value(*a));
+                self.add_grad(*a, &da);
+                self.add_grad(*b, &db);
+            }
+            Op::Add(a, b) => {
+                self.add_grad(*a, grad);
+                self.add_grad(*b, grad);
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(*a, grad);
+                let neg = grad.map(|v| -v);
+                self.add_grad(*b, &neg);
+            }
+            Op::Mul(a, b) => {
+                let da = grad.zip(self.value(*b), |g, bv| g * bv);
+                let db = grad.zip(self.value(*a), |g, av| g * av);
+                self.add_grad(*a, &da);
+                self.add_grad(*b, &db);
+            }
+            Op::AddRow(a, row) => {
+                self.add_grad(*a, grad);
+                let mut rg = vec![0.0f32; grad.cols()];
+                for r in 0..grad.rows() {
+                    for (o, &g) in rg.iter_mut().zip(grad.row_slice(r)) {
+                        *o += g;
+                    }
+                }
+                self.add_grad(*row, &Tensor::row(rg));
+            }
+            Op::MulRow(a, row) => {
+                let rv = self.value(*row).clone();
+                let av = self.value(*a).clone();
+                let mut da = grad.clone();
+                for r in 0..da.rows() {
+                    for (d, &s) in da.row_slice_mut(r).iter_mut().zip(rv.data()) {
+                        *d *= s;
+                    }
+                }
+                self.add_grad(*a, &da);
+                let mut rg = vec![0.0f32; grad.cols()];
+                for r in 0..grad.rows() {
+                    for ((o, &g), &a_) in rg.iter_mut().zip(grad.row_slice(r)).zip(av.row_slice(r)) {
+                        *o += g * a_;
+                    }
+                }
+                self.add_grad(*row, &Tensor::row(rg));
+            }
+            Op::Scale(a, c) => {
+                let da = grad.map(|g| g * c);
+                self.add_grad(*a, &da);
+            }
+            Op::AddConst(a, _) => {
+                self.add_grad(*a, grad);
+            }
+            Op::Relu(a) => {
+                let da = grad.zip(self.value(*a), |g, x| if x > 0.0 { g } else { 0.0 });
+                self.add_grad(*a, &da);
+            }
+            Op::Gelu(a) => {
+                let da = grad.zip(self.value(*a), |g, x| g * gelu_bwd(x));
+                self.add_grad(*a, &da);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let da = grad.zip(y, |g, t| g * (1.0 - t * t));
+                self.add_grad(*a, &da);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let da = grad.zip(y, |g, s| g * s * (1.0 - s));
+                self.add_grad(*a, &da);
+            }
+            Op::Softmax(a, _) => {
+                // dX_j = y_j * (g_j - Σ_k g_k y_k), row-wise.
+                let y = self.nodes[i].value.clone();
+                let mut da = Tensor::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let yr = y.row_slice(r);
+                    let gr = grad.row_slice(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                    for ((d, &yv), &gv) in da.row_slice_mut(r).iter_mut().zip(yr).zip(gr) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                self.add_grad(*a, &da);
+            }
+            Op::LogSoftmax(a) => {
+                // dX_j = g_j - softmax_j * Σ_k g_k, row-wise.
+                let y = self.nodes[i].value.clone();
+                let mut da = Tensor::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let yr = y.row_slice(r);
+                    let gr = grad.row_slice(r);
+                    let gsum: f32 = gr.iter().sum();
+                    for ((d, &yv), &gv) in da.row_slice_mut(r).iter_mut().zip(yr).zip(gr) {
+                        *d = gv - yv.exp() * gsum;
+                    }
+                }
+                self.add_grad(*a, &da);
+            }
+            Op::LayerNorm { x, gamma, beta, eps: _, cache } => {
+                let xv = self.value(*x).clone();
+                let gv = self.value(*gamma).clone();
+                let n = xv.cols() as f32;
+                let mut dx = Tensor::zeros(xv.rows(), xv.cols());
+                let mut dgamma = vec![0.0f32; xv.cols()];
+                let mut dbeta = vec![0.0f32; xv.cols()];
+                for r in 0..xv.rows() {
+                    let (mean, inv_std) = cache[r];
+                    let xr = xv.row_slice(r);
+                    let gr = grad.row_slice(r);
+                    // xhat_j = (x_j - mean) * inv_std
+                    // dxhat_j = g_j * gamma_j
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for j in 0..xr.len() {
+                        let xhat = (xr[j] - mean) * inv_std;
+                        let dxhat = gr[j] * gv.data()[j];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                        dgamma[j] += gr[j] * xhat;
+                        dbeta[j] += gr[j];
+                    }
+                    for j in 0..xr.len() {
+                        let xhat = (xr[j] - mean) * inv_std;
+                        let dxhat = gr[j] * gv.data()[j];
+                        dx.row_slice_mut(r)[j] =
+                            inv_std * (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+                    }
+                }
+                self.add_grad(*x, &dx);
+                self.add_grad(*gamma, &Tensor::row(dgamma));
+                self.add_grad(*beta, &Tensor::row(dbeta));
+            }
+            Op::Dropout { x, mask } => {
+                let data: Vec<f32> = grad.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                let da = Tensor::from_vec(data, grad.rows(), grad.cols());
+                self.add_grad(*x, &da);
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let w = self.value(p).cols();
+                    let rows = grad.rows();
+                    let mut dp = Tensor::zeros(rows, w);
+                    for r in 0..rows {
+                        dp.row_slice_mut(r).copy_from_slice(&grad.row_slice(r)[off..off + w]);
+                    }
+                    self.add_grad(p, &dp);
+                    off += w;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let h = self.value(p).rows();
+                    let cols = grad.cols();
+                    let mut data = Vec::with_capacity(h * cols);
+                    for r in off..off + h {
+                        data.extend_from_slice(grad.row_slice(r));
+                    }
+                    self.add_grad(p, &Tensor::from_vec(data, h, cols));
+                    off += h;
+                }
+            }
+            Op::SliceCols { x, start, len } => {
+                let v = self.value(*x);
+                let mut dx = Tensor::zeros(v.rows(), v.cols());
+                for r in 0..v.rows() {
+                    dx.row_slice_mut(r)[*start..start + len].copy_from_slice(grad.row_slice(r));
+                }
+                self.add_grad(*x, &dx);
+            }
+            Op::SliceRows { x, start, len } => {
+                let v = self.value(*x);
+                let mut dx = Tensor::zeros(v.rows(), v.cols());
+                for r in 0..*len {
+                    dx.row_slice_mut(start + r).copy_from_slice(grad.row_slice(r));
+                }
+                self.add_grad(*x, &dx);
+            }
+            Op::MeanRows(x) => {
+                let v = self.value(*x);
+                let m = v.rows() as f32;
+                let mut dx = Tensor::zeros(v.rows(), v.cols());
+                for r in 0..v.rows() {
+                    for (d, &g) in dx.row_slice_mut(r).iter_mut().zip(grad.data()) {
+                        *d = g / m;
+                    }
+                }
+                self.add_grad(*x, &dx);
+            }
+            Op::SumNodes(parts) => {
+                for &p in parts {
+                    self.add_grad(p, grad);
+                }
+            }
+            Op::MulScalar { x, s } => {
+                let sv = self.value(*s).item();
+                let dx = grad.map(|g| g * sv);
+                self.add_grad(*x, &dx);
+                let ds: f32 = grad
+                    .data()
+                    .iter()
+                    .zip(self.value(*x).data())
+                    .map(|(&g, &xv)| g * xv)
+                    .sum();
+                self.add_grad(*s, &Tensor::scalar(ds));
+            }
+            Op::SumAll(x) => {
+                let g = grad.item();
+                let v = self.value(*x);
+                let dx = Tensor::full(v.rows(), v.cols(), g);
+                self.add_grad(*x, &dx);
+            }
+            Op::Recip(x) => {
+                // d(1/x)/dx = -1/x², and 1/x is this node's cached value.
+                let y = self.nodes[i].value.clone();
+                let dx = grad.zip(&y, |g, inv| -g * inv * inv);
+                self.add_grad(*x, &dx);
+            }
+            Op::CrossEntropy { logits, targets, probs } => {
+                let g = grad.item();
+                let lv = self.value(*logits);
+                let (m, c) = (lv.rows(), lv.cols());
+                let scale = g / m as f32;
+                let data: Vec<f32> = probs
+                    .iter()
+                    .zip(targets)
+                    .map(|(&p, &t)| (p - t) * scale)
+                    .collect();
+                self.add_grad(*logits, &Tensor::from_vec(data, m, c));
+            }
+        }
+        self.nodes[i].op = op;
+    }
+}
+
+fn softmax_row(row: &[f32], mask: Option<&[f32]>, out: &mut [f32]) {
+    let mut max = f32::NEG_INFINITY;
+    for (j, &v) in row.iter().enumerate() {
+        let m = mask.map_or(0.0, |mm| mm[j]);
+        max = max.max(v + m);
+    }
+    let mut sum = 0.0f32;
+    for (j, &v) in row.iter().enumerate() {
+        let m = mask.map_or(0.0, |mm| mm[j]);
+        let e = (v + m - max).exp();
+        out[j] = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_forward_backward() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = store.alloc("w", 2, 2, Initializer::Uniform(1.0), &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0], 1, 2));
+        let wp = tape.param(w, &store);
+        let y = tape.matmul(x, wp);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        // d loss / d W = x^T * ones = [[1,1],[2,2]]
+        assert_eq!(store.grad(w).data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_log_softmax_nll() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let logits = tape.input(Tensor::from_vec(vec![0.3, -1.2, 2.0], 1, 3));
+        let ce = tape.cross_entropy(logits, &[0.0, 0.0, 1.0]);
+        let ls = tape.log_softmax(logits);
+        let expected = -tape.value(ls).at(0, 2);
+        assert!((tape.value(ce).item() - expected).abs() < 1e-5);
+        tape.backward(ce, &mut store);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], 2, 3));
+        let s = tape.softmax(x);
+        for r in 0..2 {
+            let sum: f32 = tape.value(s).row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_hidden_positions() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0, 3.0], 1, 3));
+        let mask = Tensor::from_vec(vec![0.0, -1e9, 0.0], 1, 3);
+        let s = tape.masked_softmax(x, Some(mask));
+        assert!(tape.value(s).at(0, 1) < 1e-6);
+        let sum: f32 = tape.value(s).row_slice(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    /// Numerical gradient check across a composite graph touching most ops.
+    #[test]
+    fn gradcheck_composite() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let w1 = store.alloc("w1", 3, 4, Initializer::Uniform(0.6), &mut rng);
+        let b1 = store.alloc("b1", 1, 4, Initializer::Uniform(0.3), &mut rng);
+        let gamma = store.alloc("g", 1, 4, Initializer::Ones, &mut rng);
+        let beta = store.alloc("b", 1, 4, Initializer::Zeros, &mut rng);
+        let w2 = store.alloc("w2", 4, 3, Initializer::Uniform(0.6), &mut rng);
+
+        let xin = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.2], 2, 3);
+        let targets = vec![1.0, 0.0, 0.0, 0.0, 0.5, 0.5];
+
+        let run = |store: &mut ParamStore, backward: bool| -> f32 {
+            let mut tape = Tape::new();
+            let x = tape.input(xin.clone());
+            let w1n = tape.param(w1, store);
+            let b1n = tape.param(b1, store);
+            let gn = tape.param(gamma, store);
+            let bn = tape.param(beta, store);
+            let w2n = tape.param(w2, store);
+            let h = tape.matmul(x, w1n);
+            let h = tape.add_row(h, b1n);
+            let h = tape.gelu(h);
+            let h = tape.layer_norm(h, gn, bn, 1e-5);
+            let logits = tape.matmul(h, w2n);
+            let loss = tape.cross_entropy(logits, &targets);
+            let lv = tape.value(loss).item();
+            if backward {
+                store.zero_grad();
+                tape.backward(loss, store);
+            }
+            lv
+        };
+
+        let _ = run(&mut store, true);
+        let analytic = store.flat_grads();
+        let theta = store.flat_values();
+        let eps = 1e-3f32;
+        let mut checked = 0;
+        for k in (0..theta.len()).step_by(7) {
+            let mut tp = theta.clone();
+            tp[k] += eps;
+            store.set_flat(&tp);
+            let lp = run(&mut store, false);
+            tp[k] -= 2.0 * eps;
+            store.set_flat(&tp);
+            let lm = run(&mut store, false);
+            store.set_flat(&theta);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[k];
+            let denom = a.abs().max(numeric.abs()).max(1e-3);
+            assert!(
+                ((a - numeric) / denom).abs() < 0.05,
+                "grad mismatch at {k}: analytic {a} vs numeric {numeric}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 3);
+    }
+
+    /// Generic finite-difference check for a graph built over a single
+    /// parameter tensor.
+    fn gradcheck_param(
+        rows: usize,
+        cols: usize,
+        build: impl Fn(&mut Tape, NodeId) -> NodeId,
+    ) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", rows, cols, Initializer::Uniform(0.7), &mut rng);
+        let run = |store: &mut ParamStore, backward: bool| -> f32 {
+            let mut tape = Tape::new();
+            let wn = tape.param(w, store);
+            let out = build(&mut tape, wn);
+            let loss = if tape.value(out).len() == 1 { out } else { tape.sum_all(out) };
+            let v = tape.value(loss).item();
+            if backward {
+                store.zero_grad();
+                tape.backward(loss, store);
+            }
+            v
+        };
+        let _ = run(&mut store, true);
+        let analytic = store.flat_grads();
+        let theta = store.flat_values();
+        let eps = 1e-3f32;
+        for k in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[k] += eps;
+            store.set_flat(&tp);
+            let lp = run(&mut store, false);
+            tp[k] -= 2.0 * eps;
+            store.set_flat(&tp);
+            let lm = run(&mut store, false);
+            store.set_flat(&theta);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic[k] - numeric).abs() < 0.02 + 0.05 * numeric.abs(),
+                "grad mismatch at {k}: {} vs {numeric}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_mul_row() {
+        gradcheck_param(1, 4, |t, w| {
+            let x = t.input(Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.5, 0.1, -0.4, 0.8, -1.1], 2, 4));
+            t.mul_row(x, w)
+        });
+    }
+
+    #[test]
+    fn gradcheck_concat_and_slice() {
+        gradcheck_param(2, 3, |t, w| {
+            let a = t.slice_cols(w, 0, 2);
+            let b = t.slice_cols(w, 1, 2);
+            let c = t.concat_cols(&[a, b]);
+            let r = t.slice_rows(c, 1, 1);
+            t.tanh(r)
+        });
+    }
+
+    #[test]
+    fn gradcheck_mean_rows_and_sigmoid() {
+        gradcheck_param(3, 2, |t, w| {
+            let m = t.mean_rows(w);
+            t.sigmoid(m)
+        });
+    }
+
+    #[test]
+    fn gradcheck_log_softmax() {
+        gradcheck_param(2, 3, |t, w| {
+            let ls = t.log_softmax(w);
+            let picked = t.slice_cols(ls, 1, 1);
+            t.sum_all(picked)
+        });
+    }
+
+    #[test]
+    fn gradcheck_softmax_through_matmul() {
+        gradcheck_param(2, 2, |t, w| {
+            let s = t.softmax(w);
+            let y = t.matmul(s, w);
+            t.relu(y)
+        });
+    }
+
+    #[test]
+    fn gradcheck_sub_mul_chain() {
+        gradcheck_param(1, 3, |t, w| {
+            let a = t.scale(w, 2.0);
+            let b = t.add_const(w, 0.3);
+            let d = t.sub(a, b);
+            let m = t.mul(d, w);
+            t.gelu(m)
+        });
+    }
+
+    #[test]
+    fn gradcheck_concat_rows() {
+        gradcheck_param(2, 2, |t, w| {
+            let a = t.relu(w);
+            let b = t.tanh(w);
+            t.concat_rows(&[a, b])
+        });
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0], 1, 2));
+        let y = tape.dropout(x, 0.5, None);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_train_scales_kept_values() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![2.0, 4.0], 1, 2));
+        let y = tape.dropout(x, 0.5, Some(vec![true, false]));
+        assert_eq!(tape.value(y).data(), &[4.0, 0.0]);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        assert_eq!(tape.grad(x).data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_scalar_gradients_flow_to_both() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![2.0, 3.0], 1, 2));
+        let s = tape.input(Tensor::scalar(4.0));
+        let y = tape.mul_scalar(x, s);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        assert_eq!(tape.grad(x).data(), &[4.0, 4.0]);
+        assert_eq!(tape.grad(s).item(), 5.0);
+    }
+
+    #[test]
+    fn recip_value_and_gradient() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![2.0, 4.0], 1, 2));
+        let y = tape.recip(x);
+        assert_eq!(tape.value(y).data(), &[0.5, 0.25]);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        // d(1/x)/dx = -1/x^2
+        assert_eq!(tape.grad(x).data(), &[-0.25, -0.0625]);
+    }
+
+    #[test]
+    fn embedding_scatter_adds() {
+        let mut store = ParamStore::new();
+        let table = store.push("emb", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2));
+        let mut tape = Tape::new();
+        let e = tape.embedding(table, &store, &[0, 1, 0]);
+        assert_eq!(tape.value(e).rows(), 3);
+        let loss = tape.sum_all(e);
+        tape.backward(loss, &mut store);
+        // Row 0 gathered twice -> grad 2, row 1 once -> grad 1.
+        assert_eq!(store.grad(table).data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fully connected layer.
+
+use crate::graph::{NodeId, Tape};
+use crate::init::Initializer;
+use crate::params::{ParamId, ParamStore};
+use rand::rngs::StdRng;
+
+/// `y = x W + b` with Xavier-initialized `W` and zero-initialized `b`.
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a `in_dim -> out_dim` linear layer (with bias).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        Self::with_bias(store, rng, name, in_dim, out_dim, true)
+    }
+
+    /// Register a linear layer, optionally without bias.
+    pub fn with_bias(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.alloc(format!("{name}.w"), in_dim, out_dim, Initializer::XavierUniform, rng);
+        let b = bias.then(|| store.alloc(format!("{name}.b"), 1, out_dim, Initializer::Zeros, rng));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight and (optional) bias parameter ids.
+    pub fn params(&self) -> (crate::params::ParamId, Option<crate::params::ParamId>) {
+        (self.w, self.b)
+    }
+
+    /// Apply the layer to an `m x in_dim` node.
+    pub fn forward(&self, tape: &mut Tape, x: NodeId, store: &ParamStore) -> NodeId {
+        let w = tape.param(self.w, store);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bn = tape.param(b, store);
+                tape.add_row(y, bn)
+            }
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 7);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(3, 4));
+        let y = lin.forward(&mut tape, x, &store);
+        assert_eq!((tape.value(y).rows(), tape.value(y).cols()), (3, 7));
+    }
+
+    #[test]
+    fn bias_free_layer_maps_zero_to_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::with_bias(&mut store, &mut rng, "l", 4, 4, false);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(1, 4));
+        let y = lin.forward(&mut tape, x, &store);
+        assert!(tape.value(y).data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,368 @@
+//! Transformer encoder / decoder stacks.
+//!
+//! These are the building blocks of both the target classifier ("TinyLm", the
+//! stand-in for RoBERTa/DistilBERT) and the InvDA seq2seq model (the stand-in
+//! for T5). Pre-norm residual blocks are used for training stability at small
+//! scale.
+
+use super::attention::MultiHeadAttention;
+use super::embedding::Embedding;
+use super::linear::Linear;
+use super::norm::LayerNorm;
+use super::FwdCtx;
+use crate::graph::{AttnMask, NodeId, Tape};
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by encoder and decoder stacks.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TransformerConfig {
+    /// Vocabulary size (token embedding rows).
+    pub vocab: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Number of layers.
+    pub layers: usize,
+    /// Maximum sequence length (positional embedding rows).
+    pub max_len: usize,
+    /// Dropout probability used in training mode.
+    pub dropout: f32,
+}
+
+impl TransformerConfig {
+    /// A small configuration suitable for unit tests.
+    pub fn tiny(vocab: usize) -> Self {
+        Self { vocab, d_model: 32, heads: 2, d_ff: 64, layers: 2, max_len: 64, dropout: 0.1 }
+    }
+}
+
+/// Additive causal mask of shape `tq x tk`: position `i` may attend to
+/// keys `0..=i + (tk - tq)`.
+pub fn causal_mask(tq: usize, tk: usize) -> AttnMask {
+    let offset = tk - tq;
+    let mut m = Tensor::zeros(tq, tk);
+    for i in 0..tq {
+        for j in (i + offset + 1)..tk {
+            *m.at_mut(i, j) = -1e9;
+        }
+    }
+    m
+}
+
+/// Position-wise feed-forward block: `Linear -> GELU -> Linear`.
+pub struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl FeedForward {
+    /// Register a `d_model -> d_ff -> d_model` block.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        d_model: usize,
+        d_ff: usize,
+    ) -> Self {
+        Self {
+            l1: Linear::new(store, rng, &format!("{name}.ff1"), d_model, d_ff),
+            l2: Linear::new(store, rng, &format!("{name}.ff2"), d_ff, d_model),
+        }
+    }
+
+    /// Apply the block.
+    pub fn forward(&self, tape: &mut Tape, x: NodeId, store: &ParamStore) -> NodeId {
+        let h = self.l1.forward(tape, x, store);
+        let h = tape.gelu(h);
+        self.l2.forward(tape, h, store)
+    }
+}
+
+/// Pre-norm Transformer encoder layer.
+pub struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff: FeedForward,
+    ln2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// Register one encoder layer.
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &TransformerConfig) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(store, rng, &format!("{name}.attn"), cfg.d_model, cfg.heads),
+            ln1: LayerNorm::new(store, rng, &format!("{name}.ln1"), cfg.d_model),
+            ff: FeedForward::new(store, rng, &format!("{name}.ff"), cfg.d_model, cfg.d_ff),
+            ln2: LayerNorm::new(store, rng, &format!("{name}.ln2"), cfg.d_model),
+        }
+    }
+
+    /// Apply the layer to a `T x d` node.
+    pub fn forward(&self, tape: &mut Tape, x: NodeId, ctx: &mut FwdCtx<'_>) -> NodeId {
+        let n1 = self.ln1.forward(tape, x, ctx.store);
+        let a = self.attn.forward(tape, n1, n1, None, ctx.store);
+        let a = apply_dropout(tape, a, ctx);
+        let x = tape.add(x, a);
+        let n2 = self.ln2.forward(tape, x, ctx.store);
+        let f = self.ff.forward(tape, n2, ctx.store);
+        let f = apply_dropout(tape, f, ctx);
+        tape.add(x, f)
+    }
+}
+
+/// Pre-norm Transformer decoder layer with cross-attention.
+pub struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    cross_attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ff: FeedForward,
+    ln3: LayerNorm,
+}
+
+impl DecoderLayer {
+    /// Register one decoder layer.
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &TransformerConfig) -> Self {
+        Self {
+            self_attn: MultiHeadAttention::new(store, rng, &format!("{name}.self"), cfg.d_model, cfg.heads),
+            ln1: LayerNorm::new(store, rng, &format!("{name}.ln1"), cfg.d_model),
+            cross_attn: MultiHeadAttention::new(store, rng, &format!("{name}.cross"), cfg.d_model, cfg.heads),
+            ln2: LayerNorm::new(store, rng, &format!("{name}.ln2"), cfg.d_model),
+            ff: FeedForward::new(store, rng, &format!("{name}.ff"), cfg.d_model, cfg.d_ff),
+            ln3: LayerNorm::new(store, rng, &format!("{name}.ln3"), cfg.d_model),
+        }
+    }
+
+    /// Apply the layer. `x` is the `Tq x d` decoder state, `memory` the
+    /// encoder output, `self_mask` the causal mask.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        x: NodeId,
+        memory: NodeId,
+        self_mask: &AttnMask,
+        ctx: &mut FwdCtx<'_>,
+    ) -> NodeId {
+        let n1 = self.ln1.forward(tape, x, ctx.store);
+        let a = self.self_attn.forward(tape, n1, n1, Some(self_mask), ctx.store);
+        let a = apply_dropout(tape, a, ctx);
+        let x = tape.add(x, a);
+        let n2 = self.ln2.forward(tape, x, ctx.store);
+        let c = self.cross_attn.forward(tape, n2, memory, None, ctx.store);
+        let c = apply_dropout(tape, c, ctx);
+        let x = tape.add(x, c);
+        let n3 = self.ln3.forward(tape, x, ctx.store);
+        let f = self.ff.forward(tape, n3, ctx.store);
+        let f = apply_dropout(tape, f, ctx);
+        tape.add(x, f)
+    }
+}
+
+fn apply_dropout(tape: &mut Tape, x: NodeId, ctx: &mut FwdCtx<'_>) -> NodeId {
+    let n = tape.value(x).len();
+    let mask = ctx.dropout_mask(n);
+    tape.dropout(x, ctx.dropout, mask)
+}
+
+/// Token + positional embedding followed by a stack of encoder layers and a
+/// final layer norm.
+pub struct TransformerEncoder {
+    tok: Embedding,
+    pos: Embedding,
+    layers: Vec<EncoderLayer>,
+    ln_f: LayerNorm,
+    cfg: TransformerConfig,
+}
+
+impl TransformerEncoder {
+    /// Register the full encoder stack.
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: TransformerConfig) -> Self {
+        let tok = Embedding::new(store, rng, &format!("{name}.tok"), cfg.vocab, cfg.d_model);
+        let pos = Embedding::new(store, rng, &format!("{name}.pos"), cfg.max_len, cfg.d_model);
+        let layers = (0..cfg.layers)
+            .map(|i| EncoderLayer::new(store, rng, &format!("{name}.enc{i}"), &cfg))
+            .collect();
+        let ln_f = LayerNorm::new(store, rng, &format!("{name}.lnf"), cfg.d_model);
+        Self { tok, pos, layers, ln_f, cfg }
+    }
+
+    /// Configuration used at construction.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Token-embedding parameter id (for weight tying).
+    pub fn token_table(&self) -> crate::params::ParamId {
+        self.tok.table()
+    }
+
+    /// Encode `ids` (truncated to `max_len`) into a `T x d` node.
+    pub fn forward(&self, tape: &mut Tape, ids: &[usize], ctx: &mut FwdCtx<'_>) -> NodeId {
+        self.forward_with(tape, ids, &[], ctx)
+    }
+
+    /// Encode with additional input-feature embeddings (BERT-style segment
+    /// ids, duplicate-token flags, …): each `(table, feature_ids)` pair is
+    /// looked up and added to the token + position embeddings. Feature id
+    /// slices must be at least as long as `ids`.
+    pub fn forward_with(
+        &self,
+        tape: &mut Tape,
+        ids: &[usize],
+        extras: &[(&Embedding, &[usize])],
+        ctx: &mut FwdCtx<'_>,
+    ) -> NodeId {
+        let t = ids.len().min(self.cfg.max_len);
+        let ids = &ids[..t];
+        let positions: Vec<usize> = (0..t).collect();
+        let te = self.tok.forward(tape, ctx.store, ids);
+        let pe = self.pos.forward(tape, ctx.store, &positions);
+        let mut x = tape.add(te, pe);
+        for (table, feats) in extras {
+            assert!(feats.len() >= t, "feature ids shorter than input");
+            let fe = table.forward(tape, ctx.store, &feats[..t]);
+            x = tape.add(x, fe);
+        }
+        x = apply_dropout(tape, x, ctx);
+        for layer in &self.layers {
+            x = layer.forward(tape, x, ctx);
+        }
+        self.ln_f.forward(tape, x, ctx.store)
+    }
+
+    /// Encode and return the first-token ([CLS]) representation as `1 x d`.
+    pub fn encode_cls(&self, tape: &mut Tape, ids: &[usize], ctx: &mut FwdCtx<'_>) -> NodeId {
+        let h = self.forward(tape, ids, ctx);
+        tape.slice_rows(h, 0, 1)
+    }
+
+    /// [`encode_cls`](Self::encode_cls) with extra input features.
+    pub fn encode_cls_with(
+        &self,
+        tape: &mut Tape,
+        ids: &[usize],
+        extras: &[(&Embedding, &[usize])],
+        ctx: &mut FwdCtx<'_>,
+    ) -> NodeId {
+        let h = self.forward_with(tape, ids, extras, ctx);
+        tape.slice_rows(h, 0, 1)
+    }
+}
+
+/// Decoder stack with output projection tied to its own token embedding.
+pub struct TransformerDecoder {
+    tok: Embedding,
+    pos: Embedding,
+    layers: Vec<DecoderLayer>,
+    ln_f: LayerNorm,
+    proj: Linear,
+    cfg: TransformerConfig,
+}
+
+impl TransformerDecoder {
+    /// Register the full decoder stack.
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: TransformerConfig) -> Self {
+        let tok = Embedding::new(store, rng, &format!("{name}.tok"), cfg.vocab, cfg.d_model);
+        let pos = Embedding::new(store, rng, &format!("{name}.pos"), cfg.max_len, cfg.d_model);
+        let layers = (0..cfg.layers)
+            .map(|i| DecoderLayer::new(store, rng, &format!("{name}.dec{i}"), &cfg))
+            .collect();
+        let ln_f = LayerNorm::new(store, rng, &format!("{name}.lnf"), cfg.d_model);
+        let proj = Linear::new(store, rng, &format!("{name}.proj"), cfg.d_model, cfg.vocab);
+        Self { tok, pos, layers, ln_f, proj, cfg }
+    }
+
+    /// Configuration used at construction.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Decode `ids` against encoder `memory`, returning `T x vocab` logits
+    /// (next-token prediction per position, causal).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        ids: &[usize],
+        memory: NodeId,
+        ctx: &mut FwdCtx<'_>,
+    ) -> NodeId {
+        let t = ids.len().min(self.cfg.max_len);
+        let ids = &ids[..t];
+        let positions: Vec<usize> = (0..t).collect();
+        let te = self.tok.forward(tape, ctx.store, ids);
+        let pe = self.pos.forward(tape, ctx.store, &positions);
+        let mut x = tape.add(te, pe);
+        x = apply_dropout(tape, x, ctx);
+        let mask = causal_mask(t, t);
+        for layer in &self.layers {
+            x = layer.forward(tape, x, memory, &mask, ctx);
+        }
+        let x = self.ln_f.forward(tape, x, ctx.store);
+        self.proj.forward(tape, x, ctx.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig::tiny(50);
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", cfg);
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&store);
+        let h = enc.forward(&mut tape, &[1, 2, 3, 4], &mut ctx);
+        assert_eq!((tape.value(h).rows(), tape.value(h).cols()), (4, 32));
+        let cls = enc.encode_cls(&mut tape, &[1, 2, 3, 4], &mut ctx);
+        assert_eq!((tape.value(cls).rows(), tape.value(cls).cols()), (1, 32));
+    }
+
+    #[test]
+    fn encoder_truncates_to_max_len() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let mut cfg = TransformerConfig::tiny(50);
+        cfg.max_len = 8;
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", cfg);
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&store);
+        let ids: Vec<usize> = (0..20).map(|i| i % 50).collect();
+        let h = enc.forward(&mut tape, &ids, &mut ctx);
+        assert_eq!(tape.value(h).rows(), 8);
+    }
+
+    #[test]
+    fn decoder_logit_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig::tiny(50);
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", cfg.clone());
+        let dec = TransformerDecoder::new(&mut store, &mut rng, "dec", cfg);
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&store);
+        let mem = enc.forward(&mut tape, &[5, 6, 7], &mut ctx);
+        let logits = dec.forward(&mut tape, &[1, 2], mem, &mut ctx);
+        assert_eq!((tape.value(logits).rows(), tape.value(logits).cols()), (2, 50));
+    }
+
+    #[test]
+    fn causal_mask_shape_and_pattern() {
+        let m = causal_mask(3, 3);
+        assert_eq!(m.at(0, 1), -1e9);
+        assert_eq!(m.at(1, 1), 0.0);
+        assert_eq!(m.at(2, 0), 0.0);
+        // Rectangular (incremental decoding): query may see all earlier keys.
+        let m = causal_mask(1, 4);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+}

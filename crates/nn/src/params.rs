@@ -1,0 +1,262 @@
+//! Parameter storage with flat-vector access.
+//!
+//! Rotom's meta-training algorithm manipulates model parameters directly:
+//! the virtual step `M' = M − η·∇M`, the finite-difference probes
+//! `M± = M ± ε·∇M'`, and snapshot/restore around them. `ParamStore` keeps all
+//! parameters of a model in one place so these operations are O(|M|) slice
+//! walks rather than per-layer bookkeeping.
+
+use crate::init::Initializer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Frozen parameters are skipped by optimizers and flat updates.
+    trainable: bool,
+}
+
+/// A flat store of named parameters with matching gradient buffers.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter initialized by `init`.
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> ParamId {
+        let value = init.tensor(rows, cols, rng);
+        self.push(name, value)
+    }
+
+    /// Register a parameter with an explicit initial value.
+    pub fn push(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn num_params(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Borrow a parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutably borrow a parameter value.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Borrow a parameter gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutably borrow a parameter gradient.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Mark a parameter as frozen (excluded from optimization and flat updates).
+    pub fn set_trainable(&mut self, id: ParamId, trainable: bool) {
+        self.entries[id.0].trainable = trainable;
+    }
+
+    /// Whether the parameter participates in training.
+    pub fn is_trainable(&self, id: ParamId) -> bool {
+        self.entries[id.0].trainable
+    }
+
+    /// Iterate over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Zero all gradient buffers.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.data_mut().fill(0.0);
+        }
+    }
+
+    /// Concatenate all trainable parameter values into one vector.
+    pub fn flat_values(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for e in &self.entries {
+            if e.trainable {
+                out.extend_from_slice(e.value.data());
+            }
+        }
+        out
+    }
+
+    /// Concatenate all trainable parameter gradients into one vector.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for e in &self.entries {
+            if e.trainable {
+                out.extend_from_slice(e.grad.data());
+            }
+        }
+        out
+    }
+
+    /// Overwrite all trainable values from a flat vector produced by
+    /// [`flat_values`](Self::flat_values).
+    pub fn set_flat(&mut self, flat: &[f32]) {
+        let mut offset = 0;
+        for e in &mut self.entries {
+            if !e.trainable {
+                continue;
+            }
+            let n = e.value.len();
+            e.value
+                .data_mut()
+                .copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+        assert_eq!(offset, flat.len(), "flat vector length mismatch");
+    }
+
+    /// In-place `values += alpha * delta` over all trainable parameters,
+    /// where `delta` is a flat vector aligned with [`flat_values`](Self::flat_values).
+    pub fn add_scaled_flat(&mut self, delta: &[f32], alpha: f32) {
+        let mut offset = 0;
+        for e in &mut self.entries {
+            if !e.trainable {
+                continue;
+            }
+            let n = e.value.len();
+            for (v, &d) in e.value.data_mut().iter_mut().zip(&delta[offset..offset + n]) {
+                *v += alpha * d;
+            }
+            offset += n;
+        }
+        assert_eq!(offset, delta.len(), "flat vector length mismatch");
+    }
+
+    /// Global L2 norm of all trainable gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .filter(|e| e.trainable)
+            .map(|e| e.grad.data().iter().map(|g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all trainable gradients so their global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for e in &mut self.entries {
+                if e.trainable {
+                    for g in e.grad.data_mut() {
+                        *g *= scale;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn store() -> (ParamStore, ParamId, ParamId) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = ParamStore::new();
+        let a = s.alloc("a", 2, 3, Initializer::Uniform(0.1), &mut rng);
+        let b = s.alloc("b", 1, 4, Initializer::Zeros, &mut rng);
+        (s, a, b)
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let (mut s, _, _) = store();
+        let flat = s.flat_values();
+        assert_eq!(flat.len(), 10);
+        let mut modified = flat.clone();
+        for v in &mut modified {
+            *v += 1.0;
+        }
+        s.set_flat(&modified);
+        assert_eq!(s.flat_values(), modified);
+    }
+
+    #[test]
+    fn add_scaled_flat_moves_values() {
+        let (mut s, _, _) = store();
+        let before = s.flat_values();
+        let delta = vec![2.0; before.len()];
+        s.add_scaled_flat(&delta, 0.5);
+        let after = s.flat_values();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((a - b - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn frozen_params_excluded_from_flat() {
+        let (mut s, a, _) = store();
+        s.set_trainable(a, false);
+        assert_eq!(s.flat_values().len(), 4);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_norm() {
+        let (mut s, a, _) = store();
+        s.grad_mut(a).data_mut().fill(10.0);
+        assert!(s.grad_norm() > 5.0);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let (mut s, a, _) = store();
+        s.grad_mut(a).data_mut().fill(3.0);
+        s.zero_grad();
+        assert_eq!(s.grad_norm(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Learning-rate schedules.
+//!
+//! Transformer fine-tuning conventionally uses linear warmup followed by
+//! linear decay (the schedule behind the paper's "lr 3e-5, ≤40 epochs"
+//! setup). Schedules are plain state machines the caller steps once per
+//! optimizer update.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `peak` over `warmup_steps`, then linear decay
+    /// to 0 at `total_steps`.
+    LinearWarmupDecay {
+        /// Peak learning rate reached at the end of warmup.
+        peak: f32,
+        /// Steps spent warming up.
+        warmup_steps: usize,
+        /// Total steps (decay reaches 0 here; later steps stay at 0).
+        total_steps: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::LinearWarmupDecay { peak, warmup_steps, total_steps } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    peak * (step + 1) as f32 / warmup_steps as f32
+                } else if step >= total_steps {
+                    0.0
+                } else {
+                    let decay_span = total_steps.saturating_sub(warmup_steps).max(1);
+                    let progressed = step - warmup_steps;
+                    peak * (1.0 - progressed as f32 / decay_span as f32)
+                }
+            }
+        }
+    }
+
+    /// Iterator-style helper: a stateful stepper.
+    pub fn stepper(self) -> LrStepper {
+        LrStepper { schedule: self, step: 0 }
+    }
+}
+
+/// Stateful wrapper advancing a schedule one optimizer update at a time.
+#[derive(Debug, Clone)]
+pub struct LrStepper {
+    schedule: LrSchedule,
+    step: usize,
+}
+
+impl LrStepper {
+    /// The learning rate for the *next* update, advancing the counter.
+    pub fn next_lr(&mut self) -> f32 {
+        let lr = self.schedule.at(self.step);
+        self.step += 1;
+        lr
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.5 };
+        assert_eq!(s.at(0), 0.5);
+        assert_eq!(s.at(1000), 0.5);
+    }
+
+    #[test]
+    fn warmup_rises_then_decays() {
+        let s = LrSchedule::LinearWarmupDecay { peak: 1.0, warmup_steps: 10, total_steps: 110 };
+        assert!(s.at(0) < s.at(5));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        assert!(s.at(10) > s.at(60));
+        assert!(s.at(60) > s.at(109));
+        assert_eq!(s.at(110), 0.0);
+        assert_eq!(s.at(10_000), 0.0);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = LrSchedule::LinearWarmupDecay { peak: 2.0, warmup_steps: 0, total_steps: 10 };
+        assert!((s.at(0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stepper_advances() {
+        let mut st = LrSchedule::LinearWarmupDecay { peak: 1.0, warmup_steps: 2, total_steps: 4 }
+            .stepper();
+        let seq: Vec<f32> = (0..5).map(|_| st.next_lr()).collect();
+        assert!((seq[0] - 0.5).abs() < 1e-6);
+        assert!((seq[1] - 1.0).abs() < 1e-6);
+        assert!(seq[2] > seq[3]);
+        assert_eq!(st.steps(), 5);
+    }
+}

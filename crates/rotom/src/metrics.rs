@@ -1,0 +1,113 @@
+//! Evaluation metrics: accuracy and per-class precision / recall / F1.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary-classification counts for the positive class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrF1 {
+    /// Precision of the positive class.
+    pub precision: f32,
+    /// Recall of the positive class.
+    pub recall: f32,
+    /// F1 of the positive class.
+    pub f1: f32,
+}
+
+/// Accuracy over (prediction, gold) pairs.
+pub fn accuracy(pred: &[usize], gold: &[usize]) -> f32 {
+    assert_eq!(pred.len(), gold.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(gold).filter(|(a, b)| a == b).count();
+    correct as f32 / pred.len() as f32
+}
+
+/// Precision/recall/F1 of class `positive` (the paper reports the positive
+/// class's F1 for EM — "match" — and EDT — "dirty").
+pub fn prf1(pred: &[usize], gold: &[usize], positive: usize) -> PrF1 {
+    assert_eq!(pred.len(), gold.len());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&p, &g) in pred.iter().zip(gold) {
+        match (p == positive, g == positive) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f32 / (tp + fp) as f32 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f32 / (tp + fn_) as f32 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrF1 { precision, recall, f1 }
+}
+
+/// Macro-averaged F1 across all classes.
+pub fn macro_f1(pred: &[usize], gold: &[usize], num_classes: usize) -> f32 {
+    (0..num_classes).map(|c| prf1(pred, gold, c).f1).sum::<f32>() / num_classes as f32
+}
+
+/// Mean and (sample) standard deviation of a slice.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var =
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (values.len() - 1) as f32;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_f1() {
+        let m = prf1(&[1, 0, 1, 0], &[1, 0, 1, 0], 1);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn known_prf1() {
+        // tp=1 (idx0), fp=1 (idx1), fn=1 (idx3)
+        let m = prf1(&[1, 1, 0, 0], &[1, 0, 0, 1], 1);
+        assert!((m.precision - 0.5).abs() < 1e-6);
+        assert!((m.recall - 0.5).abs() < 1e-6);
+        assert!((m.f1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_no_positives() {
+        let m = prf1(&[0, 0], &[0, 0], 1);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages() {
+        let f = macro_f1(&[0, 1], &[0, 1], 2);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - 2f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,460 @@
+//! End-to-end training pipelines for the five compared methods (§6.1):
+//! Baseline (plain LM fine-tuning), MixDA, InvDA, Rotom, and Rotom+SSL.
+//!
+//! All pipelines share the same skeleton: build a vocabulary from the task
+//! corpus, MLM-pre-train the TinyLm encoder on unlabeled data (the
+//! "pre-trained LM"), fine-tune with the method-specific recipe, select the
+//! checkpoint with the best validation metric, and evaluate on the test set.
+
+use crate::config::RotomConfig;
+use crate::metrics::{accuracy, prf1, PrF1};
+use crate::model::TinyLm;
+use rotom_text::vocab::Vocab;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rotom_augment::{apply, DaContext, DaOp, InvDa};
+use rotom_datasets::{TaskDataset, TaskKind};
+use rotom_meta::{MetaTarget, MetaTrainer, WeightedItem};
+use rotom_text::example::{AugExample, Example};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The five methods compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Fine-tune the LM on the original examples only.
+    Baseline,
+    /// One simple DA operator applied with representation interpolation.
+    MixDa,
+    /// The seq2seq InvDA operator applied with the same interpolation.
+    InvDa,
+    /// Meta-learned filtering + weighting over original + MixDA + InvDA
+    /// examples (Algorithm 2).
+    Rotom,
+    /// Rotom extended with semi-supervised consistency training (§5).
+    RotomSsl,
+}
+
+impl Method {
+    /// All methods in the order the paper's tables list them.
+    pub const ALL: [Method; 5] =
+        [Method::Baseline, Method::MixDa, Method::InvDa, Method::Rotom, Method::RotomSsl];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Baseline => "Baseline",
+            Method::MixDa => "MixDA",
+            Method::InvDa => "InvDA",
+            Method::Rotom => "Rotom",
+            Method::RotomSsl => "Rotom+SSL",
+        }
+    }
+}
+
+/// The single simple DA operator MixDA uses, "tuned as a hyper-parameter …
+/// one operator that generally works well for each type of task".
+pub fn default_op(kind: TaskKind) -> DaOp {
+    match kind {
+        TaskKind::EntityMatching => DaOp::SpanDel,
+        TaskKind::ErrorDetection => DaOp::TokenDel,
+        TaskKind::TextClassification => DaOp::TokenRepl,
+    }
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Test accuracy.
+    pub accuracy: f32,
+    /// Positive-class precision/recall/F1 (meaningful for binary tasks).
+    pub prf1: PrF1,
+    /// Wall-clock training time in seconds (Figure 4).
+    pub train_seconds: f32,
+    /// Labeled examples used.
+    pub train_size: usize,
+}
+
+impl RunResult {
+    /// The headline metric the paper reports for this task kind: F1 for the
+    /// binary EM/EDT tasks, accuracy for text classification.
+    pub fn headline(&self, kind: TaskKind) -> f32 {
+        match kind {
+            TaskKind::TextClassification => self.accuracy,
+            _ => self.prf1.f1,
+        }
+    }
+}
+
+/// A pre-trained TinyLm checkpoint shareable across methods and seeds (the
+/// analogue of loading the same pre-trained RoBERTa for every fine-tuning
+/// run). Built once per task with [`prepare_base`].
+#[derive(Clone)]
+pub struct PretrainedBase {
+    vocab: Vocab,
+    params: Vec<f32>,
+    num_classes: usize,
+}
+
+/// Build the task vocabulary, run MLM (and, for entity matching,
+/// matched-view pair) pre-training, and snapshot the result.
+pub fn prepare_base(task: &TaskDataset, cfg: &RotomConfig, seed: u64) -> PretrainedBase {
+    let corpus: Vec<Vec<String>> = task
+        .unlabeled
+        .iter()
+        .chain(task.train_pool.iter().map(|e| &e.tokens))
+        .cloned()
+        .collect();
+    let mut model = TinyLm::from_corpus(&corpus, task.num_classes, &cfg.model, cfg.train.lr, seed);
+    let pretrain_sample: Vec<Vec<String>> = corpus.iter().take(400).cloned().collect();
+    model.pretrain_mlm(&pretrain_sample, cfg.train.batch_size);
+    if task.kind == TaskKind::EntityMatching {
+        let halves: Vec<Vec<String>> = pretrain_sample
+            .iter()
+            .flat_map(|seq| match seq.iter().position(|t| t == rotom_text::token::SEP) {
+                Some(i) => vec![seq[..i].to_vec(), seq[i + 1..].to_vec()],
+                None => vec![seq.clone()],
+            })
+            .filter(|h| !h.is_empty())
+            .take(300)
+            .collect();
+        model.pretrain_pairs(&halves, cfg.model.pair_pretrain_epochs, cfg.train.batch_size);
+        model.init_head_from_nsp();
+    }
+    PretrainedBase {
+        vocab: model.vocab().clone(),
+        params: model.snapshot(),
+        num_classes: task.num_classes,
+    }
+}
+
+impl PretrainedBase {
+    /// Instantiate a fresh fine-tunable model from the checkpoint.
+    pub fn instantiate(&self, cfg: &RotomConfig, seed: u64) -> TinyLm {
+        let mut model =
+            TinyLm::new(self.vocab.clone(), self.num_classes, &cfg.model, cfg.train.lr, seed);
+        model.restore(&self.params);
+        model
+    }
+}
+
+/// Evaluate a model on labeled examples.
+pub fn evaluate(model: &TinyLm, test: &[Example]) -> (f32, PrF1) {
+    let pred: Vec<usize> = test.iter().map(|e| model.predict(&e.tokens)).collect();
+    let gold: Vec<usize> = test.iter().map(|e| e.label).collect();
+    (accuracy(&pred, &gold), prf1(&pred, &gold, 1))
+}
+
+fn valid_metric(model: &TinyLm, valid: &[Example], kind: TaskKind) -> f32 {
+    let (acc, f1) = evaluate(model, valid);
+    match kind {
+        TaskKind::TextClassification => acc,
+        // For the binary tasks prefer F1 but fall back to accuracy when the
+        // tiny validation sample has no positives.
+        _ => {
+            if valid.iter().any(|e| e.label == 1) {
+                f1.f1
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+/// Run `method` on `task` with the given labeled train/valid split.
+///
+/// `invda` is the (optionally pre-trained, shareable across methods) InvDA
+/// operator; when `None` and the method needs it, one is trained on the
+/// task's unlabeled corpus.
+pub fn run_method(
+    task: &TaskDataset,
+    train: &[Example],
+    valid: &[Example],
+    method: Method,
+    cfg: &RotomConfig,
+    invda: Option<&InvDa>,
+    seed: u64,
+) -> RunResult {
+    run_method_with_base(task, train, valid, method, cfg, invda, None, seed)
+}
+
+/// [`run_method`] with an optional shared pre-trained checkpoint; when
+/// `base` is `None`, pre-training runs inside the call.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_with_base(
+    task: &TaskDataset,
+    train: &[Example],
+    valid: &[Example],
+    method: Method,
+    cfg: &RotomConfig,
+    invda: Option<&InvDa>,
+    base: Option<&PretrainedBase>,
+    seed: u64,
+) -> RunResult {
+    assert!(!train.is_empty(), "empty training set");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+
+    // Corpus for on-demand InvDA / pre-training.
+    let mut corpus: Vec<Vec<String>> = task.unlabeled.clone();
+    corpus.extend(train.iter().map(|e| e.tokens.clone()));
+
+    // InvDA (train on demand when not shared).
+    let needs_invda = matches!(method, Method::InvDa | Method::Rotom | Method::RotomSsl);
+    let local_invda;
+    let invda = if needs_invda {
+        match invda {
+            Some(m) => Some(m),
+            None => {
+                local_invda = InvDa::train(&corpus, cfg.invda.clone(), seed ^ 0x1d);
+                Some(&local_invda)
+            }
+        }
+    } else {
+        None
+    };
+
+    let local_base;
+    let base = match base {
+        Some(b) => b,
+        None => {
+            local_base = prepare_base(task, cfg, seed);
+            &local_base
+        }
+    };
+    let mut model = base.instantiate(cfg, seed);
+
+    let start = Instant::now();
+    match method {
+        Method::Baseline => train_plain(&mut model, train, valid, task.kind, cfg, &mut rng),
+        Method::MixDa => {
+            train_mixda(&mut model, train, valid, task.kind, cfg, MixSource::SimpleOp, &mut rng)
+        }
+        Method::InvDa => train_mixda(
+            &mut model,
+            train,
+            valid,
+            task.kind,
+            cfg,
+            MixSource::InvDa(invda.expect("invda required")),
+            &mut rng,
+        ),
+        Method::Rotom => train_rotom(
+            &mut model,
+            task,
+            train,
+            valid,
+            cfg,
+            invda.expect("invda required"),
+            false,
+            &mut rng,
+        ),
+        Method::RotomSsl => train_rotom(
+            &mut model,
+            task,
+            train,
+            valid,
+            cfg,
+            invda.expect("invda required"),
+            true,
+            &mut rng,
+        ),
+    }
+    let train_seconds = start.elapsed().as_secs_f32();
+
+    let (acc, f1) = evaluate(&model, &task.test);
+    RunResult {
+        method: method.name().to_string(),
+        dataset: task.name.clone(),
+        accuracy: acc,
+        prf1: f1,
+        train_seconds,
+        train_size: train.len(),
+    }
+}
+
+fn shuffled<'a>(items: &'a [Example], rng: &mut StdRng) -> Vec<&'a Example> {
+    let mut refs: Vec<&Example> = items.iter().collect();
+    for i in (1..refs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        refs.swap(i, j);
+    }
+    refs
+}
+
+/// Plain fine-tuning with per-epoch checkpoint selection.
+fn train_plain(
+    model: &mut TinyLm,
+    train: &[Example],
+    valid: &[Example],
+    kind: TaskKind,
+    cfg: &RotomConfig,
+    rng: &mut StdRng,
+) {
+    let k = model.num_classes();
+    let mut best = (f32::NEG_INFINITY, model.snapshot());
+    for _ in 0..cfg.train.epochs {
+        for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+            let items: Vec<WeightedItem> = chunk
+                .iter()
+                .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, k))
+                .collect();
+            model.weighted_loss_backward(&items, true, rng);
+            model.optimizer_step();
+        }
+        let m = valid_metric(model, valid, kind);
+        if m > best.0 {
+            best = (m, model.snapshot());
+        }
+    }
+    model.restore(&best.1);
+}
+
+enum MixSource<'a> {
+    SimpleOp,
+    InvDa(&'a InvDa),
+}
+
+/// MixDA-style fine-tuning: at every epoch transform each example with the
+/// operator (simple op or InvDA) and train on the λ-interpolation of the
+/// original and augmented representations.
+fn train_mixda(
+    model: &mut TinyLm,
+    train: &[Example],
+    valid: &[Example],
+    kind: TaskKind,
+    cfg: &RotomConfig,
+    source: MixSource<'_>,
+    rng: &mut StdRng,
+) {
+    let op = default_op(kind);
+    let da_ctx = DaContext::default();
+    let mut best = (f32::NEG_INFINITY, model.snapshot());
+    for _ in 0..cfg.train.epochs {
+        for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+            let pairs: Vec<(Vec<String>, Vec<String>, usize)> = chunk
+                .iter()
+                .map(|e| {
+                    let aug = match &source {
+                        MixSource::SimpleOp => apply(op, &e.tokens, &da_ctx, rng),
+                        MixSource::InvDa(m) => m.augment(&e.tokens, rng),
+                    };
+                    (e.tokens.clone(), aug, e.label)
+                })
+                .collect();
+            model.mixda_loss_backward(&pairs, cfg.train.mixda_alpha, rng);
+            model.step();
+        }
+        let m = valid_metric(model, valid, kind);
+        if m > best.0 {
+            best = (m, model.snapshot());
+        }
+    }
+    model.restore(&best.1);
+}
+
+/// Rotom / Rotom+SSL: Algorithm 2 over a pool combining the original
+/// examples with simple-DA and InvDA augmentations.
+#[allow(clippy::too_many_arguments)]
+fn train_rotom(
+    model: &mut TinyLm,
+    task: &TaskDataset,
+    train: &[Example],
+    valid: &[Example],
+    cfg: &RotomConfig,
+    invda: &InvDa,
+    ssl: bool,
+    rng: &mut StdRng,
+) {
+    let op = default_op(task.kind);
+    let da_ctx = DaContext::default();
+    let mut meta_cfg = cfg.meta.clone();
+    meta_cfg.ssl = if ssl { Some(meta_cfg.ssl.unwrap_or_default()) } else { None };
+    let enc_cfg = cfg.model.encoder(model.vocab().len());
+    let mut trainer =
+        MetaTrainer::new(task.num_classes, model.vocab().clone(), enc_cfg, meta_cfg);
+
+    let unlabeled: Vec<Vec<String>> = if ssl {
+        task.sample_unlabeled(cfg.train.max_unlabeled, cfg.train.seed)
+    } else {
+        Vec::new()
+    };
+
+    let mut best = (f32::NEG_INFINITY, model.snapshot());
+    for _ in 0..cfg.train.epochs {
+        // Per-epoch augmented pool: identity + one simple-DA variant + one
+        // InvDA variant per training example.
+        let mut pool: Vec<AugExample> = Vec::with_capacity(train.len() * 3);
+        for e in train {
+            pool.push(AugExample::identity(e));
+            pool.push(AugExample::from_example(e, apply(op, &e.tokens, &da_ctx, rng)));
+            pool.push(AugExample::from_example(e, invda.augment(&e.tokens, rng)));
+        }
+        // Unlabeled (x, x̂) pairs for SSL: half simple-DA, half InvDA.
+        let unlabeled_aug: Vec<(Vec<String>, Vec<String>)> = unlabeled
+            .iter()
+            .map(|x| {
+                let x_hat = if rng.random_bool(0.5) {
+                    apply(op, x, &da_ctx, rng)
+                } else {
+                    invda.augment(x, rng)
+                };
+                (x.clone(), x_hat)
+            })
+            .collect();
+        trainer.train_epoch(model, &pool, valid, &unlabeled_aug);
+        let m = valid_metric(model, valid, task.kind);
+        if m > best.0 {
+            best = (m, model.snapshot());
+        }
+    }
+    model.restore(&best.1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+
+    fn tiny_task() -> TaskDataset {
+        let cfg = TextClsConfig { train_pool: 60, test: 40, unlabeled: 40, seed: 5 };
+        textcls::generate(TextClsFlavor::Sst2, &cfg)
+    }
+
+    #[test]
+    fn baseline_beats_chance_on_tiny_sst2() {
+        let task = tiny_task();
+        let train = task.sample_train(40, 1);
+        let mut cfg = RotomConfig::test_tiny();
+        cfg.train.epochs = 6;
+        cfg.train.lr = 1e-3;
+        let r = run_method(&task, &train, &train, Method::Baseline, &cfg, None, 3);
+        assert!(r.accuracy > 0.6, "accuracy {}", r.accuracy);
+        assert!(r.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn all_methods_run_end_to_end() {
+        let task = tiny_task();
+        let train = task.sample_train(24, 2);
+        let mut cfg = RotomConfig::test_tiny();
+        cfg.train.epochs = 1;
+        let corpus: Vec<Vec<String>> = task.unlabeled.clone();
+        let invda = InvDa::train(&corpus, cfg.invda.clone(), 0);
+        for method in Method::ALL {
+            let r = run_method(&task, &train, &train, method, &cfg, Some(&invda), 4);
+            assert_eq!(r.method, method.name());
+            assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn default_ops_match_task_kinds() {
+        assert_eq!(default_op(TaskKind::EntityMatching), DaOp::SpanDel);
+        assert_eq!(default_op(TaskKind::ErrorDetection), DaOp::TokenDel);
+        assert_eq!(default_op(TaskKind::TextClassification), DaOp::TokenRepl);
+    }
+}

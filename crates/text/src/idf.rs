@@ -1,0 +1,103 @@
+//! Inverse document frequency statistics.
+//!
+//! Rotom samples tokens for deletion/replacement "by the importance of each
+//! token … measured by its inverse document frequency (IDF) so that less
+//! important tokens are more likely to be replaced/deleted" (§2.3).
+
+use crate::token::is_special;
+use std::collections::{HashMap, HashSet};
+
+/// Corpus-level IDF index.
+#[derive(Debug, Clone, Default)]
+pub struct IdfIndex {
+    idf: HashMap<String, f32>,
+    num_docs: usize,
+    max_idf: f32,
+}
+
+impl IdfIndex {
+    /// Build from an iterator of token sequences (documents).
+    pub fn build<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        let mut num_docs = 0usize;
+        for doc in docs {
+            num_docs += 1;
+            let uniq: HashSet<&str> = doc.iter().map(|t| t.as_str()).filter(|t| !is_special(t)).collect();
+            for t in uniq {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        let n = num_docs.max(1) as f32;
+        let idf: HashMap<String, f32> = df
+            .into_iter()
+            .map(|(t, d)| (t.to_string(), (n / (1.0 + d as f32)).ln().max(0.0)))
+            .collect();
+        let max_idf = idf.values().copied().fold(0.0f32, f32::max);
+        Self { idf, num_docs, max_idf }
+    }
+
+    /// Number of documents seen.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// IDF of a token; unseen tokens get the maximum observed IDF (they are
+    /// maximally "important").
+    pub fn idf(&self, tok: &str) -> f32 {
+        self.idf.get(tok).copied().unwrap_or(self.max_idf)
+    }
+
+    /// Sampling weight for destructive DA: higher for *less* important
+    /// (low-IDF) tokens. Special tokens get weight 0.
+    pub fn removal_weight(&self, tok: &str) -> f32 {
+        if is_special(tok) {
+            return 0.0;
+        }
+        // Invert importance; +1 keeps frequent-token weights finite and > 0.
+        1.0 / (1.0 + self.idf(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn idx() -> IdfIndex {
+        let docs: Vec<Vec<String>> = vec![
+            tokenize("the cat sat"),
+            tokenize("the dog ran"),
+            tokenize("the bird flew away"),
+        ];
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        IdfIndex::build(refs)
+    }
+
+    #[test]
+    fn common_tokens_have_low_idf() {
+        let i = idx();
+        assert!(i.idf("the") < i.idf("cat"));
+    }
+
+    #[test]
+    fn removal_weight_prefers_common_tokens() {
+        let i = idx();
+        assert!(i.removal_weight("the") > i.removal_weight("cat"));
+    }
+
+    #[test]
+    fn special_tokens_never_sampled() {
+        let i = idx();
+        assert_eq!(i.removal_weight("[COL]"), 0.0);
+        assert_eq!(i.removal_weight("[SEP]"), 0.0);
+    }
+
+    #[test]
+    fn unseen_token_is_maximally_important() {
+        let i = idx();
+        assert_eq!(i.idf("zebra"), i.idf("cat").max(i.idf("flew")));
+    }
+}

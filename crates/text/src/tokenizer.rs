@@ -1,0 +1,101 @@
+//! Whitespace + punctuation tokenizer.
+//!
+//! The paper tokenizes with the pre-trained LM's subword tokenizer; our
+//! stand-in models use a word-level vocabulary, so the tokenizer here is a
+//! normalizing word splitter that (a) preserves special tokens intact,
+//! (b) splits punctuation off word boundaries, and (c) round-trips through
+//! [`detokenize`].
+
+use crate::token::is_special;
+
+/// Tokenize `text` into lowercase word / punctuation / special tokens.
+///
+/// Special tokens (e.g. `[COL]`) are preserved case-sensitively as single
+/// tokens; everything else is lowercased, and boundary punctuation is split
+/// into its own tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        if is_special(raw) {
+            out.push(raw.to_string());
+            continue;
+        }
+        split_word(raw, &mut out);
+    }
+    out
+}
+
+fn split_word(raw: &str, out: &mut Vec<String>) {
+    // Strip leading punctuation.
+    let mut chars: Vec<char> = raw.chars().collect();
+    let mut lead = Vec::new();
+    while let Some(&c) = chars.first() {
+        if c.is_ascii_punctuation() && chars.len() > 1 {
+            lead.push(c);
+            chars.remove(0);
+        } else {
+            break;
+        }
+    }
+    let mut trail = Vec::new();
+    while let Some(&c) = chars.last() {
+        if c.is_ascii_punctuation() && chars.len() > 1 {
+            trail.push(c);
+            chars.pop();
+        } else {
+            break;
+        }
+    }
+    for c in lead {
+        out.push(c.to_string());
+    }
+    if !chars.is_empty() {
+        out.push(chars.into_iter().collect::<String>().to_lowercase());
+    }
+    for c in trail.into_iter().rev() {
+        out.push(c.to_string());
+    }
+}
+
+/// Join tokens with single spaces (inverse of [`tokenize`] on normalized
+/// token streams).
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(toks("Where is the Orange Bowl?"), ["where", "is", "the", "orange", "bowl", "?"]);
+    }
+
+    #[test]
+    fn preserves_special_tokens() {
+        assert_eq!(toks("[COL] Name [VAL] Google LLC"), ["[COL]", "name", "[VAL]", "google", "llc"]);
+    }
+
+    #[test]
+    fn splits_boundary_punctuation_only() {
+        // Interior punctuation (hyphens, dots in model numbers) stays intact.
+        assert_eq!(toks("x-100.5,"), ["x-100.5", ","]);
+        assert_eq!(toks("(866)"), ["(", "866", ")"]);
+    }
+
+    #[test]
+    fn roundtrip_on_normalized_text() {
+        let t = toks("effective timestamping in relational databases");
+        assert_eq!(tokenize(&detokenize(&t)), t);
+    }
+
+    #[test]
+    fn lone_punctuation_survives() {
+        assert_eq!(toks("- -"), ["-", "-"]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Training-data debugging (paper §8's proposed extension): apply Rotom's
+//! filtering + re-weighting principle to *label noise* rather than
+//! augmentation noise. The pool contains only identity "augmentations", a
+//! fraction of which carry flipped labels; the meta-learned policy must
+//! suppress them using the clean validation signal.
+//!
+//! ```sh
+//! cargo run --release --example noisy_labels
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rotom::pipeline::{evaluate, prepare_base};
+use rotom::{MetaConfig, MetaTrainer, RotomConfig, WeightedItem};
+use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+use rotom_meta::MetaTarget;
+use rotom_text::example::AugExample;
+
+fn main() {
+    let data_cfg = TextClsConfig { train_pool: 300, test: 200, unlabeled: 200, seed: 13 };
+    let task = textcls::generate(TextClsFlavor::Sst2, &data_cfg);
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // 120 labeled examples, 25% of which get flipped labels.
+    let mut train = task.sample_train(120, 0);
+    let clean = train.clone();
+    let mut flipped = 0;
+    for e in &mut train {
+        if rng.random_bool(0.25) {
+            e.label = 1 - e.label;
+            flipped += 1;
+        }
+    }
+    println!("{}: {} labeled examples, {flipped} with corrupted labels", task.name, train.len());
+
+    let mut cfg = RotomConfig::bench_small();
+    cfg.model.max_len = 32;
+    cfg.train.lr = 1e-3;
+    let base = prepare_base(&task, &cfg, 1);
+
+    // Plain fine-tuning on the noisy labels.
+    {
+        let mut model = base.instantiate(&cfg, 0);
+        let items: Vec<WeightedItem> = train
+            .iter()
+            .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, 2))
+            .collect();
+        for _ in 0..6 {
+            for chunk in items.chunks(16) {
+                model.weighted_loss_backward(chunk, true, &mut rng);
+                model.optimizer_step();
+            }
+        }
+        let (acc, _) = evaluate(&model, &task.test);
+        println!("  plain fine-tune on noisy labels : {:.1}%", acc * 100.0);
+    }
+
+    // Rotom-style meta-trained cleaning: identity pool, clean validation
+    // subset (in practice a small trusted set; here the clean copies).
+    {
+        let mut model = base.instantiate(&cfg, 0);
+        let pool: Vec<AugExample> = train.iter().map(AugExample::identity).collect();
+        let valid: Vec<_> = clean.iter().take(40).cloned().collect();
+        let enc_cfg = cfg.model.encoder(model.vocab().len());
+        let meta_cfg = MetaConfig { batch_size: 12, ..Default::default() };
+        let mut trainer = MetaTrainer::new(2, model.vocab().clone(), enc_cfg, meta_cfg);
+        for _ in 0..6 {
+            trainer.train_epoch(&mut model, &pool, &valid, &[]);
+        }
+        let (acc, _) = evaluate(&model, &task.test);
+        println!("  meta-filtered/weighted training : {:.1}%", acc * 100.0);
+    }
+
+    println!("\nThe same machinery that selects augmented examples debugs noisy");
+    println!("training labels — the extension sketched in the paper's conclusion.");
+}

@@ -1,0 +1,11 @@
+//! Meta-crate of the Rotom reproduction workspace: re-exports every
+//! sub-crate so the root `examples/` and `tests/` can exercise the full
+//! public API surface, exactly as a downstream user would.
+
+pub use rotom;
+pub use rotom_augment as augment;
+pub use rotom_baselines as baselines;
+pub use rotom_datasets as datasets;
+pub use rotom_meta as meta;
+pub use rotom_nn as nn;
+pub use rotom_text as text;

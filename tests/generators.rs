@@ -1,0 +1,109 @@
+//! Property and invariant tests over the dataset generators (the
+//! ground-truth consistency half of DESIGN.md's invariant list).
+
+use proptest::prelude::*;
+use rotom_datasets::edt::{self, EdtConfig, EdtFlavor};
+use rotom_datasets::em::{self, jaccard, EmConfig, EmFlavor};
+use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// EM generators: sizes exact, matches lexically closer than
+    /// non-matches (the latent-entity invariant), across flavors and seeds.
+    #[test]
+    fn em_generator_invariants(flavor_idx in 0usize..5, seed in 0u64..50) {
+        let flavor = EmFlavor::ALL[flavor_idx];
+        let cfg = EmConfig { num_entities: 40, train_pairs: 80, test_pairs: 30, seed, ..Default::default() };
+        let d = em::generate(flavor, &cfg);
+        prop_assert_eq!(d.train_pairs.len(), 80);
+        prop_assert_eq!(d.test_pairs.len(), 30);
+        let avg = |m: bool| {
+            let v: Vec<f32> = d
+                .train_pairs
+                .iter()
+                .filter(|p| p.is_match == m)
+                .map(|p| jaccard(&p.left, &p.right))
+                .collect();
+            v.iter().sum::<f32>() / v.len().max(1) as f32
+        };
+        prop_assert!(avg(true) > avg(false), "{}: matches not closer", d.name);
+    }
+
+    /// EDT generators: the error mask matches the injected error count and
+    /// test rows never overlap, across flavors and seeds.
+    #[test]
+    fn edt_generator_invariants(flavor_idx in 0usize..5, seed in 0u64..50) {
+        let flavor = EdtFlavor::ALL[flavor_idx];
+        let cfg = EdtConfig { rows: Some(50), seed, ..Default::default() };
+        let d = edt::generate(flavor, &cfg);
+        let expected = (50.0 * d.columns.len() as f32 * cfg.error_rate).round() as usize;
+        prop_assert_eq!(d.num_errors(), expected);
+        let mut rows = d.test_rows.clone();
+        rows.sort_unstable();
+        rows.dedup();
+        prop_assert_eq!(rows.len(), d.test_rows.len());
+        // Kinds align with the mask everywhere.
+        for r in 0..d.rows.len() {
+            for c in 0..d.columns.len() {
+                prop_assert_eq!(d.mask[r][c], d.kinds[r][c].is_some());
+            }
+        }
+    }
+
+    /// TextCLS generators: labels in range, split sizes exact, sequences
+    /// non-empty.
+    #[test]
+    fn textcls_generator_invariants(flavor_idx in 0usize..8, seed in 0u64..50) {
+        let flavor = TextClsFlavor::ALL[flavor_idx];
+        let cfg = TextClsConfig { train_pool: 60, test: 24, unlabeled: 12, seed };
+        let d = textcls::generate(flavor, &cfg);
+        prop_assert_eq!(d.train_pool.len(), 60);
+        prop_assert_eq!(d.test.len(), 24);
+        prop_assert_eq!(d.unlabeled.len(), 12);
+        for e in d.train_pool.iter().chain(&d.test) {
+            prop_assert!(e.label < d.num_classes);
+            prop_assert!(!e.tokens.is_empty());
+        }
+    }
+}
+
+#[test]
+fn em_blocking_is_symmetric_in_threshold() {
+    // Raising min_shared can only shrink the candidate set.
+    let cfg = EmConfig { num_entities: 30, train_pairs: 50, test_pairs: 10, ..Default::default() };
+    let d = em::generate(EmFlavor::AbtBuy, &cfg);
+    let left: Vec<_> = d.train_pairs.iter().take(20).map(|p| p.left.clone()).collect();
+    let right: Vec<_> = d.train_pairs.iter().take(20).map(|p| p.right.clone()).collect();
+    let loose = em::block_candidates(&left, &right, 1);
+    let strict = em::block_candidates(&left, &right, 3);
+    assert!(strict.len() <= loose.len());
+    for pair in &strict {
+        assert!(loose.contains(pair));
+    }
+}
+
+#[test]
+fn dirty_variants_differ_from_clean() {
+    let clean_cfg = EmConfig { num_entities: 30, train_pairs: 40, test_pairs: 10, ..Default::default() };
+    let dirty_cfg = EmConfig { dirty: true, ..clean_cfg.clone() };
+    let clean = em::generate(EmFlavor::DblpAcm, &clean_cfg);
+    let dirty = em::generate(EmFlavor::DblpAcm, &dirty_cfg);
+    assert_eq!(clean.name, "DBLP-ACM");
+    assert_eq!(dirty.name, "DBLP-ACM-dirty");
+    // Dirtying consumes RNG draws, so the shuffle (and hence the train/test
+    // boundary) differs — but the overall label distribution is identical
+    // (misplacement never changes labels).
+    let positives = |d: &em::EmDataset| {
+        d.train_pairs.iter().chain(&d.test_pairs).filter(|p| p.is_match).count()
+    };
+    assert_eq!(positives(&clean), positives(&dirty));
+    // And at least one record has a blanked (moved-out) attribute.
+    let empties = dirty
+        .train_pairs
+        .iter()
+        .flat_map(|p| p.left.attrs.iter().chain(&p.right.attrs))
+        .filter(|(_, v)| v.is_empty())
+        .count();
+    assert!(empties > 0);
+}

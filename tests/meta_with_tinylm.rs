@@ -1,0 +1,44 @@
+//! Integration of the meta-learning framework with the real TinyLm target
+//! (the unit tests drive it with a bag-of-words mock): Algorithm 2 must run
+//! end-to-end through tape-based autodiff, the virtual step, probes, and
+//! both policy updates — and still train a usable classifier from a pool
+//! with corrupted augmentations.
+
+use rotom::pipeline::evaluate;
+use rotom::{MetaConfig, MetaTrainer, ModelConfig, TinyLm};
+use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+use rotom_text::example::AugExample;
+
+#[test]
+fn algorithm2_with_tinylm_learns_through_poisoned_pool() {
+    let data_cfg = TextClsConfig { train_pool: 80, test: 60, unlabeled: 40, seed: 21 };
+    let task = textcls::generate(TextClsFlavor::Sst2, &data_cfg);
+    let train = task.sample_train(40, 0);
+
+    let mut mc = ModelConfig::test_tiny();
+    mc.max_len = 20;
+    let corpus: Vec<Vec<String>> = task.unlabeled.clone();
+    let mut model = TinyLm::from_corpus(&corpus, 2, &mc, 2e-3, 0);
+    model.pretrain_mlm(&corpus, 8);
+
+    // Pool: identity examples plus 25% label-corrupted copies.
+    let mut pool: Vec<AugExample> = train.iter().map(AugExample::identity).collect();
+    for e in train.iter().take(10) {
+        pool.push(AugExample { orig: e.tokens.clone(), aug: e.tokens.clone(), label: 1 - e.label });
+    }
+
+    let enc = mc.encoder(model.vocab().len());
+    let meta_cfg = MetaConfig { batch_size: 8, val_batch_size: 8, ..Default::default() };
+    let mut trainer = MetaTrainer::new(2, model.vocab().clone(), enc, meta_cfg);
+    let mut last_stats = None;
+    for _ in 0..5 {
+        last_stats = Some(trainer.train_epoch(&mut model, &pool, &train, &[]));
+    }
+    let stats = last_stats.unwrap();
+    assert!(stats.steps > 0);
+    assert!(stats.train_loss.is_finite());
+    assert!((0.0..=1.0).contains(&stats.keep_rate));
+
+    let (acc, _) = evaluate(&model, &task.test);
+    assert!(acc > 0.6, "accuracy {acc} too low after meta-training");
+}

@@ -1,0 +1,162 @@
+//! Workspace-level property-based tests on the core invariants (DESIGN.md's
+//! invariant list), run through the public APIs of several crates at once.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rotom_augment::{apply, corrupt, DaContext, DaOp};
+use rotom_meta::{guess_label, sharpen_v1, sharpen_v2};
+use rotom_nn::{softmax_slice, ParamStore, Tape, Tensor};
+use rotom_text::serialize::{parse_structure, serialize_record, Record};
+use rotom_text::token::is_structural;
+use rotom_text::tokenizer::{detokenize, tokenize};
+use rotom_text::vocab::Vocab;
+
+/// Strategy: plausible word tokens.
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+/// Strategy: a serialized record with 1–4 attributes.
+fn record() -> impl Strategy<Value = Record> {
+    prop::collection::vec((word(), prop::collection::vec(word(), 1..5)), 1..5).prop_map(|attrs| {
+        Record::new(
+            attrs
+                .into_iter()
+                .map(|(a, vs)| (a, vs.join(" ")))
+                .collect::<Vec<(String, String)>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No DA operator ever panics, and all preserve the [COL]/[VAL]
+    /// structure marker counts' consistency ([VAL] per [COL]).
+    #[test]
+    fn da_ops_preserve_structure(r in record(), op_idx in 0usize..9, seed in 0u64..1000) {
+        let tokens = serialize_record(&r);
+        let op = DaOp::ALL[op_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = apply(op, &tokens, &DaContext::default(), &mut rng);
+        let cols = out.iter().filter(|t| *t == "[COL]").count();
+        let vals = out.iter().filter(|t| *t == "[VAL]").count();
+        prop_assert_eq!(cols, vals, "unbalanced markers after {}", op.name());
+        // Structure must still parse with value spans not covering markers.
+        let s = parse_structure(&out);
+        for (a, b) in s.value_spans {
+            for t in &out[a..b] {
+                prop_assert!(!is_structural(t));
+            }
+        }
+    }
+
+    /// Multi-op corruption never panics and returns well-formed sequences.
+    #[test]
+    fn corruption_pipeline_total(r in record(), n in 0usize..6, seed in 0u64..1000) {
+        let tokens = serialize_record(&r);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = corrupt(&tokens, &DaOp::ALL, n, &DaContext::default(), &mut rng);
+        let cols = out.iter().filter(|t| *t == "[COL]").count();
+        let vals = out.iter().filter(|t| *t == "[VAL]").count();
+        prop_assert_eq!(cols, vals);
+    }
+
+    /// Tokenizer round-trips normalized text.
+    #[test]
+    fn tokenizer_roundtrip(words in prop::collection::vec(word(), 1..12)) {
+        let text = words.join(" ");
+        let toks = tokenize(&text);
+        prop_assert_eq!(tokenize(&detokenize(&toks)), toks);
+    }
+
+    /// Vocab encode/decode round-trips for in-vocabulary tokens, and
+    /// char-fallback covers arbitrary ASCII words without UNK.
+    #[test]
+    fn vocab_fallback_total(words in prop::collection::vec(word(), 1..10)) {
+        let seqs: Vec<Vec<String>> = vec![words.clone()];
+        let refs: Vec<&[String]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let v = Vocab::build(refs, 4096);
+        prop_assert_eq!(v.decode(&v.encode(&words)), words.clone());
+        let unk = v.special_id(rotom_text::token::UNK);
+        let novel: Vec<String> = words.iter().map(|w| format!("{w}x9")).collect();
+        prop_assert!(v.encode_fallback(&novel).iter().all(|&i| i != unk));
+    }
+
+    /// softmax output is a distribution; sharpen_v1 keeps it one and never
+    /// lowers the mode; sharpen_v2 is monotone in its threshold.
+    #[test]
+    fn sharpen_invariants(logits in prop::collection::vec(-5.0f32..5.0, 2..6), t in 0.1f32..1.0) {
+        let p = softmax_slice(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        let s = sharpen_v1(&p, t);
+        prop_assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        let mode = rotom_nn::argmax(&p);
+        prop_assert!(s[mode] >= p[mode] - 1e-4);
+        // v2 monotone: accepted at high threshold => accepted below.
+        if sharpen_v2(&p, 0.9).is_some() {
+            prop_assert!(sharpen_v2(&p, 0.5).is_some());
+        }
+        // Combined guess is always a distribution.
+        let g = guess_label(&p, t, 0.8);
+        prop_assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+    }
+
+    /// Autodiff: cross-entropy gradients match finite differences on random
+    /// single-layer problems.
+    #[test]
+    fn gradcheck_random_linear(
+        w0 in prop::collection::vec(-0.8f32..0.8, 6),
+        x0 in prop::collection::vec(-1.0f32..1.0, 2),
+        label in 0usize..3,
+    ) {
+        let mut store = ParamStore::new();
+        let w = store.push("w", Tensor::from_vec(w0.clone(), 2, 3));
+        let mut target = vec![0.0f32; 3];
+        target[label] = 1.0;
+        let run = |store: &mut ParamStore, backward: bool| -> f32 {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec(x0.clone(), 1, 2));
+            let wn = tape.param(w, store);
+            let logits = tape.matmul(x, wn);
+            let loss = tape.cross_entropy(logits, &target);
+            let v = tape.value(loss).item();
+            if backward {
+                store.zero_grad();
+                tape.backward(loss, store);
+            }
+            v
+        };
+        let _ = run(&mut store, true);
+        let analytic = store.flat_grads();
+        let theta = store.flat_values();
+        let eps = 1e-2f32;
+        for k in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[k] += eps;
+            store.set_flat(&tp);
+            let lp = run(&mut store, false);
+            tp[k] -= 2.0 * eps;
+            store.set_flat(&tp);
+            let lm = run(&mut store, false);
+            store.set_flat(&theta);
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!(
+                (analytic[k] - numeric).abs() < 0.02 + 0.05 * numeric.abs(),
+                "grad mismatch at {}: {} vs {}", k, analytic[k], numeric
+            );
+        }
+    }
+}
+
+#[test]
+fn entity_swap_involution_on_pairs() {
+    let a = Record::new(vec![("x", "p q"), ("y", "r")]);
+    let b = Record::new(vec![("x", "s t")]);
+    let tokens = rotom_text::serialize::serialize_pair(&a, &b);
+    let mut rng = StdRng::seed_from_u64(0);
+    let once = apply(DaOp::EntitySwap, &tokens, &DaContext::default(), &mut rng);
+    let twice = apply(DaOp::EntitySwap, &once, &DaContext::default(), &mut rng);
+    assert_eq!(twice, tokens);
+}
