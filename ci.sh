@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repo CI gate: formatting, offline release build, full test suite, perf smoke.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test --offline"
+cargo test -q --offline --workspace
+
+echo "== perfsmoke (writes BENCH_compute.json)"
+cargo run --release --offline -p rotom-bench --bin perfsmoke
+
+echo "CI OK"

@@ -5,11 +5,17 @@
 //! *invert* the corruption.
 
 use crate::ops::{apply, DaContext, DaOp};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::RngExt;
 
 /// Apply `n` operators sampled uniformly from `ops` in sequence.
-pub fn corrupt(tokens: &[String], ops: &[DaOp], n: usize, ctx: &DaContext, rng: &mut StdRng) -> Vec<String> {
+pub fn corrupt(
+    tokens: &[String],
+    ops: &[DaOp],
+    n: usize,
+    ctx: &DaContext,
+    rng: &mut StdRng,
+) -> Vec<String> {
     assert!(!ops.is_empty(), "corrupt requires at least one operator");
     let mut out = tokens.to_vec();
     for _ in 0..n {
@@ -42,7 +48,7 @@ pub fn corruption_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
     use rotom_text::tokenizer::tokenize;
 
     #[test]

@@ -7,8 +7,6 @@
 //! augmentations — and back the repository's claims about operator behaviour
 //! (e.g. InvDA's edits are strictly larger than `token_repl`'s).
 
-use serde::{Deserialize, Serialize};
-
 /// Levenshtein edit distance over token sequences.
 pub fn token_edit_distance(a: &[String], b: &[String]) -> usize {
     if a.is_empty() {
@@ -42,7 +40,7 @@ pub fn normalized_edit_distance(a: &[String], b: &[String]) -> f32 {
 }
 
 /// Aggregate diversity of a set of augmentations of one original.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiversityStats {
     /// Mean normalized edit distance from the original.
     pub mean_edit: f32,
@@ -55,10 +53,16 @@ pub struct DiversityStats {
 /// Measure the diversity of `variants` against `original`.
 pub fn diversity(original: &[String], variants: &[Vec<String>]) -> DiversityStats {
     if variants.is_empty() {
-        return DiversityStats { mean_edit: 0.0, max_edit: 0.0, distinct_ratio: 0.0 };
+        return DiversityStats {
+            mean_edit: 0.0,
+            max_edit: 0.0,
+            distinct_ratio: 0.0,
+        };
     }
-    let dists: Vec<f32> =
-        variants.iter().map(|v| normalized_edit_distance(original, v)).collect();
+    let dists: Vec<f32> = variants
+        .iter()
+        .map(|v| normalized_edit_distance(original, v))
+        .collect();
     let mean_edit = dists.iter().sum::<f32>() / dists.len() as f32;
     let max_edit = dists.iter().copied().fold(0.0f32, f32::max);
     let mut distinct = 0usize;
@@ -78,8 +82,8 @@ pub fn diversity(original: &[String], variants: &[Vec<String>]) -> DiversityStat
 mod tests {
     use super::*;
     use crate::ops::{apply, DaContext, DaOp};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rotom_rng::rngs::StdRng;
+    use rotom_rng::SeedableRng;
     use rotom_text::tokenize;
 
     #[test]
@@ -114,10 +118,14 @@ mod tests {
         let original = tokenize("fast databases are good tools");
         let ctx = DaContext::default();
         let mut rng = StdRng::seed_from_u64(1);
-        let variants: Vec<Vec<String>> =
-            (0..10).map(|_| apply(DaOp::TokenRepl, &original, &ctx, &mut rng)).collect();
+        let variants: Vec<Vec<String>> = (0..10)
+            .map(|_| apply(DaOp::TokenRepl, &original, &ctx, &mut rng))
+            .collect();
         let stats = diversity(&original, &variants);
-        assert!(stats.max_edit <= 1.0 / original.len() as f32 + 1e-6, "{stats:?}");
+        assert!(
+            stats.max_edit <= 1.0 / original.len() as f32 + 1e-6,
+            "{stats:?}"
+        );
     }
 
     #[test]

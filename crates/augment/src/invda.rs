@@ -15,19 +15,18 @@
 
 use crate::corrupt::corruption_pairs;
 use crate::ops::{DaContext, DaOp};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom_nn::{
     Adam, FwdCtx, ParamStore, Tape, TransformerConfig, TransformerDecoder, TransformerEncoder,
 };
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::token::{BOS, EOS, PAD, UNK};
 use rotom_text::vocab::Vocab;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// InvDA hyper-parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InvDaConfig {
     /// Width of the seq2seq model.
     pub d_model: usize,
@@ -116,9 +115,26 @@ pub struct InvDa {
     vocab: Vocab,
     cfg: InvDaConfig,
     cache: Mutex<HashMap<String, Vec<Vec<String>>>>,
+    /// Seed for per-key variant generation. Each cache entry is generated
+    /// with an RNG derived from this seed and a stable hash of the key, so
+    /// cache contents depend only on the model and the input — never on
+    /// caller RNG state, call order, or thread count.
+    cache_seed: u64,
     /// Mean training loss per epoch (for diagnostics / the training-time
     /// experiment).
     pub training_losses: Vec<f32>,
+}
+
+/// FNV-1a over the key string: a stable hash (unlike `std`'s `RandomState`,
+/// which is randomized per process) so cached variants are reproducible
+/// across runs.
+fn stable_key_hash(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl InvDa {
@@ -148,6 +164,7 @@ impl InvDa {
             vocab,
             cfg,
             cache: Mutex::new(HashMap::new()),
+            cache_seed: rotom_rng::split_seed(seed, 0x1a5_cafe),
             training_losses: Vec::new(),
         };
         model.fit(corpus, &mut rng);
@@ -178,7 +195,8 @@ impl InvDa {
                 epoch_loss += loss;
                 batches += 1;
             }
-            self.training_losses.push(epoch_loss / batches.max(1) as f32);
+            self.training_losses
+                .push(epoch_loss / batches.max(1) as f32);
         }
     }
 
@@ -247,7 +265,10 @@ impl InvDa {
         let mut out_ids: Vec<usize> = vec![bos];
         for _ in 0..self.cfg.max_gen_len {
             let logits = self.decoder.forward(&mut tape, &out_ids, memory, &mut ctx);
-            let last = tape.value(logits).row_slice(tape.value(logits).rows() - 1).to_vec();
+            let last = tape
+                .value(logits)
+                .row_slice(tape.value(logits).rows() - 1)
+                .to_vec();
             let next = sample_top_k_top_p(&last, self.cfg.top_k, self.cfg.top_p, &[bos, pad], rng);
             if next == eos {
                 break;
@@ -287,7 +308,11 @@ impl InvDa {
             logp: f32,
             done: bool,
         }
-        let mut beams = vec![Beam { ids: vec![bos], logp: 0.0, done: false }];
+        let mut beams = vec![Beam {
+            ids: vec![bos],
+            logp: 0.0,
+            done: false,
+        }];
         for _ in 0..self.cfg.max_gen_len {
             if beams.iter().all(|b| b.done) {
                 break;
@@ -295,7 +320,11 @@ impl InvDa {
             let mut candidates: Vec<Beam> = Vec::new();
             for beam in &beams {
                 if beam.done {
-                    candidates.push(Beam { ids: beam.ids.clone(), logp: beam.logp, done: true });
+                    candidates.push(Beam {
+                        ids: beam.ids.clone(),
+                        logp: beam.logp,
+                        done: true,
+                    });
                     continue;
                 }
                 let logits = self.decoder.forward(&mut tape, &beam.ids, memory, &mut ctx);
@@ -317,7 +346,11 @@ impl InvDa {
                     if id != eos {
                         ids.push(id);
                     }
-                    candidates.push(Beam { ids, logp: beam.logp + p.max(1e-9).ln(), done });
+                    candidates.push(Beam {
+                        ids,
+                        logp: beam.logp + p.max(1e-9).ln(),
+                        done,
+                    });
                 }
             }
             // Length-normalized pruning.
@@ -344,7 +377,12 @@ impl InvDa {
 
     /// Generate up to `n` *distinct* variants different from the input,
     /// retrying a bounded number of times (paper: up to 50 unique sequences).
-    pub fn generate_unique(&self, tokens: &[String], n: usize, rng: &mut StdRng) -> Vec<Vec<String>> {
+    pub fn generate_unique(
+        &self,
+        tokens: &[String],
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<String>> {
         let mut out: Vec<Vec<String>> = Vec::new();
         let mut attempts = 0;
         while out.len() < n && attempts < n * 4 {
@@ -357,34 +395,67 @@ impl InvDa {
         out
     }
 
+    /// The cached variant set for `tokens`, generating it on first use.
+    ///
+    /// Generation draws from an RNG derived from the model's `cache_seed`
+    /// and a stable hash of the input, so the variant set for a given input
+    /// is a pure function of the model — independent of caller RNG state,
+    /// the order inputs are first seen, and (in the batch path) the worker
+    /// that happens to compute it. Two workers racing on the same key
+    /// compute identical variants, so the duplicated insert is harmless.
+    fn variants_for(&self, tokens: &[String]) -> Vec<Vec<String>> {
+        let key = tokens.join(" ");
+        if let Some(variants) = self.cache.lock().unwrap().get(&key) {
+            return variants.clone();
+        }
+        let mut gen_rng = StdRng::seed_from_u64(rotom_rng::split_seed(
+            self.cache_seed,
+            stable_key_hash(&key),
+        ));
+        let variants = self.generate_unique(tokens, self.cfg.max_unique, &mut gen_rng);
+        self.cache.lock().unwrap().insert(key, variants.clone());
+        variants
+    }
+
     /// Draw one augmentation from the per-input cache, populating it on first
     /// use (mirrors the paper's pre-compute-and-cache strategy: the training
-    /// loop's per-epoch cost is then a cache lookup).
+    /// loop's per-epoch cost is then a cache lookup). The caller's RNG only
+    /// selects among the cached variants; it never influences generation.
     pub fn augment(&self, tokens: &[String], rng: &mut StdRng) -> Vec<String> {
-        let key = tokens.join(" ");
-        {
-            let cache = self.cache.lock();
-            if let Some(variants) = cache.get(&key) {
-                return if variants.is_empty() {
-                    tokens.to_vec()
-                } else {
-                    variants[rng.random_range(0..variants.len())].clone()
-                };
-            }
-        }
-        let variants = self.generate_unique(tokens, self.cfg.max_unique, rng);
-        let choice = if variants.is_empty() {
+        let variants = self.variants_for(tokens);
+        if variants.is_empty() {
             tokens.to_vec()
         } else {
             variants[rng.random_range(0..variants.len())].clone()
-        };
-        self.cache.lock().insert(key, variants);
-        choice
+        }
+    }
+
+    /// Augment a whole batch, fanning the per-example generation out across
+    /// `pool`. Each example's selection RNG is seeded by
+    /// `split_seed(base_seed, index)`, and generation is keyed off the
+    /// model's own cache seed, so the output is **bit-identical at any
+    /// worker count** — including to a serial run with a 1-thread pool.
+    pub fn augment_batch(
+        &self,
+        inputs: &[&[String]],
+        base_seed: u64,
+        pool: &rotom_nn::RotomPool,
+    ) -> Vec<Vec<String>> {
+        pool.map(inputs.len(), |i| {
+            let mut rng = StdRng::seed_from_u64(rotom_rng::split_seed(base_seed, i as u64));
+            self.augment(inputs[i], &mut rng)
+        })
     }
 
     /// Number of inputs with cached variants.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Drop all cached variants (used by benchmarks to re-measure the full
+    /// generation fan-out; regular training never needs this).
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().clear();
     }
 }
 
@@ -400,7 +471,13 @@ fn one_hot_rows(ids: &[usize], vocab: usize) -> Vec<f32> {
 /// Top-k within top-p sampling (Holtzman et al.): restrict to the smallest
 /// set of tokens covering probability mass `p`, intersect with the `k` most
 /// likely, renormalize, sample. `banned` ids are excluded first.
-fn sample_top_k_top_p(logits: &[f32], k: usize, p: f32, banned: &[usize], rng: &mut StdRng) -> usize {
+fn sample_top_k_top_p(
+    logits: &[f32],
+    k: usize,
+    p: f32,
+    banned: &[usize],
+    rng: &mut StdRng,
+) -> usize {
     let probs = rotom_nn::softmax_slice(logits);
     let mut ranked: Vec<(usize, f32)> = probs
         .iter()
@@ -464,7 +541,10 @@ mod tests {
         let out = model.generate(&tokenize("where is the orange bowl"), &mut rng);
         assert!(out.len() <= model.cfg.max_gen_len);
         for tok in &out {
-            assert!(model.vocab.try_id(tok).is_some(), "token {tok} not in vocab");
+            assert!(
+                model.vocab.try_id(tok).is_some(),
+                "token {tok} not in vocab"
+            );
         }
     }
 
@@ -509,7 +589,7 @@ mod tests {
 
     #[test]
     fn concurrent_augment_is_safe() {
-        // The generation cache is shared behind a parking_lot Mutex; hitting
+        // The generation cache is shared behind a std Mutex; hitting
         // it from several threads must neither dead-lock nor duplicate cache
         // entries for the same key.
         let model = InvDa::train(&tiny_corpus(), InvDaConfig::test_tiny(), 11);
@@ -528,6 +608,42 @@ mod tests {
             }
         });
         assert_eq!(model.cache_len(), 1);
+    }
+
+    #[test]
+    fn augment_batch_is_bit_identical_across_worker_counts() {
+        // Explicit pools rather than ROTOM_THREADS, so the assertion holds
+        // regardless of the environment this test runs under.
+        let corpus = tiny_corpus();
+        let model = InvDa::train(&corpus, InvDaConfig::test_tiny(), 13);
+        let inputs: Vec<&[String]> = corpus.iter().map(|s| s.as_slice()).collect();
+        let serial = model.augment_batch(&inputs, 99, &rotom_nn::RotomPool::new(1));
+        assert_eq!(serial.len(), inputs.len());
+        for threads in [2, 3, 8] {
+            let parallel = model.augment_batch(&inputs, 99, &rotom_nn::RotomPool::new(threads));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        // A cold cache must reproduce the same outputs: generation is keyed
+        // off the model seed, not first-toucher RNG state.
+        model.clear_cache();
+        assert_eq!(model.cache_len(), 0);
+        let regenerated = model.augment_batch(&inputs, 99, &rotom_nn::RotomPool::new(4));
+        assert_eq!(serial, regenerated);
+    }
+
+    #[test]
+    fn cache_contents_independent_of_first_caller() {
+        // Two fresh models with the same training seed, first touched by
+        // callers with different RNGs, must cache identical variant sets.
+        let corpus = tiny_corpus();
+        let a = InvDa::train(&corpus, InvDaConfig::test_tiny(), 14);
+        let b = InvDa::train(&corpus, InvDaConfig::test_tiny(), 14);
+        let input = tokenize("where is the orange bowl");
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(777);
+        let _ = a.augment(&input, &mut rng_a);
+        let _ = b.augment(&input, &mut rng_b);
+        assert_eq!(a.variants_for(&input), b.variants_for(&input));
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod ops;
 
 pub use corrupt::{corrupt, corruption_pairs};
 pub use diversity::{diversity, normalized_edit_distance, token_edit_distance, DiversityStats};
-pub use rotom_text::example::{AugExample, Example};
 pub use invda::{InvDa, InvDaConfig};
-pub use ops::{apply, DaContext, DaOp, Sampling};
+pub use ops::{apply, apply_batch, DaContext, DaOp, Sampling};
+pub use rotom_text::example::{AugExample, Example};

@@ -9,8 +9,8 @@
 //! `rotom::model`); this module provides the λ sampler and the MixDA batch
 //! plan.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::RngExt;
 
 /// Sample `λ ~ Beta(α, α)` folded to `[0.5, 1]`.
 ///
@@ -65,7 +65,7 @@ fn normal(rng: &mut StdRng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn lambda_always_at_least_half() {

@@ -10,16 +10,15 @@
 //! frequency: frequent, uninformative tokens are more likely to be deleted or
 //! replaced — §2.3).
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::RngExt;
 use rotom_text::idf::IdfIndex;
 use rotom_text::serialize::parse_structure;
 use rotom_text::thesaurus::Thesaurus;
 use rotom_text::token::{is_structural, SEP};
-use serde::{Deserialize, Serialize};
 
 /// How destructive operators pick target tokens.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Sampling {
     /// Uniform over eligible positions.
     #[default]
@@ -29,7 +28,7 @@ pub enum Sampling {
 }
 
 /// The simple DA operators of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DaOp {
     /// Sample and delete a token.
     TokenDel,
@@ -117,16 +116,28 @@ impl Default for DaContext {
 impl DaContext {
     /// Context with IDF-aware sampling over the given corpus statistics.
     pub fn with_idf(idf: IdfIndex) -> Self {
-        Self { idf: Some(idf), sampling: Sampling::Idf, ..Self::default() }
+        Self {
+            idf: Some(idf),
+            sampling: Sampling::Idf,
+            ..Self::default()
+        }
     }
 
-    fn pick_position(&self, tokens: &[String], eligible: &[usize], rng: &mut StdRng) -> Option<usize> {
+    fn pick_position(
+        &self,
+        tokens: &[String],
+        eligible: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<usize> {
         if eligible.is_empty() {
             return None;
         }
         match (self.sampling, &self.idf) {
             (Sampling::Idf, Some(idf)) => {
-                let weights: Vec<f32> = eligible.iter().map(|&i| idf.removal_weight(&tokens[i])).collect();
+                let weights: Vec<f32> = eligible
+                    .iter()
+                    .map(|&i| idf.removal_weight(&tokens[i]))
+                    .collect();
                 weighted_choice(&weights, rng).map(|k| eligible[k])
             }
             _ => Some(eligible[rng.random_range(0..eligible.len())]),
@@ -182,6 +193,25 @@ pub fn apply(op: DaOp, tokens: &[String], ctx: &DaContext, rng: &mut StdRng) -> 
         DaOp::ColDel => col_del(tokens, rng),
         DaOp::EntitySwap => entity_swap(tokens),
     }
+}
+
+/// Apply `op` to every input, fanning out across `pool`.
+///
+/// Each example gets its own RNG seeded by `split_seed(base_seed, index)`,
+/// so the result depends only on `(op, inputs, base_seed)` — bit-identical
+/// at any worker count, including a 1-thread (serial) pool.
+pub fn apply_batch(
+    op: DaOp,
+    inputs: &[&[String]],
+    ctx: &DaContext,
+    base_seed: u64,
+    pool: &rotom_nn::RotomPool,
+) -> Vec<Vec<String>> {
+    use rotom_rng::SeedableRng;
+    pool.map(inputs.len(), |i| {
+        let mut rng = StdRng::seed_from_u64(rotom_rng::split_seed(base_seed, i as u64));
+        apply(op, inputs[i], ctx, &mut rng)
+    })
 }
 
 fn token_del(tokens: &[String], ctx: &DaContext, rng: &mut StdRng) -> Vec<String> {
@@ -267,7 +297,10 @@ fn span_del(tokens: &[String], ctx: &DaContext, rng: &mut StdRng) -> Vec<String>
 }
 
 fn span_shuffle(tokens: &[String], ctx: &DaContext, rng: &mut StdRng) -> Vec<String> {
-    let runs: Vec<(usize, usize)> = value_runs(tokens).into_iter().filter(|(a, b)| b - a >= 2).collect();
+    let runs: Vec<(usize, usize)> = value_runs(tokens)
+        .into_iter()
+        .filter(|(a, b)| b - a >= 2)
+        .collect();
     if runs.is_empty() {
         return tokens.to_vec();
     }
@@ -319,7 +352,11 @@ fn col_shuffle(tokens: &[String], rng: &mut StdRng) -> Vec<String> {
     if j >= i {
         j += 1;
     }
-    let (lo, hi) = if group[i].0 < group[j].0 { (group[i], group[j]) } else { (group[j], group[i]) };
+    let (lo, hi) = if group[i].0 < group[j].0 {
+        (group[i], group[j])
+    } else {
+        (group[j], group[i])
+    };
     let mut out = Vec::with_capacity(tokens.len());
     out.extend_from_slice(&tokens[..lo.0]);
     out.extend_from_slice(&tokens[hi.0..hi.1]);
@@ -360,7 +397,7 @@ fn entity_swap(tokens: &[String]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
     use rotom_text::serialize::{serialize_pair, serialize_record, Record};
     use rotom_text::tokenizer::tokenize;
 
@@ -369,7 +406,10 @@ mod tests {
     }
 
     fn record() -> Record {
-        Record::new(vec![("title", "effective timestamping in relational databases"), ("year", "1999")])
+        Record::new(vec![
+            ("title", "effective timestamping in relational databases"),
+            ("year", "1999"),
+        ])
     }
 
     #[test]
@@ -502,7 +542,10 @@ mod tests {
         // "the" appears in every doc (IDF 0, weight 1.0) vs rare tokens
         // (weight ≈ 0.71): expected ≈ 0.41·1000 = 413 deletions (σ ≈ 16),
         // clearly above the uniform rate of 333.
-        assert!(deleted_the > 370, "deleted 'the' only {deleted_the}/1000 times");
+        assert!(
+            deleted_the > 370,
+            "deleted 'the' only {deleted_the}/1000 times"
+        );
     }
 
     #[test]

@@ -55,12 +55,7 @@ pub fn to_plain_task(data: &EmDataset) -> TaskDataset {
 
 /// Run the Brunner et al. baseline: plain-serialized task, baseline
 /// fine-tuning.
-pub fn run_brunner(
-    data: &EmDataset,
-    train_size: usize,
-    cfg: &RotomConfig,
-    seed: u64,
-) -> RunResult {
+pub fn run_brunner(data: &EmDataset, train_size: usize, cfg: &RotomConfig, seed: u64) -> RunResult {
     let task = to_plain_task(data);
     let train = task.sample_train(train_size, seed);
     let mut r = run_method(&task, &train, &train, Method::Baseline, cfg, None, seed);
@@ -92,7 +87,12 @@ mod tests {
 
     #[test]
     fn brunner_baseline_runs() {
-        let cfg = EmConfig { num_entities: 30, train_pairs: 60, test_pairs: 30, ..Default::default() };
+        let cfg = EmConfig {
+            num_entities: 30,
+            train_pairs: 60,
+            test_pairs: 30,
+            ..Default::default()
+        };
         let data = generate(EmFlavor::DblpAcm, &cfg);
         let mut rcfg = RotomConfig::test_tiny();
         rcfg.train.epochs = 1;

@@ -8,14 +8,14 @@
 //! `DmEncoder::TinyLm` reproduces the paper's DM+RoBERTa ablation: the same
 //! comparison head over the [CLS] encodings of a Transformer encoder.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom::metrics::PrF1;
 use rotom::ModelConfig;
 use rotom_datasets::em::{EmDataset, LabeledPair};
 use rotom_nn::{
     Adam, Embedding, FwdCtx, Gru, Linear, NodeId, ParamStore, Tape, TransformerEncoder,
 };
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::serialize::serialize_record;
 use rotom_text::vocab::Vocab;
 
@@ -114,7 +114,15 @@ impl DeepMatcher {
         let attn_proj = Linear::new(&mut store, &mut rng, "dm.attn", h, h);
         let compare = Linear::new(&mut store, &mut rng, "dm.cmp", 4 * h, h);
         let out = Linear::new(&mut store, &mut rng, "dm.out", h, 2);
-        let mut model = Self { store, encoder, attn_proj, compare, out, vocab, cfg };
+        let mut model = Self {
+            store,
+            encoder,
+            attn_proj,
+            compare,
+            out,
+            vocab,
+            cfg,
+        };
         model.fit(data, train_idx, &mut rng, seed);
         model
     }
@@ -133,7 +141,11 @@ impl DeepMatcher {
                 for &pi in chunk {
                     let pair = &data.train_pairs[pi];
                     let logits = self.pair_logits(&mut tape, pair);
-                    let target = if pair.is_match { [0.0, 1.0] } else { [1.0, 0.0] };
+                    let target = if pair.is_match {
+                        [0.0, 1.0]
+                    } else {
+                        [1.0, 0.0]
+                    };
                     losses.push(tape.cross_entropy(logits, &target));
                 }
                 let loss = tape.mean_nodes(&losses);
@@ -200,8 +212,16 @@ impl DeepMatcher {
 
     /// Positive-class F1 on the dataset's test pairs.
     pub fn evaluate(&self, data: &EmDataset) -> PrF1 {
-        let pred: Vec<usize> = data.test_pairs.iter().map(|p| self.predict(p) as usize).collect();
-        let gold: Vec<usize> = data.test_pairs.iter().map(|p| p.is_match as usize).collect();
+        let pred: Vec<usize> = data
+            .test_pairs
+            .iter()
+            .map(|p| self.predict(p) as usize)
+            .collect();
+        let gold: Vec<usize> = data
+            .test_pairs
+            .iter()
+            .map(|p| p.is_match as usize)
+            .collect();
         rotom::prf1(&pred, &gold, 1)
     }
 }
@@ -212,7 +232,12 @@ mod tests {
     use rotom_datasets::em::{generate, EmConfig, EmFlavor};
 
     fn quick_data() -> EmDataset {
-        let cfg = EmConfig { num_entities: 120, train_pairs: 300, test_pairs: 80, ..Default::default() };
+        let cfg = EmConfig {
+            num_entities: 120,
+            train_pairs: 300,
+            test_pairs: 80,
+            ..Default::default()
+        };
         generate(EmFlavor::DblpAcm, &cfg)
     }
 
@@ -223,7 +248,12 @@ mod tests {
     fn gru_variant_learns_to_match() {
         let data = quick_data();
         let idx: Vec<usize> = (0..data.train_pairs.len()).collect();
-        let cfg = DmConfig { epochs: 12, hidden: 24, lr: 3e-3, ..Default::default() };
+        let cfg = DmConfig {
+            epochs: 12,
+            hidden: 24,
+            lr: 3e-3,
+            ..Default::default()
+        };
         let m = DeepMatcher::train(&data, &idx, cfg, 0);
         let f1 = m.evaluate(&data).f1;
         assert!(f1 > 0.4, "DM F1 too low: {f1}");
@@ -233,7 +263,12 @@ mod tests {
     fn tinylm_variant_runs() {
         let data = quick_data();
         let idx: Vec<usize> = (0..80).collect();
-        let cfg = DmConfig { epochs: 2, hidden: 16, encoder: DmEncoder::TinyLm, ..Default::default() };
+        let cfg = DmConfig {
+            epochs: 2,
+            hidden: 16,
+            encoder: DmEncoder::TinyLm,
+            ..Default::default()
+        };
         let m = DeepMatcher::train(&data, &idx, cfg, 1);
         let f1 = m.evaluate(&data).f1;
         assert!((0.0..=1.0).contains(&f1));

@@ -84,7 +84,7 @@ pub fn grid_search(
     for (ci, ops) in configs.iter().enumerate() {
         // Materialize the augmented training set for this configuration.
         let mut augmented = train.to_vec();
-        let mut rng = rand::SeedableRng::seed_from_u64(seed ^ (ci as u64) << 20);
+        let mut rng = rotom_rng::SeedableRng::seed_from_u64(seed ^ (ci as u64) << 20);
         for e in train {
             let mut t = e.tokens.clone();
             for &op in ops {
@@ -128,14 +128,28 @@ mod tests {
         // 6 token/span-level operators → 36 ordered pairs; the paper's "22x"
         // compares the pair grid (plus re-training) against a single run and
         // our count reproduces the combinatorial blow-up it refers to.
-        assert_eq!(applicable_ops(TaskKind::TextClassification, Grid::Pairs).len(), 36);
-        assert_eq!(applicable_ops(TaskKind::TextClassification, Grid::Single).len(), 6);
-        assert_eq!(applicable_ops(TaskKind::EntityMatching, Grid::Single).len(), 9);
+        assert_eq!(
+            applicable_ops(TaskKind::TextClassification, Grid::Pairs).len(),
+            36
+        );
+        assert_eq!(
+            applicable_ops(TaskKind::TextClassification, Grid::Single).len(),
+            6
+        );
+        assert_eq!(
+            applicable_ops(TaskKind::EntityMatching, Grid::Single).len(),
+            9
+        );
     }
 
     #[test]
     fn single_grid_runs_and_reports_cost() {
-        let dcfg = TextClsConfig { train_pool: 40, test: 30, unlabeled: 20, seed: 6 };
+        let dcfg = TextClsConfig {
+            train_pool: 40,
+            test: 30,
+            unlabeled: 20,
+            seed: 6,
+        };
         let task = textcls::generate(TextClsFlavor::Sst2, &dcfg);
         let train = task.sample_train(20, 0);
         let mut cfg = RotomConfig::test_tiny();

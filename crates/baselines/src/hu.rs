@@ -17,11 +17,11 @@
 //! learned operator can only make single-token edits (far less diverse than
 //! InvDA) and the weighting has no filtering stage.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom::{evaluate, Method, RotomConfig, RunResult, TinyLm};
 use rotom_datasets::TaskDataset;
 use rotom_meta::{MetaTarget, WeightedItem};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::Example;
 use std::time::Instant;
 
@@ -69,7 +69,11 @@ impl LearnedDaOp {
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let candidates: Vec<String> = ranked.into_iter().take(cap).map(|(t, _)| t).collect();
         let logits = vec![0.0f32; candidates.len()];
-        Self { candidates, logits, lr }
+        Self {
+            candidates,
+            logits,
+            lr,
+        }
     }
 
     fn sample_token(&self, rng: &mut StdRng) -> (usize, String) {
@@ -134,9 +138,11 @@ pub fn run_hu(
     let mut rng = StdRng::seed_from_u64(seed ^ 0x40);
     let mut corpus: Vec<Vec<String>> = task.unlabeled.clone();
     corpus.extend(train.iter().map(|e| e.tokens.clone()));
-    let mut model =
-        TinyLm::from_corpus(&corpus, task.num_classes, &cfg.model, cfg.train.lr, seed);
-    model.pretrain_mlm(&corpus.iter().take(200).cloned().collect::<Vec<_>>(), cfg.train.batch_size);
+    let mut model = TinyLm::from_corpus(&corpus, task.num_classes, &cfg.model, cfg.train.lr, seed);
+    model.pretrain_mlm(
+        &corpus.iter().take(200).cloned().collect::<Vec<_>>(),
+        cfg.train.batch_size,
+    );
 
     let mut op = LearnedDaOp::new(&corpus, 256, 0.1);
     // Per-example weight logits (Hu et al.'s direct parameterization).
@@ -161,7 +167,11 @@ pub fn run_hu(
                 .iter()
                 .flat_map(|&i| {
                     let e = &train[i];
-                    let w = if weighting { (weights[i] / mean_w).min(4.0) } else { 1.0 };
+                    let w = if weighting {
+                        (weights[i] / mean_w).min(4.0)
+                    } else {
+                        1.0
+                    };
                     let (aug, ci) = op.apply(&e.tokens, &mut rng);
                     if let Some(ci) = ci {
                         used_candidates.push(ci);
@@ -255,7 +265,12 @@ mod tests {
     use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 
     fn task() -> TaskDataset {
-        let cfg = TextClsConfig { train_pool: 60, test: 40, unlabeled: 40, seed: 8 };
+        let cfg = TextClsConfig {
+            train_pool: 60,
+            test: 40,
+            unlabeled: 40,
+            seed: 8,
+        };
         textcls::generate(TextClsFlavor::Sst2, &cfg)
     }
 

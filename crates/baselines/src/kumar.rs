@@ -14,11 +14,11 @@
 //!   example, conditioned on the label token (conditional masked
 //!   reconstruction).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom::{Method, RotomConfig, RunResult};
 use rotom_augment::{InvDa, InvDaConfig};
 use rotom_datasets::TaskDataset;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::Example;
 use rotom_text::token::MASK;
 use std::time::Instant;
@@ -141,7 +141,12 @@ mod tests {
     use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 
     fn task() -> TaskDataset {
-        let cfg = TextClsConfig { train_pool: 40, test: 30, unlabeled: 30, seed: 4 };
+        let cfg = TextClsConfig {
+            train_pool: 40,
+            test: 30,
+            unlabeled: 30,
+            seed: 4,
+        };
         textcls::generate(TextClsFlavor::Trec, &cfg)
     }
 

@@ -11,10 +11,10 @@
 //! per-column logistic regression trained on the labeled tuples' cells, with
 //! an ensemble-vote fallback for columns whose labeled cells are single-class.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom::metrics::{prf1, PrF1};
 use rotom_datasets::edt::EdtDataset;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 const MISSING_TOKENS: [&str; 5] = ["", "n/a", "null", "-", "unknown"];
@@ -100,7 +100,9 @@ impl ColumnStats {
         let freq = *self.value_counts.get(value).unwrap_or(&0) as f32 / self.n as f32;
         let pat_freq =
             *self.pattern_counts.get(&pattern_of(value)).unwrap_or(&0) as f32 / self.n as f32;
-        let len_z = ((value.len() as f32 - self.mean_len) / self.std_len).abs().min(10.0);
+        let len_z = ((value.len() as f32 - self.mean_len) / self.std_len)
+            .abs()
+            .min(10.0);
         let is_num = value.parse::<f32>().is_ok();
         let num_z = match value.parse::<f32>() {
             Ok(x) if self.numeric_rate > 0.5 => {
@@ -108,8 +110,11 @@ impl ColumnStats {
             }
             _ => 0.0,
         };
-        let num_mismatch =
-            if self.numeric_rate > 0.8 && !is_num { 1.0 } else { 0.0 };
+        let num_mismatch = if self.numeric_rate > 0.8 && !is_num {
+            1.0
+        } else {
+            0.0
+        };
         let missing = MISSING_TOKENS.contains(&value.to_lowercase().as_str()) as u8 as f32;
         let ws_mismatch = {
             let has = value.contains(' ');
@@ -122,7 +127,17 @@ impl ColumnStats {
             }
         };
         let has_upper = value.chars().any(|c| c.is_ascii_uppercase()) as u8 as f32;
-        vec![1.0, freq, pat_freq, len_z / 10.0, num_z / 10.0, num_mismatch, missing, ws_mismatch, has_upper]
+        vec![
+            1.0,
+            freq,
+            pat_freq,
+            len_z / 10.0,
+            num_z / 10.0,
+            num_mismatch,
+            missing,
+            ws_mismatch,
+            has_upper,
+        ]
     }
 
     /// Unsupervised ensemble vote: count detectors flagging the cell.
@@ -158,7 +173,11 @@ impl LogReg {
         let pos = ys.iter().filter(|&&y| y).count();
         if pos == 0 || pos == ys.len() {
             // Single-class labels: fall back to the unsupervised ensemble.
-            return Self { w: Vec::new(), usable: false, fallback_positive: pos > 0 };
+            return Self {
+                w: Vec::new(),
+                usable: false,
+                fallback_positive: pos > 0,
+            };
         }
         let d = xs[0].len();
         let mut w: Vec<f32> = (0..d).map(|_| rng.random_range(-0.01..0.01)).collect();
@@ -177,13 +196,21 @@ impl LogReg {
                 *wi -= lr * g;
             }
         }
-        Self { w, usable: true, fallback_positive: false }
+        Self {
+            w,
+            usable: true,
+            fallback_positive: false,
+        }
     }
 
     fn predict(&self, x: &[f32], votes: usize) -> bool {
         if !self.usable {
             // Ensemble vote threshold, biased by the single observed class.
-            return if self.fallback_positive { votes >= 1 } else { votes >= 2 };
+            return if self.fallback_positive {
+                votes >= 1
+            } else {
+                votes >= 2
+            };
         }
         let z: f32 = x.iter().zip(&self.w).map(|(a, b)| a * b).sum();
         z > 0.0
@@ -221,8 +248,9 @@ impl Raha {
             })
             .collect();
 
-        let mut candidates: Vec<usize> =
-            (0..data.rows.len()).filter(|r| !data.test_rows.contains(r)).collect();
+        let mut candidates: Vec<usize> = (0..data.rows.len())
+            .filter(|r| !data.test_rows.contains(r))
+            .collect();
         for i in (1..candidates.len()).rev() {
             let j = rng.random_range(0..=i);
             candidates.swap(i, j);
@@ -270,7 +298,10 @@ impl Raha {
 /// row).
 pub fn run_raha(data: &EdtDataset, labeled_tuples: usize, seed: u64) -> RahaResult {
     let raha = Raha::train(data, labeled_tuples, seed);
-    RahaResult { prf1: raha.evaluate(data), labeled_tuples }
+    RahaResult {
+        prf1: raha.evaluate(data),
+        labeled_tuples,
+    }
 }
 
 #[cfg(test)]
@@ -294,7 +325,10 @@ mod tests {
 
     #[test]
     fn raha_runs_on_all_flavors() {
-        let cfg = EdtConfig { rows: Some(80), ..Default::default() };
+        let cfg = EdtConfig {
+            rows: Some(80),
+            ..Default::default()
+        };
         for flavor in EdtFlavor::ALL {
             let data = generate(flavor, &cfg);
             let result = run_raha(&data, 20, 1);

@@ -14,22 +14,59 @@ use rotom_datasets::{
 
 fn main() {
     let suite = Suite::from_env();
-    println!("Ablation: Rotom components on one dataset per domain ({:?} scale)", suite.scale);
+    println!(
+        "Ablation: Rotom components on one dataset per domain ({:?} scale)",
+        suite.scale
+    );
 
     let tasks = vec![
-        (em::generate(EmFlavor::WalmartAmazon, &suite.em).to_task(), 240usize, false),
-        (edt::generate(EdtFlavor::Beers, &suite.edt).to_task(), 200, true),
-        (textcls::generate(TextClsFlavor::Trec, &suite.textcls), 100, false),
+        (
+            em::generate(EmFlavor::WalmartAmazon, &suite.em).to_task(),
+            240usize,
+            false,
+        ),
+        (
+            edt::generate(EdtFlavor::Beers, &suite.edt).to_task(),
+            200,
+            true,
+        ),
+        (
+            textcls::generate(TextClsFlavor::Trec, &suite.textcls),
+            100,
+            false,
+        ),
     ];
 
     let variants: Vec<(&str, AblationConfig)> = vec![
         ("Rotom (full)", AblationConfig::default()),
-        ("- filtering", AblationConfig { disable_filter: true, ..Default::default() }),
-        ("- weighting", AblationConfig { disable_weighting: true, ..Default::default() }),
-        ("- L2 term", AblationConfig { disable_l2: true, ..Default::default() }),
+        (
+            "- filtering",
+            AblationConfig {
+                disable_filter: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "- weighting",
+            AblationConfig {
+                disable_weighting: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "- L2 term",
+            AblationConfig {
+                disable_l2: true,
+                ..Default::default()
+            },
+        ),
         (
             "- both models",
-            AblationConfig { disable_filter: true, disable_weighting: true, disable_l2: true },
+            AblationConfig {
+                disable_filter: true,
+                disable_weighting: true,
+                disable_l2: true,
+            },
         ),
     ];
 

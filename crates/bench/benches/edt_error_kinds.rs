@@ -20,7 +20,10 @@ const KINDS: [(ErrorKind, &str); 4] = [
 
 fn main() {
     let suite = Suite::from_env();
-    println!("EDT per-error-kind recall on the test tuples ({:?} scale)", suite.scale);
+    println!(
+        "EDT per-error-kind recall on the test tuples ({:?} scale)",
+        suite.scale
+    );
 
     for flavor in [EdtFlavor::Beers, EdtFlavor::Hospital] {
         let data = edt::generate(flavor, &suite.edt);
@@ -53,7 +56,7 @@ fn main() {
             .iter()
             .map(|e| rotom_meta::WeightedItem::hard(e.tokens.clone(), e.label, 2))
             .collect();
-        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+        let mut rng: rotom_rng::rngs::StdRng = rotom_rng::SeedableRng::seed_from_u64(1);
         for _ in 0..ctx.cfg.train.epochs {
             for chunk in items.chunks(ctx.cfg.train.batch_size) {
                 model.weighted_loss_backward(chunk, true, &mut rng);
@@ -72,7 +75,9 @@ fn main() {
         let mut totals = [0usize; 4];
         for &r in &data.test_rows {
             for c in 0..data.columns.len() {
-                let Some(kind) = data.kinds[r][c] else { continue };
+                let Some(kind) = data.kinds[r][c] else {
+                    continue;
+                };
                 let ki = KINDS.iter().position(|(k, _)| *k == kind).unwrap();
                 totals[ki] += 1;
                 if raha.predict(&data, r, c) {
@@ -98,7 +103,12 @@ fn main() {
                     if totals[i] == 0 {
                         "-".to_string()
                     } else {
-                        format!("{:.0}% ({}/{})", 100.0 * hits[i] as f32 / totals[i] as f32, hits[i], totals[i])
+                        format!(
+                            "{:.0}% ({}/{})",
+                            100.0 * hits[i] as f32 / totals[i] as f32,
+                            hits[i],
+                            totals[i]
+                        )
                     }
                 })
                 .collect()

@@ -48,7 +48,11 @@ fn main() {
                 row
             })
             .collect();
-        print_table(&format!("Figure 3 (EM): {} — F1 vs budget", task.name), &header, &rows);
+        print_table(
+            &format!("Figure 3 (EM): {} — F1 vs budget", task.name),
+            &header,
+            &rows,
+        );
     }
 
     // Lower panel: EDT (+ the Raha 20-tuple reference line).
@@ -72,6 +76,10 @@ fn main() {
                 row
             })
             .collect();
-        print_table(&format!("Figure 3 (EDT): {} — F1 vs budget", task.name), &edt_header, &rows);
+        print_table(
+            &format!("Figure 3 (EDT): {} — F1 vs budget", task.name),
+            &edt_header,
+            &rows,
+        );
     }
 }

@@ -22,7 +22,10 @@ struct Domain {
 
 fn main() {
     let suite = Suite::from_env();
-    println!("Figure 4: training time (seconds) per domain and method ({:?} scale)", suite.scale);
+    println!(
+        "Figure 4: training time (seconds) per domain and method ({:?} scale)",
+        suite.scale
+    );
 
     let quick = suite.scale == rotom_bench::Scale::Quick;
     let domains = vec![
@@ -31,7 +34,10 @@ fn main() {
             tasks: if quick {
                 vec![em::generate(EmFlavor::DblpAcm, &suite.em).to_task()]
             } else {
-                EmFlavor::ALL.iter().map(|&f| em::generate(f, &suite.em).to_task()).collect()
+                EmFlavor::ALL
+                    .iter()
+                    .map(|&f| em::generate(f, &suite.em).to_task())
+                    .collect()
             },
             budgets: suite.em_budgets.clone(),
             balanced: false,
@@ -41,7 +47,10 @@ fn main() {
             tasks: if quick {
                 vec![edt::generate(EdtFlavor::Beers, &suite.edt).to_task()]
             } else {
-                EdtFlavor::ALL.iter().map(|&f| edt::generate(f, &suite.edt).to_task()).collect()
+                EdtFlavor::ALL
+                    .iter()
+                    .map(|&f| edt::generate(f, &suite.edt).to_task())
+                    .collect()
             },
             budgets: suite.edt_budgets.clone(),
             balanced: true,
@@ -67,8 +76,7 @@ fn main() {
         .collect();
 
     for domain in domains {
-        let ctxs: Vec<_> =
-            domain.tasks.iter().map(|t| suite.prepare(t, 31)).collect();
+        let ctxs: Vec<_> = domain.tasks.iter().map(|t| suite.prepare(t, 31)).collect();
         let rows: Vec<Vec<String>> = domain
             .budgets
             .iter()
@@ -81,7 +89,9 @@ fn main() {
                         .iter()
                         .zip(&ctxs)
                         .map(|(task, ctx)| {
-                            suite.run_avg(task, budget, method, ctx, domain.balanced).seconds
+                            suite
+                                .run_avg(task, budget, method, ctx, domain.balanced)
+                                .seconds
                         })
                         .sum::<f32>()
                         / domain.tasks.len() as f32;
@@ -89,11 +99,19 @@ fn main() {
                     row.push(format!("{secs:.2}"));
                 }
                 // Overhead ratio: Rotom vs MixDA (index 3 vs 1).
-                let ratio = if times[1] > 0.0 { times[3] / times[1] } else { 0.0 };
+                let ratio = if times[1] > 0.0 {
+                    times[3] / times[1]
+                } else {
+                    0.0
+                };
                 row.push(format!("{ratio:.1}x"));
                 row
             })
             .collect();
-        print_table(&format!("Figure 4: {} training time (s)", domain.name), &header, &rows);
+        print_table(
+            &format!("Figure 4: {} training time (s)", domain.name),
+            &header,
+            &rows,
+        );
     }
 }

@@ -18,9 +18,21 @@ fn main() {
     println!("Grid-search cost vs Rotom ({:?} scale)", suite.scale);
 
     let tasks = vec![
-        (em::generate(EmFlavor::WalmartAmazon, &suite.em).to_task(), 240usize, false),
-        (edt::generate(EdtFlavor::Beers, &suite.edt).to_task(), 200, true),
-        (textcls::generate(TextClsFlavor::Trec, &suite.textcls), 100, false),
+        (
+            em::generate(EmFlavor::WalmartAmazon, &suite.em).to_task(),
+            240usize,
+            false,
+        ),
+        (
+            edt::generate(EdtFlavor::Beers, &suite.edt).to_task(),
+            200,
+            true,
+        ),
+        (
+            textcls::generate(TextClsFlavor::Trec, &suite.textcls),
+            100,
+            false,
+        ),
     ];
 
     let header: Vec<String> = vec![
@@ -42,8 +54,24 @@ fn main() {
 
         let mixda = suite.run_avg(&task, budget, Method::MixDa, &ctx, balanced);
         let rotom = suite.run_avg(&task, budget, Method::Rotom, &ctx, balanced);
-        let single = grid_search(&task, &train, &train, Grid::Single, &ctx.cfg, Some(&ctx.base), 0);
-        let pairs = grid_search(&task, &train, &train, Grid::Pairs, &ctx.cfg, Some(&ctx.base), 0);
+        let single = grid_search(
+            &task,
+            &train,
+            &train,
+            Grid::Single,
+            &ctx.cfg,
+            Some(&ctx.base),
+            0,
+        );
+        let pairs = grid_search(
+            &task,
+            &train,
+            &train,
+            Grid::Pairs,
+            &ctx.cfg,
+            Some(&ctx.base),
+            0,
+        );
 
         let ratio = |t: f32| {
             if mixda.seconds > 0.0 {

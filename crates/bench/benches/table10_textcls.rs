@@ -14,8 +14,10 @@ fn main() {
         suite.textcls_sizes, suite.scale, suite.seeds
     );
 
-    let tasks: Vec<_> =
-        TextClsFlavor::ALL.iter().map(|&f| textcls::generate(f, &suite.textcls)).collect();
+    let tasks: Vec<_> = TextClsFlavor::ALL
+        .iter()
+        .map(|&f| textcls::generate(f, &suite.textcls))
+        .collect();
     let ctxs: Vec<_> = tasks.iter().map(|t| suite.prepare(t, 11)).collect();
 
     let mut header: Vec<String> = vec!["Method".to_string(), "Size".to_string()];
@@ -28,8 +30,11 @@ fn main() {
 
     for method in Method::ALL {
         for (si, &size) in suite.textcls_sizes.iter().enumerate() {
-            let label =
-                if method == Method::Baseline { "TinyLm".to_string() } else { method.name().to_string() };
+            let label = if method == Method::Baseline {
+                "TinyLm".to_string()
+            } else {
+                method.name().to_string()
+            };
             let mut row = vec![label, size.to_string()];
             let mut scores = Vec::with_capacity(tasks.len());
             for (task, ctx) in tasks.iter().zip(&ctxs) {
@@ -43,7 +48,12 @@ fn main() {
                 row.push(pct(avg));
             } else {
                 let delta = avg - baseline_avg[si];
-                row.push(format!("{} ({}{})", pct(avg), if delta >= 0.0 { "+" } else { "" }, pct(delta)));
+                row.push(format!(
+                    "{} ({}{})",
+                    pct(avg),
+                    if delta >= 0.0 { "+" } else { "" },
+                    pct(delta)
+                ));
             }
             rows.push(row);
         }

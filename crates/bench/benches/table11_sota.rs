@@ -8,13 +8,13 @@
 //! * Kumar et al.: a uniform 1% sample of the training set, 5 per class for
 //!   validation. Datasets: SNIPS / SST-2 / TREC.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rotom::{Method, RunResult};
 use rotom_baselines::{run_hu, run_kumar, HuVariant, KumarVariant};
 use rotom_bench::{pct, print_table, Suite};
 use rotom_datasets::task::{sample_without_replacement, TaskDataset};
 use rotom_datasets::textcls::{self, TextClsFlavor};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::SeedableRng;
 use rotom_text::example::Example;
 
 /// Sample `n` examples per class.
@@ -22,8 +22,12 @@ fn per_class_sample(task: &TaskDataset, per_class: usize, seed: u64) -> Vec<Exam
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for c in 0..task.num_classes {
-        let pool: Vec<Example> =
-            task.train_pool.iter().filter(|e| e.label == c).cloned().collect();
+        let pool: Vec<Example> = task
+            .train_pool
+            .iter()
+            .filter(|e| e.label == c)
+            .cloned()
+            .collect();
         out.extend(sample_without_replacement(&pool, per_class, &mut rng));
     }
     out
@@ -64,7 +68,10 @@ fn print_panel(
 
 fn main() {
     let suite = Suite::from_env();
-    println!("Table 11: Rotom vs Hu et al. '19 and Kumar et al. '20 ({:?} scale)", suite.scale);
+    println!(
+        "Table 11: Rotom vs Hu et al. '19 and Kumar et al. '20 ({:?} scale)",
+        suite.scale
+    );
 
     // ------------------------------------------------------------------
     // Panel A — Hu et al. regime: 40 per class (quick scale: 20).
@@ -73,9 +80,15 @@ fn main() {
         rotom_bench::Scale::Quick => 20,
         rotom_bench::Scale::Full => 40,
     };
-    let hu_flavors = [TextClsFlavor::Sst2, TextClsFlavor::Sst5, TextClsFlavor::Trec];
-    let hu_tasks: Vec<_> =
-        hu_flavors.iter().map(|&f| textcls::generate(f, &suite.textcls)).collect();
+    let hu_flavors = [
+        TextClsFlavor::Sst2,
+        TextClsFlavor::Sst5,
+        TextClsFlavor::Trec,
+    ];
+    let hu_tasks: Vec<_> = hu_flavors
+        .iter()
+        .map(|&f| textcls::generate(f, &suite.textcls))
+        .collect();
     let mut hu_runs: Vec<(String, Vec<RunResult>)> = Vec::new();
     {
         let mut rows: Vec<(String, Vec<RunResult>)> = vec![
@@ -90,13 +103,35 @@ fn main() {
             let train = per_class_sample(task, per_class, 1);
             let valid = per_class_sample(task, 5, 2);
             let tctx = suite.prepare(task, 13);
-            for (ri, method) in
-                [Method::Baseline, Method::MixDa, Method::InvDa, Method::Rotom].iter().enumerate()
+            for (ri, method) in [
+                Method::Baseline,
+                Method::MixDa,
+                Method::InvDa,
+                Method::Rotom,
+            ]
+            .iter()
+            .enumerate()
             {
-                let r = rotom::pipeline::run_method_with_base(task, &train, &valid, *method, &tctx.cfg, Some(&tctx.invda), Some(&tctx.base), 0);
+                let r = rotom::pipeline::run_method_with_base(
+                    task,
+                    &train,
+                    &valid,
+                    *method,
+                    &tctx.cfg,
+                    Some(&tctx.invda),
+                    Some(&tctx.base),
+                    0,
+                );
                 rows[ri].1.push(r);
             }
-            rows[4].1.push(run_hu(task, &train, &valid, HuVariant::LearnedDa, &tctx.cfg, 0));
+            rows[4].1.push(run_hu(
+                task,
+                &train,
+                &valid,
+                HuVariant::LearnedDa,
+                &tctx.cfg,
+                0,
+            ));
             rows[5].1.push(run_hu(
                 task,
                 &train,
@@ -109,7 +144,9 @@ fn main() {
         hu_runs.append(&mut rows);
     }
     print_panel(
-        &format!("Table 11a: Hu et al. regime ({per_class}/class; paper's IMDB → SST-2, see DESIGN.md)"),
+        &format!(
+            "Table 11a: Hu et al. regime ({per_class}/class; paper's IMDB → SST-2, see DESIGN.md)"
+        ),
         &hu_tasks,
         hu_runs,
         0,
@@ -118,9 +155,15 @@ fn main() {
     // ------------------------------------------------------------------
     // Panel B — Kumar et al. regime: 1% of the training pool.
     // ------------------------------------------------------------------
-    let kumar_flavors = [TextClsFlavor::Snips, TextClsFlavor::Sst2, TextClsFlavor::Trec];
-    let kumar_tasks: Vec<_> =
-        kumar_flavors.iter().map(|&f| textcls::generate(f, &suite.textcls)).collect();
+    let kumar_flavors = [
+        TextClsFlavor::Snips,
+        TextClsFlavor::Sst2,
+        TextClsFlavor::Trec,
+    ];
+    let kumar_tasks: Vec<_> = kumar_flavors
+        .iter()
+        .map(|&f| textcls::generate(f, &suite.textcls))
+        .collect();
     let mut kumar_runs: Vec<(String, Vec<RunResult>)> = vec![
         ("TinyLm".into(), Vec::new()),
         ("MixDA".into(), Vec::new()),
@@ -136,14 +179,48 @@ fn main() {
         let train = task.sample_train(n, 3);
         let valid = per_class_sample(task, 5, 4);
         let tctx = suite.prepare(task, 17);
-        for (ri, method) in
-            [Method::Baseline, Method::MixDa, Method::InvDa, Method::Rotom].iter().enumerate()
+        for (ri, method) in [
+            Method::Baseline,
+            Method::MixDa,
+            Method::InvDa,
+            Method::Rotom,
+        ]
+        .iter()
+        .enumerate()
         {
-            let r = rotom::pipeline::run_method_with_base(task, &train, &valid, *method, &tctx.cfg, Some(&tctx.invda), Some(&tctx.base), 0);
+            let r = rotom::pipeline::run_method_with_base(
+                task,
+                &train,
+                &valid,
+                *method,
+                &tctx.cfg,
+                Some(&tctx.invda),
+                Some(&tctx.base),
+                0,
+            );
             kumar_runs[ri].1.push(r);
         }
-        kumar_runs[4].1.push(run_kumar(task, &train, &valid, KumarVariant::CgBart, &tctx.cfg, 0));
-        kumar_runs[5].1.push(run_kumar(task, &train, &valid, KumarVariant::CgBert, &tctx.cfg, 0));
+        kumar_runs[4].1.push(run_kumar(
+            task,
+            &train,
+            &valid,
+            KumarVariant::CgBart,
+            &tctx.cfg,
+            0,
+        ));
+        kumar_runs[5].1.push(run_kumar(
+            task,
+            &train,
+            &valid,
+            KumarVariant::CgBert,
+            &tctx.cfg,
+            0,
+        ));
     }
-    print_panel("Table 11b: Kumar et al. regime (1% samples)", &kumar_tasks, kumar_runs, 0);
+    print_panel(
+        "Table 11b: Kumar et al. regime (1% samples)",
+        &kumar_tasks,
+        kumar_runs,
+        0,
+    );
 }

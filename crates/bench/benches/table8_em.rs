@@ -24,7 +24,10 @@ fn main() {
         datasets.push(em::generate(flavor, &suite.em));
     }
     for flavor in EmFlavor::WITH_DIRTY {
-        let cfg = EmConfig { dirty: true, ..suite.em.clone() };
+        let cfg = EmConfig {
+            dirty: true,
+            ..suite.em.clone()
+        };
         datasets.push(em::generate(flavor, &cfg));
     }
 
@@ -41,7 +44,11 @@ fn main() {
     ] {
         let mut row = vec![label.to_string()];
         for data in &datasets {
-            let n = if full_data { data.train_pairs.len() } else { budget.min(data.train_pairs.len()) };
+            let n = if full_data {
+                data.train_pairs.len()
+            } else {
+                budget.min(data.train_pairs.len())
+            };
             let idx: Vec<usize> = (0..n).collect();
             let cfg = DmConfig {
                 epochs: if full_data { 12 } else { 6 },
@@ -58,7 +65,12 @@ fn main() {
     {
         let mut row = vec!["Brunner et al.".to_string()];
         for data in &datasets {
-            let r = run_brunner(data, budget, &suite.rotom_for(rotom_datasets::TaskKind::EntityMatching), 0);
+            let r = run_brunner(
+                data,
+                budget,
+                &suite.rotom_for(rotom_datasets::TaskKind::EntityMatching),
+                0,
+            );
             row.push(pct(r.prf1.f1));
         }
         rows.push(row);
@@ -68,7 +80,11 @@ fn main() {
     let tasks: Vec<_> = datasets.iter().map(|d| d.to_task()).collect();
     let ctxs: Vec<_> = tasks.iter().map(|t| suite.prepare(t, 7)).collect();
     for method in Method::ALL {
-        let label = if method == Method::Baseline { "TinyLm" } else { method.name() };
+        let label = if method == Method::Baseline {
+            "TinyLm"
+        } else {
+            method.name()
+        };
         let mut row = vec![label.to_string()];
         for (task, ctx) in tasks.iter().zip(&ctxs) {
             let avg = suite.run_avg(task, budget, method, ctx, false);

@@ -17,7 +17,10 @@ fn main() {
         suite.scale
     );
 
-    let datasets: Vec<_> = EdtFlavor::ALL.iter().map(|&f| edt::generate(f, &suite.edt)).collect();
+    let datasets: Vec<_> = EdtFlavor::ALL
+        .iter()
+        .map(|&f| edt::generate(f, &suite.edt))
+        .collect();
 
     let mut header: Vec<String> = std::iter::once("Method".to_string())
         .chain(datasets.iter().map(|d| d.name.clone()))
@@ -34,15 +37,21 @@ fn main() {
     };
 
     // Raha with 20 labeled tuples.
-    let raha_scores: Vec<f32> =
-        datasets.iter().map(|d| run_raha(d, 20, 0).prf1.f1).collect();
+    let raha_scores: Vec<f32> = datasets
+        .iter()
+        .map(|d| run_raha(d, 20, 0).prf1.f1)
+        .collect();
     push_row("Raha (20-tpl)", raha_scores, &mut rows);
 
     // LM methods with ≤ `budget` labeled cells (balanced clean/dirty).
     let tasks: Vec<_> = datasets.iter().map(|d| d.to_task()).collect();
     let ctxs: Vec<_> = tasks.iter().map(|t| suite.prepare(t, 9)).collect();
     for method in Method::ALL {
-        let label = if method == Method::Baseline { "TinyLm" } else { method.name() };
+        let label = if method == Method::Baseline {
+            "TinyLm"
+        } else {
+            method.name()
+        };
         let scores: Vec<f32> = tasks
             .iter()
             .zip(&ctxs)

@@ -18,12 +18,21 @@ fn main() {
             format!("{}{}", d.name, if has_dirty { "*" } else { "" }),
             d.train_pairs.len().to_string(),
             d.test_pairs.len().to_string(),
-            d.train_pairs.iter().filter(|p| p.is_match).count().to_string(),
+            d.train_pairs
+                .iter()
+                .filter(|p| p.is_match)
+                .count()
+                .to_string(),
         ]);
     }
     print_table(
         "Table 6 (EM): generated datasets (* = dirty variant available)",
-        &["Dataset".into(), "#Train+Valid".into(), "#Test".into(), "#Pos".into()],
+        &[
+            "Dataset".into(),
+            "#Train+Valid".into(),
+            "#Test".into(),
+            "#Pos".into(),
+        ],
         &rows,
     );
 
@@ -41,7 +50,12 @@ fn main() {
     }
     print_table(
         "Table 6 (EDT): generated datasets",
-        &["Dataset".into(), "Test (#cell,#tpl)".into(), "Table (#tpl)".into(), "#Errors".into()],
+        &[
+            "Dataset".into(),
+            "Test (#cell,#tpl)".into(),
+            "Table (#tpl)".into(),
+            "#Errors".into(),
+        ],
         &rows,
     );
 
@@ -66,7 +80,12 @@ fn main() {
     }
     print_table(
         "Table 7: TextCLS datasets",
-        &["Dataset".into(), "#classes".into(), "(#Train, #Test)".into(), "Class semantics".into()],
+        &[
+            "Dataset".into(),
+            "#classes".into(),
+            "(#Train, #Test)".into(),
+            "Class semantics".into(),
+        ],
         &rows,
     );
 }

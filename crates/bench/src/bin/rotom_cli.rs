@@ -36,7 +36,10 @@ fn parse_dataset(name: &str, suite: &Suite) -> Option<TaskDataset> {
         _ => None,
     };
     if let Some(f) = em_flavor {
-        let cfg = EmConfig { dirty, ..suite.em.clone() };
+        let cfg = EmConfig {
+            dirty,
+            ..suite.em.clone()
+        };
         return Some(em::generate(f, &cfg).to_task());
     }
     let edt_flavor = match lower.as_str() {
@@ -112,7 +115,10 @@ fn main() -> ExitCode {
     let method = match parse_method(&args[1]) {
         Some(m) => m,
         None => {
-            eprintln!("unknown method '{}'; choose from: baseline mixda invda rotom rotom-ssl", args[1]);
+            eprintln!(
+                "unknown method '{}'; choose from: baseline mixda invda rotom rotom-ssl",
+                args[1]
+            );
             return ExitCode::FAILURE;
         }
     };

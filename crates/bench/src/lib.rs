@@ -82,7 +82,10 @@ impl Suite {
                     test_pairs: 200,
                     ..Default::default()
                 },
-                edt: EdtConfig { rows: Some(120), ..Default::default() },
+                edt: EdtConfig {
+                    rows: Some(120),
+                    ..Default::default()
+                },
                 textcls: TextClsConfig {
                     train_pool: 400,
                     test: 200,
@@ -176,7 +179,11 @@ impl Suite {
         let base = prepare_base(task, &cfg, seed);
         let corpus = task.sample_unlabeled(300, seed);
         let corpus = if corpus.is_empty() {
-            task.train_pool.iter().map(|e| e.tokens.clone()).take(200).collect()
+            task.train_pool
+                .iter()
+                .map(|e| e.tokens.clone())
+                .take(200)
+                .collect()
         } else {
             corpus
         };
@@ -219,7 +226,12 @@ impl Suite {
         }
         let (mean, std) = mean_std(&metrics);
         let (sec_mean, _) = mean_std(&seconds);
-        AvgResult { mean, std, seconds: sec_mean, results }
+        AvgResult {
+            mean,
+            std,
+            seconds: sec_mean,
+            results,
+        }
     }
 }
 
@@ -264,7 +276,10 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

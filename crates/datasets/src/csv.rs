@@ -20,7 +20,11 @@ fn escape(field: &str) -> String {
 
 /// Serialize one CSV row.
 pub fn write_row(fields: &[&str]) -> String {
-    fields.iter().map(|f| escape(f)).collect::<Vec<_>>().join(",")
+    fields
+        .iter()
+        .map(|f| escape(f))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Parse one CSV row produced by [`write_row`]. Returns `None` on malformed
@@ -87,7 +91,9 @@ pub fn em_pairs_csv(data: &EmDataset) -> String {
             row.push(p.right.get(a).unwrap_or("").to_string());
         }
         row.push((p.is_match as u8).to_string());
-        out.push_str(&write_row(&row.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        out.push_str(&write_row(
+            &row.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        ));
         out.push('\n');
     }
     out
@@ -101,13 +107,20 @@ pub fn edt_table_csv(data: &EdtDataset) -> (String, String) {
     let mut mask = write_row(&header);
     mask.push('\n');
     for (r, row) in data.rows.iter().enumerate() {
-        let values: Vec<&str> =
-            data.columns.iter().map(|c| row.get(c).unwrap_or("")).collect();
+        let values: Vec<&str> = data
+            .columns
+            .iter()
+            .map(|c| row.get(c).unwrap_or(""))
+            .collect();
         table.push_str(&write_row(&values));
         table.push('\n');
-        let bits: Vec<String> =
-            data.mask[r].iter().map(|&b| (b as u8).to_string()).collect();
-        mask.push_str(&write_row(&bits.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        let bits: Vec<String> = data.mask[r]
+            .iter()
+            .map(|&b| (b as u8).to_string())
+            .collect();
+        mask.push_str(&write_row(
+            &bits.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        ));
         mask.push('\n');
     }
     (table, mask)
@@ -134,7 +147,12 @@ mod tests {
 
     #[test]
     fn em_csv_has_label_column_and_parses() {
-        let cfg = EmConfig { num_entities: 20, train_pairs: 30, test_pairs: 10, ..Default::default() };
+        let cfg = EmConfig {
+            num_entities: 20,
+            train_pairs: 30,
+            test_pairs: 10,
+            ..Default::default()
+        };
         let data = em::generate(EmFlavor::AbtBuy, &cfg);
         let csv = em_pairs_csv(&data);
         let mut lines = csv.lines();
@@ -154,7 +172,13 @@ mod tests {
 
     #[test]
     fn edt_csv_mask_aligns() {
-        let data = edt::generate(EdtFlavor::Beers, &EdtConfig { rows: Some(20), ..Default::default() });
+        let data = edt::generate(
+            EdtFlavor::Beers,
+            &EdtConfig {
+                rows: Some(20),
+                ..Default::default()
+            },
+        );
         let (table, mask) = edt_table_csv(&data);
         assert_eq!(table.lines().count(), 21);
         assert_eq!(mask.lines().count(), 21);

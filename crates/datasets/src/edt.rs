@@ -13,14 +13,13 @@
 use crate::perturb::{break_phone, phone, pick, squash, typo, zip};
 use crate::task::{shuffle, TaskDataset, TaskKind};
 use crate::words::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::Example;
 use rotom_text::serialize::{serialize_cell, serialize_cell_in_context, Record};
-use serde::{Deserialize, Serialize};
 
 /// The five EDT flavors (Table 6, right half).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdtFlavor {
     /// Craft beer catalogue.
     Beers,
@@ -69,7 +68,7 @@ impl EdtFlavor {
 }
 
 /// Error-injection taxonomy (Raha's four error types).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
     /// Character-level typo.
     Typo,
@@ -82,7 +81,7 @@ pub enum ErrorKind {
 }
 
 /// Generator configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdtConfig {
     /// Number of rows in the table (`None` → flavor default).
     pub rows: Option<usize>,
@@ -100,12 +99,18 @@ pub struct EdtConfig {
 
 impl Default for EdtConfig {
     fn default() -> Self {
-        Self { rows: None, error_rate: 0.18, test_tuples: 20, context: false, seed: 7 }
+        Self {
+            rows: None,
+            error_rate: 0.18,
+            test_tuples: 20,
+            context: false,
+            seed: 7,
+        }
     }
 }
 
 /// A generated dirty table with ground truth.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdtDataset {
     /// Dataset name.
     pub name: String,
@@ -185,11 +190,26 @@ impl EdtDataset {
 
 fn columns(flavor: EdtFlavor) -> Vec<String> {
     let cols: &[&str] = match flavor {
-        EdtFlavor::Beers => &["id", "beer_name", "style", "abv", "ibu", "brewery", "city", "state"],
-        EdtFlavor::Hospital => &["provider", "name", "address", "city", "state", "zip", "phone", "measure"],
-        EdtFlavor::Movies => &["id", "name", "year", "director", "genre", "duration", "rating"],
+        EdtFlavor::Beers => &[
+            "id",
+            "beer_name",
+            "style",
+            "abv",
+            "ibu",
+            "brewery",
+            "city",
+            "state",
+        ],
+        EdtFlavor::Hospital => &[
+            "provider", "name", "address", "city", "state", "zip", "phone", "measure",
+        ],
+        EdtFlavor::Movies => &[
+            "id", "name", "year", "director", "genre", "duration", "rating",
+        ],
         EdtFlavor::Rayyan => &["id", "title", "journal", "year", "pages", "issn"],
-        EdtFlavor::Tax => &["fname", "lname", "gender", "area", "phone", "city", "state", "zip", "salary", "rate"],
+        EdtFlavor::Tax => &[
+            "fname", "lname", "gender", "area", "phone", "city", "state", "zip", "salary", "rate",
+        ],
     };
     cols.iter().map(|s| s.to_string()).collect()
 }
@@ -198,20 +218,40 @@ fn clean_row(flavor: EdtFlavor, i: usize, rng: &mut StdRng) -> Record {
     match flavor {
         EdtFlavor::Beers => Record::new(vec![
             ("id".to_string(), format!("{}", 1000 + i)),
-            ("beer_name".to_string(), format!("{} {}", pick(BEER_ADJS, rng), pick(BEER_NOUNS, rng))),
+            (
+                "beer_name".to_string(),
+                format!("{} {}", pick(BEER_ADJS, rng), pick(BEER_NOUNS, rng)),
+            ),
             ("style".to_string(), pick(BEER_STYLES, rng).to_string()),
-            ("abv".to_string(), format!("{:.1}", rng.random_range(3.5..12.0f32))),
-            ("ibu".to_string(), format!("{}", rng.random_range(10..110u32))),
-            ("brewery".to_string(), format!("{} {}", pick(BEER_NOUNS, rng), pick(BREWERY_SUFFIXES, rng))),
+            (
+                "abv".to_string(),
+                format!("{:.1}", rng.random_range(3.5..12.0f32)),
+            ),
+            (
+                "ibu".to_string(),
+                format!("{}", rng.random_range(10..110u32)),
+            ),
+            (
+                "brewery".to_string(),
+                format!("{} {}", pick(BEER_NOUNS, rng), pick(BREWERY_SUFFIXES, rng)),
+            ),
             ("city".to_string(), pick(CITIES, rng).to_string()),
             ("state".to_string(), pick(STATES, rng).to_string()),
         ]),
         EdtFlavor::Hospital => Record::new(vec![
             ("provider".to_string(), format!("{}", 10000 + i)),
-            ("name".to_string(), format!("{} general hospital", pick(CITIES, rng))),
+            (
+                "name".to_string(),
+                format!("{} general hospital", pick(CITIES, rng)),
+            ),
             (
                 "address".to_string(),
-                format!("{} {} {}", rng.random_range(1..9999u32), pick(STREET_NAMES, rng), pick(STREET_SUFFIXES, rng)),
+                format!(
+                    "{} {} {}",
+                    rng.random_range(1..9999u32),
+                    pick(STREET_NAMES, rng),
+                    pick(STREET_SUFFIXES, rng)
+                ),
             ),
             ("city".to_string(), pick(CITIES, rng).to_string()),
             ("state".to_string(), pick(STATES, rng).to_string()),
@@ -225,14 +265,23 @@ fn clean_row(flavor: EdtFlavor, i: usize, rng: &mut StdRng) -> Record {
                 "name".to_string(),
                 format!("the {} {}", pick(MOVIE_WORDS, rng), pick(MOVIE_WORDS, rng)),
             ),
-            ("year".to_string(), format!("{}", rng.random_range(1960..2021u32))),
+            (
+                "year".to_string(),
+                format!("{}", rng.random_range(1960..2021u32)),
+            ),
             (
                 "director".to_string(),
                 format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng)),
             ),
             ("genre".to_string(), pick(GENRES, rng).to_string()),
-            ("duration".to_string(), format!("{} min", rng.random_range(70..200u32))),
-            ("rating".to_string(), format!("{:.1}", rng.random_range(2.0..9.9f32))),
+            (
+                "duration".to_string(),
+                format!("{} min", rng.random_range(70..200u32)),
+            ),
+            (
+                "rating".to_string(),
+                format!("{:.1}", rng.random_range(2.0..9.9f32)),
+            ),
         ]),
         EdtFlavor::Rayyan => Record::new(vec![
             ("id".to_string(), format!("{}", 2000 + i)),
@@ -247,19 +296,27 @@ fn clean_row(flavor: EdtFlavor, i: usize, rng: &mut StdRng) -> Record {
             ),
             (
                 "journal".to_string(),
-                format!("{} of {}", pick(JOURNAL_WORDS, rng), pick(MEDICAL_FIELDS, rng)),
+                format!(
+                    "{} of {}",
+                    pick(JOURNAL_WORDS, rng),
+                    pick(MEDICAL_FIELDS, rng)
+                ),
             ),
-            ("year".to_string(), format!("{}", rng.random_range(1990..2021u32))),
             (
-                "pages".to_string(),
-                {
-                    let a = rng.random_range(1..800u32);
-                    format!("{a}-{}", a + rng.random_range(2..20u32))
-                },
+                "year".to_string(),
+                format!("{}", rng.random_range(1990..2021u32)),
             ),
+            ("pages".to_string(), {
+                let a = rng.random_range(1..800u32);
+                format!("{a}-{}", a + rng.random_range(2..20u32))
+            }),
             (
                 "issn".to_string(),
-                format!("{:04}-{:04}", rng.random_range(1000..9999u32), rng.random_range(1000..9999u32)),
+                format!(
+                    "{:04}-{:04}",
+                    rng.random_range(1000..9999u32),
+                    rng.random_range(1000..9999u32)
+                ),
             ),
         ]),
         EdtFlavor::Tax => {
@@ -275,11 +332,21 @@ fn clean_row(flavor: EdtFlavor, i: usize, rng: &mut StdRng) -> Record {
             Record::new(vec![
                 ("fname".to_string(), pick(FIRST_NAMES, rng).to_string()),
                 ("lname".to_string(), pick(LAST_NAMES, rng).to_string()),
-                ("gender".to_string(), if rng.random_bool(0.5) { "m".into() } else { "f".into() }),
+                (
+                    "gender".to_string(),
+                    if rng.random_bool(0.5) {
+                        "m".into()
+                    } else {
+                        "f".into()
+                    },
+                ),
                 ("area".to_string(), format!("{}", 200 + (city_i * 7) % 700)),
                 ("phone".to_string(), phone(rng, false)),
                 ("city".to_string(), CITIES[city_i].to_string()),
-                ("state".to_string(), STATES[city_i % STATES.len()].to_string()),
+                (
+                    "state".to_string(),
+                    STATES[city_i % STATES.len()].to_string(),
+                ),
                 ("zip".to_string(), zip(rng)),
                 ("salary".to_string(), format!("{salary}")),
                 ("rate".to_string(), rate.to_string()),
@@ -319,9 +386,7 @@ fn inject(flavor: EdtFlavor, row: &mut Record, col: usize, rng: &mut StdRng) -> 
                 format!("{}{}", value.to_uppercase(), rng.random_range(0..10u8))
             }
         }
-        ErrorKind::Missing => {
-            (*pick(&["", "n/a", "null", "-", "unknown"], rng)).to_string()
-        }
+        ErrorKind::Missing => (*pick(&["", "n/a", "null", "-", "unknown"], rng)).to_string(),
         ErrorKind::Violation => out_of_domain(flavor, &attr, rng),
     };
     row.attrs[col].1 = new_value;
@@ -357,17 +422,21 @@ fn out_of_domain(flavor: EdtFlavor, attr: &str, rng: &mut StdRng) -> String {
 
 /// Generate an EDT dataset for `flavor` under `cfg`.
 pub fn generate(flavor: EdtFlavor, cfg: &EdtConfig) -> EdtDataset {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (flavor.name().len() as u64) << 8 ^ flavor as u64);
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (flavor.name().len() as u64) << 8 ^ flavor as u64);
     let n_rows = cfg.rows.unwrap_or_else(|| flavor.default_rows());
     let cols = columns(flavor);
-    let mut rows: Vec<Record> = (0..n_rows).map(|i| clean_row(flavor, i, &mut rng)).collect();
+    let mut rows: Vec<Record> = (0..n_rows)
+        .map(|i| clean_row(flavor, i, &mut rng))
+        .collect();
     let mut mask = vec![vec![false; cols.len()]; n_rows];
     let mut kinds = vec![vec![None; cols.len()]; n_rows];
 
     let total_cells = n_rows * cols.len();
     let n_errors = (total_cells as f32 * cfg.error_rate).round() as usize;
-    let mut cells: Vec<(usize, usize)> =
-        (0..n_rows).flat_map(|r| (0..cols.len()).map(move |c| (r, c))).collect();
+    let mut cells: Vec<(usize, usize)> = (0..n_rows)
+        .flat_map(|r| (0..cols.len()).map(move |c| (r, c)))
+        .collect();
     shuffle(&mut cells, &mut rng);
     for &(r, c) in cells.iter().take(n_errors) {
         let kind = inject(flavor, &mut rows[r], c, &mut rng);
@@ -440,7 +509,10 @@ mod tests {
 
     #[test]
     fn context_serialization_includes_sep() {
-        let cfg = EdtConfig { context: true, ..Default::default() };
+        let cfg = EdtConfig {
+            context: true,
+            ..Default::default()
+        };
         let d = generate(EdtFlavor::Hospital, &cfg);
         let t = d.to_task();
         assert!(t.train_pool[0].tokens.contains(&"[SEP]".to_string()));
@@ -476,7 +548,10 @@ mod tests {
 
     #[test]
     fn all_flavors_generate() {
-        let cfg = EdtConfig { rows: Some(40), ..Default::default() };
+        let cfg = EdtConfig {
+            rows: Some(40),
+            ..Default::default()
+        };
         let all = all_edt_datasets(&cfg);
         assert_eq!(all.len(), 5);
         for d in &all {

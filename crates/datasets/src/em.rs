@@ -15,14 +15,13 @@
 use crate::perturb::{abbreviate, initial, jitter, pick, typo};
 use crate::task::{shuffle, TaskDataset, TaskKind};
 use crate::words::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::Example;
 use rotom_text::serialize::{serialize_pair, Record};
-use serde::{Deserialize, Serialize};
 
 /// A labeled candidate pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LabeledPair {
     /// Record from source A.
     pub left: Record,
@@ -33,7 +32,7 @@ pub struct LabeledPair {
 }
 
 /// The five EM benchmark flavors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EmFlavor {
     /// Abt-Buy: product records, moderately noisy descriptions.
     AbtBuy,
@@ -59,8 +58,11 @@ impl EmFlavor {
     ];
 
     /// Flavors that also ship a dirty variant (marked `*` in Table 6).
-    pub const WITH_DIRTY: [EmFlavor; 3] =
-        [EmFlavor::DblpAcm, EmFlavor::DblpScholar, EmFlavor::WalmartAmazon];
+    pub const WITH_DIRTY: [EmFlavor; 3] = [
+        EmFlavor::DblpAcm,
+        EmFlavor::DblpScholar,
+        EmFlavor::WalmartAmazon,
+    ];
 
     /// Canonical dataset name.
     pub fn name(self) -> &'static str {
@@ -79,7 +81,7 @@ impl EmFlavor {
 }
 
 /// Generator configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EmConfig {
     /// Number of latent entities to synthesize.
     pub num_entities: usize,
@@ -112,7 +114,7 @@ impl Default for EmConfig {
 }
 
 /// A generated EM dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EmDataset {
     /// Dataset name (flavor name, "-dirty" suffixed for dirty variants).
     pub name: String,
@@ -218,7 +220,14 @@ fn gen_paper(rng: &mut StdRng) -> Entity {
 fn sibling(e: &Entity, rng: &mut StdRng) -> Entity {
     let mut s = e.clone();
     match &mut s {
-        Entity::Product { adj, model, capacity, color, price, .. } => {
+        Entity::Product {
+            adj,
+            model,
+            capacity,
+            color,
+            price,
+            ..
+        } => {
             // Same brand/type, different model — the classic near-duplicate.
             if rng.random_bool(0.6) {
                 *adj = pick(PRODUCT_ADJS, rng);
@@ -237,7 +246,12 @@ fn sibling(e: &Entity, rng: &mut StdRng) -> Entity {
             }
             *price = jitter(*price, 0.4, rng);
         }
-        Entity::Paper { title, year, authors, .. } => {
+        Entity::Paper {
+            title,
+            year,
+            authors,
+            ..
+        } => {
             // Perturb 2–4 title words plus the year and an author: a related
             // but different paper from the same area (what token-overlap
             // blocking surfaces).
@@ -278,24 +292,84 @@ struct RenderProfile {
 fn profiles(flavor: EmFlavor) -> (RenderProfile, RenderProfile) {
     match flavor {
         EmFlavor::AbtBuy => (
-            RenderProfile { abbrev: 0.05, drop_key: 0.05, typo: 0.02, drop_attr: 0.1, terse: false },
-            RenderProfile { abbrev: 0.15, drop_key: 0.15, typo: 0.05, drop_attr: 0.2, terse: true },
+            RenderProfile {
+                abbrev: 0.05,
+                drop_key: 0.05,
+                typo: 0.02,
+                drop_attr: 0.1,
+                terse: false,
+            },
+            RenderProfile {
+                abbrev: 0.15,
+                drop_key: 0.15,
+                typo: 0.05,
+                drop_attr: 0.2,
+                terse: true,
+            },
         ),
         EmFlavor::AmazonGoogle => (
-            RenderProfile { abbrev: 0.1, drop_key: 0.15, typo: 0.05, drop_attr: 0.15, terse: false },
-            RenderProfile { abbrev: 0.45, drop_key: 0.4, typo: 0.1, drop_attr: 0.4, terse: true },
+            RenderProfile {
+                abbrev: 0.1,
+                drop_key: 0.15,
+                typo: 0.05,
+                drop_attr: 0.15,
+                terse: false,
+            },
+            RenderProfile {
+                abbrev: 0.45,
+                drop_key: 0.4,
+                typo: 0.1,
+                drop_attr: 0.4,
+                terse: true,
+            },
         ),
         EmFlavor::WalmartAmazon => (
-            RenderProfile { abbrev: 0.1, drop_key: 0.1, typo: 0.04, drop_attr: 0.1, terse: false },
-            RenderProfile { abbrev: 0.25, drop_key: 0.25, typo: 0.06, drop_attr: 0.25, terse: true },
+            RenderProfile {
+                abbrev: 0.1,
+                drop_key: 0.1,
+                typo: 0.04,
+                drop_attr: 0.1,
+                terse: false,
+            },
+            RenderProfile {
+                abbrev: 0.25,
+                drop_key: 0.25,
+                typo: 0.06,
+                drop_attr: 0.25,
+                terse: true,
+            },
         ),
         EmFlavor::DblpAcm => (
-            RenderProfile { abbrev: 0.0, drop_key: 0.0, typo: 0.01, drop_attr: 0.0, terse: false },
-            RenderProfile { abbrev: 0.9, drop_key: 0.05, typo: 0.01, drop_attr: 0.05, terse: false },
+            RenderProfile {
+                abbrev: 0.0,
+                drop_key: 0.0,
+                typo: 0.01,
+                drop_attr: 0.0,
+                terse: false,
+            },
+            RenderProfile {
+                abbrev: 0.9,
+                drop_key: 0.05,
+                typo: 0.01,
+                drop_attr: 0.05,
+                terse: false,
+            },
         ),
         EmFlavor::DblpScholar => (
-            RenderProfile { abbrev: 0.0, drop_key: 0.0, typo: 0.01, drop_attr: 0.0, terse: false },
-            RenderProfile { abbrev: 0.7, drop_key: 0.25, typo: 0.05, drop_attr: 0.25, terse: true },
+            RenderProfile {
+                abbrev: 0.0,
+                drop_key: 0.0,
+                typo: 0.01,
+                drop_attr: 0.0,
+                terse: false,
+            },
+            RenderProfile {
+                abbrev: 0.7,
+                drop_key: 0.25,
+                typo: 0.05,
+                drop_attr: 0.25,
+                terse: true,
+            },
         ),
     }
 }
@@ -303,7 +377,13 @@ fn profiles(flavor: EmFlavor) -> (RenderProfile, RenderProfile) {
 fn maybe_typo(s: &str, p: f64, rng: &mut StdRng) -> String {
     if rng.random_bool(p) {
         s.split_whitespace()
-            .map(|w| if rng.random_bool(0.5) { typo(w, rng) } else { w.to_string() })
+            .map(|w| {
+                if rng.random_bool(0.5) {
+                    typo(w, rng)
+                } else {
+                    w.to_string()
+                }
+            })
             .collect::<Vec<_>>()
             .join(" ")
     } else {
@@ -313,8 +393,21 @@ fn maybe_typo(s: &str, p: f64, rng: &mut StdRng) -> String {
 
 fn render(e: &Entity, p: &RenderProfile, rng: &mut StdRng) -> Record {
     match e {
-        Entity::Product { brand, adj, ptype, model, capacity, unit, color, price } => {
-            let brand_str = if rng.random_bool(p.abbrev) { abbreviate(brand, rng) } else { brand.to_string() };
+        Entity::Product {
+            brand,
+            adj,
+            ptype,
+            model,
+            capacity,
+            unit,
+            color,
+            price,
+        } => {
+            let brand_str = if rng.random_bool(p.abbrev) {
+                abbreviate(brand, rng)
+            } else {
+                brand.to_string()
+            };
             let mut name = if p.terse {
                 format!("{brand_str} {adj} {model} {ptype}")
             } else {
@@ -334,12 +427,21 @@ fn render(e: &Entity, p: &RenderProfile, rng: &mut StdRng) -> Record {
                 attrs.push(("description".to_string(), maybe_typo(&desc, p.typo, rng)));
             }
             if !rng.random_bool(p.drop_attr) {
-                let price = if p.terse { jitter(*price, 0.05, rng) } else { *price };
+                let price = if p.terse {
+                    jitter(*price, 0.05, rng)
+                } else {
+                    *price
+                };
                 attrs.push(("price".to_string(), format!("{price:.2}")));
             }
             Record { attrs }
         }
-        Entity::Paper { title, authors, venue, year } => {
+        Entity::Paper {
+            title,
+            authors,
+            venue,
+            year,
+        } => {
             let mut t = title.clone();
             if rng.random_bool(p.drop_key) && t.len() > 3 {
                 t.truncate(t.len() - 1);
@@ -347,11 +449,21 @@ fn render(e: &Entity, p: &RenderProfile, rng: &mut StdRng) -> Record {
             let title_str = maybe_typo(&t.join(" "), p.typo, rng);
             let authors_str = authors
                 .iter()
-                .map(|(f, l)| if p.terse { format!("{} {l}", initial(f)) } else { format!("{f} {l}") })
+                .map(|(f, l)| {
+                    if p.terse {
+                        format!("{} {l}", initial(f))
+                    } else {
+                        format!("{f} {l}")
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join(" , ");
             let (full, abbr) = VENUES[*venue];
-            let venue_str = if rng.random_bool(p.abbrev) { abbr.to_string() } else { full.to_string() };
+            let venue_str = if rng.random_bool(p.abbrev) {
+                abbr.to_string()
+            } else {
+                full.to_string()
+            };
             let mut attrs = vec![
                 ("title".to_string(), title_str),
                 ("authors".to_string(), authors_str),
@@ -395,7 +507,13 @@ fn make_dirty(r: &mut Record, rng: &mut StdRng) {
 pub fn generate(flavor: EmFlavor, cfg: &EmConfig) -> EmDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ flavor_seed(flavor));
     let entities: Vec<Entity> = (0..cfg.num_entities)
-        .map(|_| if flavor.is_publication() { gen_paper(&mut rng) } else { gen_product(&mut rng) })
+        .map(|_| {
+            if flavor.is_publication() {
+                gen_paper(&mut rng)
+            } else {
+                gen_product(&mut rng)
+            }
+        })
         .collect();
     let (pa, pb) = profiles(flavor);
 
@@ -413,7 +531,11 @@ pub fn generate(flavor: EmFlavor, cfg: &EmConfig) -> EmDataset {
             make_dirty(&mut left, &mut rng);
             make_dirty(&mut right, &mut rng);
         }
-        pairs.push(LabeledPair { left, right, is_match: true });
+        pairs.push(LabeledPair {
+            left,
+            right,
+            is_match: true,
+        });
     }
     for i in 0..n_neg {
         let e = &entities[(i * 7 + 3) % entities.len()];
@@ -429,12 +551,25 @@ pub fn generate(flavor: EmFlavor, cfg: &EmConfig) -> EmDataset {
             make_dirty(&mut left, &mut rng);
             make_dirty(&mut right, &mut rng);
         }
-        pairs.push(LabeledPair { left, right, is_match: false });
+        pairs.push(LabeledPair {
+            left,
+            right,
+            is_match: false,
+        });
     }
     shuffle(&mut pairs, &mut rng);
     let test_pairs = pairs.split_off(cfg.train_pairs.min(pairs.len()));
-    let name = if cfg.dirty { format!("{}-dirty", flavor.name()) } else { flavor.name().to_string() };
-    EmDataset { name, flavor, train_pairs: pairs, test_pairs }
+    let name = if cfg.dirty {
+        format!("{}-dirty", flavor.name())
+    } else {
+        flavor.name().to_string()
+    };
+    EmDataset {
+        name,
+        flavor,
+        train_pairs: pairs,
+        test_pairs,
+    }
 }
 
 fn flavor_seed(flavor: EmFlavor) -> u64 {
@@ -517,7 +652,10 @@ pub fn all_em_tasks(cfg: &EmConfig) -> Vec<TaskDataset> {
         out.push(generate(flavor, cfg).to_task());
     }
     for flavor in EmFlavor::WITH_DIRTY {
-        let dirty_cfg = EmConfig { dirty: true, ..cfg.clone() };
+        let dirty_cfg = EmConfig {
+            dirty: true,
+            ..cfg.clone()
+        };
         out.push(generate(flavor, &dirty_cfg).to_task());
     }
     out
@@ -528,7 +666,10 @@ pub fn all_em_tasks(cfg: &EmConfig) -> Vec<TaskDataset> {
 pub fn jaccard(left: &Record, right: &Record) -> f32 {
     use std::collections::HashSet;
     let toks = |r: &Record| -> HashSet<String> {
-        r.attrs.iter().flat_map(|(_, v)| rotom_text::tokenize(v)).collect()
+        r.attrs
+            .iter()
+            .flat_map(|(_, v)| rotom_text::tokenize(v))
+            .collect()
     };
     let a = toks(left);
     let b = toks(right);
@@ -551,7 +692,12 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> EmConfig {
-        EmConfig { num_entities: 60, train_pairs: 120, test_pairs: 40, ..Default::default() }
+        EmConfig {
+            num_entities: 60,
+            train_pairs: 120,
+            test_pairs: 40,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -582,7 +728,12 @@ mod tests {
                 .collect();
             sel.iter().sum::<f32>() / sel.len() as f32
         };
-        assert!(avg(true) > avg(false) + 0.1, "pos {} vs neg {}", avg(true), avg(false));
+        assert!(
+            avg(true) > avg(false) + 0.1,
+            "pos {} vs neg {}",
+            avg(true),
+            avg(false)
+        );
     }
 
     #[test]
@@ -608,7 +759,10 @@ mod tests {
             .flat_map(|p| p.left.attrs.iter().chain(&p.right.attrs))
             .filter(|(_, v)| v.is_empty())
             .count();
-        assert!(empties > 0, "dirty variant produced no misplaced attributes");
+        assert!(
+            empties > 0,
+            "dirty variant produced no misplaced attributes"
+        );
     }
 
     #[test]
@@ -636,8 +790,18 @@ mod tests {
     #[test]
     fn block_candidates_matches_pairwise_blocking() {
         let d = generate(EmFlavor::AbtBuy, &quick_cfg());
-        let left: Vec<Record> = d.train_pairs.iter().take(30).map(|p| p.left.clone()).collect();
-        let right: Vec<Record> = d.train_pairs.iter().take(30).map(|p| p.right.clone()).collect();
+        let left: Vec<Record> = d
+            .train_pairs
+            .iter()
+            .take(30)
+            .map(|p| p.left.clone())
+            .collect();
+        let right: Vec<Record> = d
+            .train_pairs
+            .iter()
+            .take(30)
+            .map(|p| p.right.clone())
+            .collect();
         let fast = block_candidates(&left, &right, 2);
         for i in 0..left.len() {
             for j in 0..right.len() {
@@ -660,7 +824,12 @@ mod tests {
 
     #[test]
     fn all_em_tasks_yields_eight() {
-        let cfg = EmConfig { num_entities: 20, train_pairs: 30, test_pairs: 10, ..Default::default() };
+        let cfg = EmConfig {
+            num_entities: 20,
+            train_pairs: 30,
+            test_pairs: 10,
+            ..Default::default()
+        };
         let tasks = all_em_tasks(&cfg);
         assert_eq!(tasks.len(), 8);
         assert!(tasks.iter().filter(|t| t.name.ends_with("-dirty")).count() == 3);

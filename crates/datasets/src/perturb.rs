@@ -8,8 +8,8 @@
 //! * **Error injection** — EDT datasets corrupt clean cells with typos,
 //!   format breaks, and violations, following Raha's error taxonomy.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::RngExt;
 
 /// Introduce a single character-level typo (swap / delete / duplicate /
 /// replace). Words shorter than 3 chars are returned unchanged.
@@ -110,7 +110,7 @@ pub fn pick_distinct(len: usize, n: usize, rng: &mut StdRng) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

@@ -1,12 +1,11 @@
 //! Task-level dataset representation and sampling utilities.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::Example;
-use serde::{Deserialize, Serialize};
 
 /// Which of Rotom's three supported task families a dataset belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
     /// Entity matching (binary: match / no-match).
     EntityMatching,
@@ -19,7 +18,7 @@ pub enum TaskKind {
 /// A fully materialized sequence-classification dataset: the common currency
 /// between the generators, Rotom's training pipeline, and the benchmark
 /// harness.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskDataset {
     /// Dataset name (e.g. "Abt-Buy", "beers", "TREC").
     pub name: String,
@@ -147,7 +146,8 @@ mod tests {
     fn balanced_sample_pads_from_leftovers() {
         let mut d = toy();
         // Make class 1 tiny: only 3 examples.
-        d.train_pool.retain(|e| e.label == 0 || e.tokens[0].ends_with('1'));
+        d.train_pool
+            .retain(|e| e.label == 0 || e.tokens[0].ends_with('1'));
         d.train_pool.truncate(53);
         let s = d.sample_train_balanced(40, 5);
         assert_eq!(s.len(), 40);

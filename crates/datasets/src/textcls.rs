@@ -8,14 +8,13 @@
 use crate::perturb::pick;
 use crate::task::{shuffle, TaskDataset, TaskKind};
 use crate::words::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::Example;
 use rotom_text::tokenize;
-use serde::{Deserialize, Serialize};
 
 /// The eight TextCLS flavors of Table 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TextClsFlavor {
     /// AG news topics (4 classes).
     Ag,
@@ -76,7 +75,7 @@ impl TextClsFlavor {
 }
 
 /// Generator configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TextClsConfig {
     /// Size of the train pool (experiments sample 100–500 from it).
     pub train_pool: usize,
@@ -90,7 +89,12 @@ pub struct TextClsConfig {
 
 impl Default for TextClsConfig {
     fn default() -> Self {
-        Self { train_pool: 1200, test: 400, unlabeled: 800, seed: 21 }
+        Self {
+            train_pool: 1200,
+            test: 400,
+            unlabeled: 800,
+            seed: 21,
+        }
     }
 }
 
@@ -122,7 +126,10 @@ pub fn generate(flavor: TextClsFlavor, cfg: &TextClsConfig) -> TaskDataset {
 
 /// Generate all eight TextCLS datasets with one config.
 pub fn all_textcls_tasks(cfg: &TextClsConfig) -> Vec<TaskDataset> {
-    TextClsFlavor::ALL.iter().map(|&f| generate(f, cfg)).collect()
+    TextClsFlavor::ALL
+        .iter()
+        .map(|&f| generate(f, cfg))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -146,7 +153,15 @@ fn ag(class: usize, rng: &mut StdRng) -> String {
     let topic = AG_TOPIC_WORDS[class];
     let w1 = pick(topic, rng);
     let w2 = pick(topic, rng);
-    let verbs = ["announces", "reports", "faces", "plans", "confirms", "reveals", "warns of"];
+    let verbs = [
+        "announces",
+        "reports",
+        "faces",
+        "plans",
+        "confirms",
+        "reveals",
+        "warns of",
+    ];
     let v = pick(&verbs, rng);
     match rng.random_range(0..3u8) {
         0 => format!("{w1} {v} new {w2} move"),
@@ -191,12 +206,19 @@ fn review(class: usize, k: usize, movie: bool, rng: &mut StdRng) -> String {
         let n = band(NEG_ADJS, false, rng);
         return format!("the {noun} was {p} but the {noun2} felt {n} overall");
     }
-    let adj = if positive { band(POS_ADJS, strong, rng) } else { band(NEG_ADJS, strong, rng) };
+    let adj = if positive {
+        band(POS_ADJS, strong, rng)
+    } else {
+        band(NEG_ADJS, strong, rng)
+    };
     match rng.random_range(0..4u8) {
         0 => format!("the {noun} of {subject} is {adj}"),
         1 => format!("{subject} has a truly {adj} {noun}"),
         2 => format!("i found the {noun} {adj} and the {noun2} memorable"),
-        _ => format!("{adj} {noun} , would {} recommend", if positive { "definitely" } else { "not" }),
+        _ => format!(
+            "{adj} {noun} , would {} recommend",
+            if positive { "definitely" } else { "not" }
+        ),
     }
 }
 
@@ -210,7 +232,10 @@ fn trec(class: usize, rng: &mut StdRng) -> String {
         // abbreviation
         0 => match rng.random_range(0..2u8) {
             0 => format!("what does the abbreviation {} stand for", pick(STATES, rng)),
-            _ => format!("what is the full form of {}", pick(&["cpu", "dna", "nasa", "fbi", "sql"], rng)),
+            _ => format!(
+                "what is the full form of {}",
+                pick(&["cpu", "dna", "nasa", "fbi", "sql"], rng)
+            ),
         },
         // entity
         1 => match rng.random_range(0..3u8) {
@@ -249,9 +274,33 @@ fn trec(class: usize, rng: &mut StdRng) -> String {
 fn atis(class: usize, rng: &mut StdRng) -> String {
     let a = pick(CITIES, rng);
     let b = pick(CITIES, rng);
-    let day = pick(&["monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"], rng);
-    let airline = pick(&["united", "delta", "american", "alaska", "jetblue", "southwest"], rng);
-    let aircraft = pick(&["boeing 737", "airbus a320", "embraer 175", "boeing 757"], rng);
+    let day = pick(
+        &[
+            "monday",
+            "tuesday",
+            "wednesday",
+            "thursday",
+            "friday",
+            "saturday",
+            "sunday",
+        ],
+        rng,
+    );
+    let airline = pick(
+        &[
+            "united",
+            "delta",
+            "american",
+            "alaska",
+            "jetblue",
+            "southwest",
+        ],
+        rng,
+    );
+    let aircraft = pick(
+        &["boeing 737", "airbus a320", "embraer 175", "boeing 757"],
+        rng,
+    );
     match class {
         0 => format!("show me flights from {a} to {b} on {day}"),
         1 => format!("what is the airfare from {a} to {b}"),
@@ -311,7 +360,12 @@ mod tests {
 
     #[test]
     fn generated_sizes_match_config() {
-        let cfg = TextClsConfig { train_pool: 100, test: 30, unlabeled: 50, seed: 1 };
+        let cfg = TextClsConfig {
+            train_pool: 100,
+            test: 30,
+            unlabeled: 50,
+            seed: 1,
+        };
         let d = generate(TextClsFlavor::Trec, &cfg);
         assert_eq!(d.train_pool.len(), 100);
         assert_eq!(d.test.len(), 30);
@@ -320,7 +374,12 @@ mod tests {
 
     #[test]
     fn all_classes_present_in_pool() {
-        let cfg = TextClsConfig { train_pool: 240, test: 48, unlabeled: 0, seed: 2 };
+        let cfg = TextClsConfig {
+            train_pool: 240,
+            test: 48,
+            unlabeled: 0,
+            seed: 2,
+        };
         for flavor in TextClsFlavor::ALL {
             let d = generate(flavor, &cfg);
             for c in 0..d.num_classes {
@@ -342,7 +401,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = TextClsConfig { train_pool: 50, test: 10, unlabeled: 0, seed: 9 };
+        let cfg = TextClsConfig {
+            train_pool: 50,
+            test: 10,
+            unlabeled: 0,
+            seed: 9,
+        };
         let a = generate(TextClsFlavor::Sst5, &cfg);
         let b = generate(TextClsFlavor::Sst5, &cfg);
         assert_eq!(a.train_pool[0], b.train_pool[0]);
@@ -350,7 +414,12 @@ mod tests {
 
     #[test]
     fn sentiment_classes_use_different_polarity_words() {
-        let cfg = TextClsConfig { train_pool: 200, test: 0, unlabeled: 0, seed: 3 };
+        let cfg = TextClsConfig {
+            train_pool: 200,
+            test: 0,
+            unlabeled: 0,
+            seed: 3,
+        };
         let d = generate(TextClsFlavor::Am2, &cfg);
         let text_of = |label: usize| {
             d.train_pool
@@ -364,6 +433,8 @@ mod tests {
         assert!(pos.iter().any(|t| POS_ADJS.contains(&t.as_str())));
         assert!(neg.iter().any(|t| NEG_ADJS.contains(&t.as_str())));
         // Strong positive adjectives never appear in negative reviews.
-        assert!(!neg.iter().any(|t| POS_ADJS[POS_ADJS.len() / 2..].contains(&t.as_str())));
+        assert!(!neg
+            .iter()
+            .any(|t| POS_ADJS[POS_ADJS.len() / 2..].contains(&t.as_str())));
     }
 }

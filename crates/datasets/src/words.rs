@@ -6,60 +6,222 @@
 
 /// Consumer electronics / product brands (Abt-Buy, Walmart-Amazon flavors).
 pub const BRANDS: &[&str] = &[
-    "sony", "samsung", "panasonic", "canon", "nikon", "apple", "dell", "hp", "lenovo", "asus",
-    "logitech", "philips", "toshiba", "sharp", "sandisk", "kingston", "garmin", "bose", "jbl",
-    "netgear", "linksys", "epson", "brother", "olympus", "casio", "vtech", "belkin", "targus",
+    "sony",
+    "samsung",
+    "panasonic",
+    "canon",
+    "nikon",
+    "apple",
+    "dell",
+    "hp",
+    "lenovo",
+    "asus",
+    "logitech",
+    "philips",
+    "toshiba",
+    "sharp",
+    "sandisk",
+    "kingston",
+    "garmin",
+    "bose",
+    "jbl",
+    "netgear",
+    "linksys",
+    "epson",
+    "brother",
+    "olympus",
+    "casio",
+    "vtech",
+    "belkin",
+    "targus",
 ];
 
 /// Product categories with plausible head nouns.
 pub const PRODUCT_TYPES: &[&str] = &[
-    "camera", "laptop", "monitor", "printer", "speaker", "headphones", "keyboard", "mouse",
-    "router", "charger", "battery", "cable", "case", "phone", "tablet", "projector", "scanner",
-    "camcorder", "watch", "drive",
+    "camera",
+    "laptop",
+    "monitor",
+    "printer",
+    "speaker",
+    "headphones",
+    "keyboard",
+    "mouse",
+    "router",
+    "charger",
+    "battery",
+    "cable",
+    "case",
+    "phone",
+    "tablet",
+    "projector",
+    "scanner",
+    "camcorder",
+    "watch",
+    "drive",
 ];
 
 /// Product descriptors.
 pub const PRODUCT_ADJS: &[&str] = &[
-    "wireless", "portable", "digital", "professional", "premium", "standard", "compact",
-    "ultra", "slim", "rugged", "gaming", "ergonomic", "rechargeable", "waterproof", "foldable",
+    "wireless",
+    "portable",
+    "digital",
+    "professional",
+    "premium",
+    "standard",
+    "compact",
+    "ultra",
+    "slim",
+    "rugged",
+    "gaming",
+    "ergonomic",
+    "rechargeable",
+    "waterproof",
+    "foldable",
 ];
 
 /// Colors used in product listings.
-pub const COLORS: &[&str] = &["black", "white", "silver", "blue", "red", "green", "gray", "pink"];
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "blue", "red", "green", "gray", "pink",
+];
 
 /// Capacity/size units.
 pub const UNITS: &[&str] = &["gb", "tb", "mb", "inch", "mm", "mah", "watts", "oz", "lbs"];
 
 /// Database/systems paper title vocabulary (DBLP-ACM/Scholar flavors).
 pub const TITLE_WORDS: &[&str] = &[
-    "efficient", "effective", "scalable", "distributed", "parallel", "adaptive", "incremental",
-    "approximate", "optimal", "robust", "secure", "interactive", "automated", "unified",
-    "query", "queries", "database", "databases", "index", "indexing", "join", "joins",
-    "transaction", "transactions", "stream", "streams", "storage", "caching", "recovery",
-    "optimization", "processing", "evaluation", "estimation", "mining", "learning", "matching",
-    "cleaning", "integration", "discovery", "analysis", "summarization", "sampling",
-    "clustering", "classification", "partitioning", "replication", "compression", "encryption",
-    "relational", "spatial", "temporal", "graph", "semistructured", "probabilistic",
-    "timestamping", "views", "schemas", "workloads", "benchmarks", "systems",
+    "efficient",
+    "effective",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "approximate",
+    "optimal",
+    "robust",
+    "secure",
+    "interactive",
+    "automated",
+    "unified",
+    "query",
+    "queries",
+    "database",
+    "databases",
+    "index",
+    "indexing",
+    "join",
+    "joins",
+    "transaction",
+    "transactions",
+    "stream",
+    "streams",
+    "storage",
+    "caching",
+    "recovery",
+    "optimization",
+    "processing",
+    "evaluation",
+    "estimation",
+    "mining",
+    "learning",
+    "matching",
+    "cleaning",
+    "integration",
+    "discovery",
+    "analysis",
+    "summarization",
+    "sampling",
+    "clustering",
+    "classification",
+    "partitioning",
+    "replication",
+    "compression",
+    "encryption",
+    "relational",
+    "spatial",
+    "temporal",
+    "graph",
+    "semistructured",
+    "probabilistic",
+    "timestamping",
+    "views",
+    "schemas",
+    "workloads",
+    "benchmarks",
+    "systems",
 ];
 
 /// Connector words for paper titles.
-pub const TITLE_GLUE: &[&str] = &["for", "in", "of", "with", "over", "via", "using", "and", "on"];
+pub const TITLE_GLUE: &[&str] = &[
+    "for", "in", "of", "with", "over", "via", "using", "and", "on",
+];
 
 /// Author first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "charles", "karen", "wei", "yuki", "anil", "priya", "chen", "fatima", "olga",
-    "lars", "ingrid", "pedro",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "wei",
+    "yuki",
+    "anil",
+    "priya",
+    "chen",
+    "fatima",
+    "olga",
+    "lars",
+    "ingrid",
+    "pedro",
 ];
 
 /// Author last names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "chen", "wang", "kumar", "patel", "kim", "nguyen",
-    "schmidt", "mueller", "rossi",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "chen",
+    "wang",
+    "kumar",
+    "patel",
+    "kim",
+    "nguyen",
+    "schmidt",
+    "mueller",
+    "rossi",
 ];
 
 /// Publication venues (full names paired with abbreviations).
@@ -69,37 +231,65 @@ pub const VENUES: &[(&str, &str)] = &[
     ("international conference on data engineering", "icde"),
     ("conference on information and knowledge management", "cikm"),
     ("acm transactions on database systems", "tods"),
-    ("ieee transactions on knowledge and data engineering", "tkde"),
+    (
+        "ieee transactions on knowledge and data engineering",
+        "tkde",
+    ),
     ("extending database technology", "edbt"),
     ("knowledge discovery and data mining", "kdd"),
 ];
 
 /// Movie title vocabulary.
 pub const MOVIE_WORDS: &[&str] = &[
-    "dark", "last", "first", "lost", "hidden", "silent", "broken", "golden", "midnight",
-    "crimson", "eternal", "final", "secret", "wild", "frozen", "burning", "shadow", "light",
-    "night", "day", "city", "river", "mountain", "ocean", "garden", "empire", "kingdom",
-    "legacy", "return", "rise", "fall", "escape", "journey", "promise", "memory", "dream",
-    "storm", "winter", "summer", "heart",
+    "dark", "last", "first", "lost", "hidden", "silent", "broken", "golden", "midnight", "crimson",
+    "eternal", "final", "secret", "wild", "frozen", "burning", "shadow", "light", "night", "day",
+    "city", "river", "mountain", "ocean", "garden", "empire", "kingdom", "legacy", "return",
+    "rise", "fall", "escape", "journey", "promise", "memory", "dream", "storm", "winter", "summer",
+    "heart",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "action", "thriller", "horror", "romance", "documentary", "animation",
-    "crime", "adventure",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "horror",
+    "romance",
+    "documentary",
+    "animation",
+    "crime",
+    "adventure",
 ];
 
 /// US cities (hospital/tax flavors).
 pub const CITIES: &[&str] = &[
-    "springfield", "riverside", "franklin", "greenville", "bristol", "clinton", "fairview",
-    "salem", "madison", "georgetown", "arlington", "ashland", "burlington", "manchester",
-    "milton", "newport", "oxford", "clayton", "dover", "hudson",
+    "springfield",
+    "riverside",
+    "franklin",
+    "greenville",
+    "bristol",
+    "clinton",
+    "fairview",
+    "salem",
+    "madison",
+    "georgetown",
+    "arlington",
+    "ashland",
+    "burlington",
+    "manchester",
+    "milton",
+    "newport",
+    "oxford",
+    "clayton",
+    "dover",
+    "hudson",
 ];
 
 /// US states (abbreviations).
 pub const STATES: &[&str] = &[
-    "al", "ak", "az", "ca", "co", "ct", "fl", "ga", "il", "in", "ky", "ma", "md", "mi", "mn",
-    "mo", "nc", "ny", "oh", "or", "pa", "tx", "va", "wa", "wi",
+    "al", "ak", "az", "ca", "co", "ct", "fl", "ga", "il", "in", "ky", "ma", "md", "mi", "mn", "mo",
+    "nc", "ny", "oh", "or", "pa", "tx", "va", "wa", "wi",
 ];
 
 /// Street suffixes.
@@ -107,8 +297,22 @@ pub const STREET_SUFFIXES: &[&str] = &["street", "avenue", "road", "drive", "lan
 
 /// Street base names.
 pub const STREET_NAMES: &[&str] = &[
-    "main", "oak", "maple", "cedar", "pine", "elm", "washington", "lake", "hill", "park",
-    "church", "walnut", "spring", "ridge", "meadow", "sunset",
+    "main",
+    "oak",
+    "maple",
+    "cedar",
+    "pine",
+    "elm",
+    "washington",
+    "lake",
+    "hill",
+    "park",
+    "church",
+    "walnut",
+    "spring",
+    "ridge",
+    "meadow",
+    "sunset",
 ];
 
 /// Beer name components.
@@ -119,14 +323,24 @@ pub const BEER_ADJS: &[&str] = &[
 
 /// Beer nouns.
 pub const BEER_NOUNS: &[&str] = &[
-    "trail", "river", "canyon", "summit", "harvest", "barrel", "anchor", "raven", "fox",
-    "badger", "bison", "falcon", "prairie", "glacier", "ember",
+    "trail", "river", "canyon", "summit", "harvest", "barrel", "anchor", "raven", "fox", "badger",
+    "bison", "falcon", "prairie", "glacier", "ember",
 ];
 
 /// Beer styles.
 pub const BEER_STYLES: &[&str] = &[
-    "american ipa", "pale ale", "stout", "porter", "pilsner", "amber ale", "wheat beer",
-    "saison", "lager", "brown ale", "double ipa", "blonde ale",
+    "american ipa",
+    "pale ale",
+    "stout",
+    "porter",
+    "pilsner",
+    "amber ale",
+    "wheat beer",
+    "saison",
+    "lager",
+    "brown ale",
+    "double ipa",
+    "blonde ale",
 ];
 
 /// Brewery suffixes.
@@ -134,44 +348,145 @@ pub const BREWERY_SUFFIXES: &[&str] = &["brewing company", "brewery", "brewhouse
 
 /// Hospital measure names (hospital flavor).
 pub const MEASURES: &[&str] = &[
-    "heart attack care", "surgical infection prevention", "pneumonia care", "stroke care",
-    "emergency response", "patient safety", "readmission rate", "timely care",
+    "heart attack care",
+    "surgical infection prevention",
+    "pneumonia care",
+    "stroke care",
+    "emergency response",
+    "patient safety",
+    "readmission rate",
+    "timely care",
 ];
 
 /// Medical journal name components (rayyan flavor).
 pub const JOURNAL_WORDS: &[&str] = &[
-    "journal", "annals", "archives", "review", "bulletin", "proceedings", "reports",
+    "journal",
+    "annals",
+    "archives",
+    "review",
+    "bulletin",
+    "proceedings",
+    "reports",
 ];
 
 /// Medical fields (rayyan flavor).
 pub const MEDICAL_FIELDS: &[&str] = &[
-    "cardiology", "neurology", "oncology", "pediatrics", "epidemiology", "immunology",
-    "radiology", "surgery", "psychiatry", "pathology",
+    "cardiology",
+    "neurology",
+    "oncology",
+    "pediatrics",
+    "epidemiology",
+    "immunology",
+    "radiology",
+    "surgery",
+    "psychiatry",
+    "pathology",
 ];
 
 /// News topic vocabulary keyed by AG class (world, sports, business, sci/tech).
 pub const AG_TOPIC_WORDS: [&[&str]; 4] = [
-    &["government", "minister", "treaty", "border", "embassy", "summit", "election", "parliament", "sanctions", "diplomat"],
-    &["team", "season", "coach", "playoff", "championship", "score", "tournament", "league", "striker", "inning"],
-    &["market", "shares", "profit", "investors", "merger", "earnings", "stocks", "quarterly", "revenue", "trade"],
-    &["software", "researchers", "internet", "satellite", "processor", "startup", "encryption", "browser", "robotics", "genome"],
+    &[
+        "government",
+        "minister",
+        "treaty",
+        "border",
+        "embassy",
+        "summit",
+        "election",
+        "parliament",
+        "sanctions",
+        "diplomat",
+    ],
+    &[
+        "team",
+        "season",
+        "coach",
+        "playoff",
+        "championship",
+        "score",
+        "tournament",
+        "league",
+        "striker",
+        "inning",
+    ],
+    &[
+        "market",
+        "shares",
+        "profit",
+        "investors",
+        "merger",
+        "earnings",
+        "stocks",
+        "quarterly",
+        "revenue",
+        "trade",
+    ],
+    &[
+        "software",
+        "researchers",
+        "internet",
+        "satellite",
+        "processor",
+        "startup",
+        "encryption",
+        "browser",
+        "robotics",
+        "genome",
+    ],
 ];
 
 /// Positive sentiment adjectives graded mild → strong.
 pub const POS_ADJS: &[&str] = &[
-    "decent", "solid", "good", "great", "excellent", "wonderful", "fantastic", "amazing",
-    "superb", "outstanding", "brilliant", "flawless",
+    "decent",
+    "solid",
+    "good",
+    "great",
+    "excellent",
+    "wonderful",
+    "fantastic",
+    "amazing",
+    "superb",
+    "outstanding",
+    "brilliant",
+    "flawless",
 ];
 
 /// Negative sentiment adjectives graded mild → strong.
 pub const NEG_ADJS: &[&str] = &[
-    "mediocre", "bland", "weak", "poor", "bad", "disappointing", "terrible", "awful",
-    "dreadful", "horrible", "unwatchable", "worthless",
+    "mediocre",
+    "bland",
+    "weak",
+    "poor",
+    "bad",
+    "disappointing",
+    "terrible",
+    "awful",
+    "dreadful",
+    "horrible",
+    "unwatchable",
+    "worthless",
 ];
 
 /// Review subjects.
 pub const REVIEW_NOUNS: &[&str] = &[
-    "plot", "acting", "soundtrack", "pacing", "script", "ending", "cast", "dialogue",
-    "cinematography", "story", "battery", "screen", "build quality", "sound", "design",
-    "performance", "interface", "packaging", "price", "delivery",
+    "plot",
+    "acting",
+    "soundtrack",
+    "pacing",
+    "script",
+    "ending",
+    "cast",
+    "dialogue",
+    "cinematography",
+    "story",
+    "battery",
+    "screen",
+    "build quality",
+    "sound",
+    "design",
+    "performance",
+    "interface",
+    "packaging",
+    "price",
+    "delivery",
 ];

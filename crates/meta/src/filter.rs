@@ -13,9 +13,9 @@
 //! estimator (Eq. 3): the log-probability of the realized keep decisions is
 //! scaled by the (constant) validation loss.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom_nn::{Adam, Initializer, ParamId, ParamStore, Tape, Tensor};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 
 /// Filtering model: perceptron over `2·|V|` features with 2 outputs
 /// (drop / keep).
@@ -34,9 +34,22 @@ impl FilterModel {
     pub fn new(num_classes: usize, lr: f32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let w = store.alloc("filter.w", 2 * num_classes, 2, Initializer::Uniform(0.1), &mut rng);
+        let w = store.alloc(
+            "filter.w",
+            2 * num_classes,
+            2,
+            Initializer::Uniform(0.1),
+            &mut rng,
+        );
         let b = store.alloc("filter.b", 1, 2, Initializer::Zeros, &mut rng);
-        Self { store, w, b, num_classes, opt: Adam::new(lr), last_keep_rate: 1.0 }
+        Self {
+            store,
+            w,
+            b,
+            num_classes,
+            opt: Adam::new(lr),
+            last_keep_rate: 1.0,
+        }
     }
 
     /// Feature vector `concat(onehot(y), p_M(x) · log(p_M(x)/p_M(x̂)))`.
@@ -59,7 +72,11 @@ impl FilterModel {
 
     /// Probability that the example passes the filter.
     pub fn prob_keep(&self, features: &[f32]) -> f32 {
-        assert_eq!(features.len(), 2 * self.num_classes, "feature width mismatch");
+        assert_eq!(
+            features.len(),
+            2 * self.num_classes,
+            "feature width mismatch"
+        );
         let logits = self.logits(features);
         let p = rotom_nn::softmax_slice(&logits);
         p[1]

@@ -32,8 +32,8 @@ pub use target::{MetaTarget, WeightedItem};
 pub use trainer::{AblationConfig, EpochStats, MetaConfig, MetaTrainer, SslConfig};
 pub use weight::{l2_distance, WeightBatch, WeightModel};
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::RngExt;
 
 /// Fisher–Yates shuffle (shared helper).
 pub(crate) fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {

@@ -7,7 +7,7 @@
 //! Any sequence classifier implementing [`MetaTarget`] (the TinyLm stand-in
 //! for RoBERTa/DistilBERT, the GRU baselines, …) can be meta-trained.
 
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// One weighted training item: input sequence, (soft) target distribution,
 /// and the example weight assigned by the weighting model.
@@ -27,12 +27,19 @@ impl WeightedItem {
     pub fn hard(tokens: Vec<String>, label: usize, num_classes: usize) -> Self {
         let mut target = vec![0.0; num_classes];
         target[label] = 1.0;
-        Self { tokens, target, weight: 1.0 }
+        Self {
+            tokens,
+            target,
+            weight: 1.0,
+        }
     }
 }
 
 /// A sequence classifier trainable by Rotom's meta-learning loop.
-pub trait MetaTarget {
+///
+/// `Sync` is required so the trainer can score candidate examples across the
+/// worker pool (forward passes are `&self` and side-effect free).
+pub trait MetaTarget: Sync {
     /// Number of output classes.
     fn num_classes(&self) -> usize;
 

@@ -27,15 +27,15 @@ use crate::filter::FilterModel;
 use crate::sharpen::guess_label;
 use crate::target::{MetaTarget, WeightedItem};
 use crate::weight::{l2_distance, WeightModel};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use rotom_nn::TransformerConfig;
+use rotom_nn::{RotomPool, TransformerConfig};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::{AugExample, Example};
 use rotom_text::vocab::Vocab;
-use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Semi-supervised learning options (§5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SslConfig {
     /// Temperature for `sharpen_v1` (paper default 0.5).
     pub temperature: f32,
@@ -49,13 +49,17 @@ pub struct SslConfig {
 
 impl Default for SslConfig {
     fn default() -> Self {
-        Self { temperature: 0.5, threshold: 0.8, min_confidence: 0.6 }
+        Self {
+            temperature: 0.5,
+            threshold: 0.8,
+            min_confidence: 0.6,
+        }
     }
 }
 
 /// Ablation switches for the meta-learning framework (used by the ablation
 /// benchmark to quantify each component's contribution).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AblationConfig {
     /// Disable the filtering model (keep every augmented example).
     pub disable_filter: bool,
@@ -66,7 +70,7 @@ pub struct AblationConfig {
 }
 
 /// Meta-trainer hyper-parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetaConfig {
     /// Training batch size (paper: 32).
     pub batch_size: usize,
@@ -133,11 +137,23 @@ pub struct MetaTrainer {
 impl MetaTrainer {
     /// Create a meta-trainer. `vocab`/`enc_cfg` configure the weighting
     /// model's LM encoder ("the same LM architecture as the target model").
-    pub fn new(num_classes: usize, vocab: Vocab, enc_cfg: TransformerConfig, cfg: MetaConfig) -> Self {
+    pub fn new(
+        num_classes: usize,
+        vocab: Vocab,
+        enc_cfg: TransformerConfig,
+        cfg: MetaConfig,
+    ) -> Self {
         let filter = FilterModel::new(num_classes, cfg.filter_lr, cfg.seed ^ 0xf11);
         let weight = WeightModel::new(vocab, enc_cfg, cfg.weight_lr, cfg.seed ^ 0x3e1);
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a9);
-        Self { filter, weight, cfg, rng, val_baseline: 0.0, baseline_initialized: false }
+        Self {
+            filter,
+            weight,
+            cfg,
+            rng,
+            val_baseline: 0.0,
+            baseline_initialized: false,
+        }
     }
 
     /// Run one epoch of Algorithm 2.
@@ -159,6 +175,7 @@ impl MetaTrainer {
         assert!(!val.is_empty(), "empty validation set");
         let k = target.num_classes();
         let b = self.cfg.batch_size;
+        let workers = RotomPool::global();
         let mut order: Vec<usize> = (0..train_aug.len()).collect();
         crate::shuffle(&mut order, &mut self.rng);
 
@@ -173,12 +190,28 @@ impl MetaTrainer {
             let mut kept_features: Vec<Vec<f32>> = Vec::new();
             let mut keep_probs_sum = 0.0f32;
             let mut seen = 0usize;
+            // Windowed prefetch of candidate scores. The target is read-only
+            // while a batch is being assembled (the phase-1 step comes
+            // after), so scoring one window ahead across the worker pool
+            // yields exactly the values the serial loop would compute, in
+            // the same order. Scores left over when the batch closes are
+            // discarded — the optimizer step invalidates them.
+            let mut scored: VecDeque<(Vec<f32>, Vec<f32>)> = VecDeque::new();
+            let mut scored_to = cursor;
             while items.len() < b && cursor < order.len() {
+                if scored.is_empty() {
+                    let window = &order[scored_to..(scored_to + b).min(order.len())];
+                    let t: &T = target;
+                    scored.extend(workers.map(window.len(), |j| {
+                        let e = &train_aug[window[j]];
+                        (t.predict_proba(&e.orig), t.predict_proba(&e.aug))
+                    }));
+                    scored_to += window.len();
+                }
                 let e = &train_aug[order[cursor]];
                 cursor += 1;
                 seen += 1;
-                let p_orig = target.predict_proba(&e.orig);
-                let p_aug = target.predict_proba(&e.aug);
+                let (p_orig, p_aug) = scored.pop_front().expect("prefetch window drained");
                 let mut y = vec![0.0f32; k];
                 y[e.label] = 1.0;
                 let feat = FilterModel::features(&y, &p_orig, &p_aug);
@@ -188,15 +221,27 @@ impl MetaTrainer {
                 {
                     continue;
                 }
-                let l2 = if self.cfg.ablation.disable_l2 { 0.0 } else { l2_distance(&p_aug, &y) };
+                let l2 = if self.cfg.ablation.disable_l2 {
+                    0.0
+                } else {
+                    l2_distance(&p_aug, &y)
+                };
                 l2_terms.push(l2);
                 kept_features.push(feat);
-                items.push(WeightedItem { tokens: e.aug.clone(), target: y, weight: 1.0 });
+                items.push(WeightedItem {
+                    tokens: e.aug.clone(),
+                    target: y,
+                    weight: 1.0,
+                });
             }
             if items.is_empty() {
                 continue;
             }
-            let keep_rate = if seen > 0 { keep_probs_sum / seen as f32 } else { 1.0 };
+            let keep_rate = if seen > 0 {
+                keep_probs_sum / seen as f32
+            } else {
+                1.0
+            };
 
             // ----------------------------------------------------------
             // SSL: append a batch of unlabeled examples with guessed labels
@@ -251,8 +296,7 @@ impl MetaTrainer {
                 for (it, &w) in items.iter_mut().zip(&normalized) {
                     it.weight = w;
                 }
-                stats.mean_weight +=
-                    batch.raw.iter().sum::<f32>() / batch.raw.len() as f32;
+                stats.mean_weight += batch.raw.iter().sum::<f32>() / batch.raw.len() as f32;
                 Some(batch)
             };
             if self.cfg.ablation.disable_weighting {
@@ -273,7 +317,8 @@ impl MetaTrainer {
             // M' = M − η·∇M Losstrain (paper line 8; M here is the
             // post-phase-1 parameters, matching the overloaded notation).
             target.add_scaled(&g, -eta);
-            let val_batch: Vec<WeightedItem> = sample_items(val, self.cfg.val_batch_size, k, &mut self.rng);
+            let val_batch: Vec<WeightedItem> =
+                sample_items(val, self.cfg.val_batch_size, k, &mut self.rng);
             let val_loss = target.weighted_loss_backward(&val_batch, false, &mut self.rng);
             let v = target.flat_grads();
             // Restore M.
@@ -287,11 +332,16 @@ impl MetaTrainer {
                 target.add_scaled(&v, -2.0 * eps);
                 let c_minus = target.per_example_losses(&items);
                 target.add_scaled(&v, eps);
-                self.weight.update_finite_difference(weight_batch, &c_plus, &c_minus, eta, eps);
+                self.weight
+                    .update_finite_difference(weight_batch, &c_plus, &c_minus, eta, eps);
             }
 
             // REINFORCE with a running-mean baseline (see module docs).
-            let reward = if self.baseline_initialized { val_loss - self.val_baseline } else { 0.0 };
+            let reward = if self.baseline_initialized {
+                val_loss - self.val_baseline
+            } else {
+                0.0
+            };
             if self.baseline_initialized {
                 self.val_baseline = 0.9 * self.val_baseline + 0.1 * val_loss;
             } else {
@@ -345,10 +395,19 @@ mod tests {
 
     impl BowTarget {
         fn new(words: &[&str], k: usize, lr: f32) -> Self {
-            let vocab: HashMap<String, usize> =
-                words.iter().enumerate().map(|(i, w)| (w.to_string(), i)).collect();
+            let vocab: HashMap<String, usize> = words
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (w.to_string(), i))
+                .collect();
             let v = vocab.len();
-            Self { vocab, w: vec![0.0; v * k], grads: vec![0.0; v * k], k, lr }
+            Self {
+                vocab,
+                w: vec![0.0; v * k],
+                grads: vec![0.0; v * k],
+                k,
+                lr,
+            }
         }
 
         fn feats(&self, tokens: &[String]) -> Vec<f32> {
@@ -381,7 +440,12 @@ mod tests {
         fn predict_proba(&self, tokens: &[String]) -> Vec<f32> {
             rotom_nn::softmax_slice(&self.logits(&self.feats(tokens)))
         }
-        fn weighted_loss_backward(&mut self, items: &[WeightedItem], _train: bool, _rng: &mut StdRng) -> f32 {
+        fn weighted_loss_backward(
+            &mut self,
+            items: &[WeightedItem],
+            _train: bool,
+            _rng: &mut StdRng,
+        ) -> f32 {
             self.grads.fill(0.0);
             let mut loss = 0.0f32;
             let n = items.len() as f32;
@@ -474,7 +538,15 @@ mod tests {
         let seqs: Vec<Vec<String>> = vec![words().iter().map(|s| s.to_string()).collect()];
         let refs: Vec<&[String]> = seqs.iter().map(|s| s.as_slice()).collect();
         let vocab = Vocab::build(refs, 32);
-        let enc = TransformerConfig { vocab: 0, d_model: 16, heads: 2, d_ff: 32, layers: 1, max_len: 12, dropout: 0.0 };
+        let enc = TransformerConfig {
+            vocab: 0,
+            d_model: 16,
+            heads: 2,
+            d_ff: 32,
+            layers: 1,
+            max_len: 12,
+            dropout: 0.0,
+        };
         let cfg = MetaConfig {
             batch_size: 4,
             val_batch_size: 8,
@@ -542,8 +614,11 @@ mod tests {
         let (train, aug) = toy_data();
         let mut target = BowTarget::new(&words(), 2, 0.2);
         let mut t = trainer(false);
-        t.cfg.ablation =
-            AblationConfig { disable_filter: true, disable_weighting: true, disable_l2: true };
+        t.cfg.ablation = AblationConfig {
+            disable_filter: true,
+            disable_weighting: true,
+            disable_l2: true,
+        };
         let stats = t.train_epoch(&mut target, &aug, &train, &[]);
         // No filtering: every example enters a batch, so with batch 4 and a
         // 21-example pool we get at least 5 full steps.

@@ -22,11 +22,11 @@
 //! which needs only the per-example losses `c±_i` under the two probes plus
 //! one backward pass through `M_W`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rotom_nn::{
     Adam, FwdCtx, Linear, NodeId, ParamStore, Tape, TransformerConfig, TransformerEncoder,
 };
+use rotom_rng::rngs::StdRng;
+use rotom_rng::SeedableRng;
 use rotom_text::vocab::Vocab;
 
 /// Weighting model: Transformer encoder + scalar head.
@@ -68,7 +68,13 @@ impl WeightModel {
         let mut store = ParamStore::new();
         let encoder = TransformerEncoder::new(&mut store, &mut rng, "weight.enc", cfg.clone());
         let head = Linear::new(&mut store, &mut rng, "weight.head", cfg.d_model, 1);
-        Self { store, encoder, head, vocab, opt: Adam::new(lr) }
+        Self {
+            store,
+            encoder,
+            head,
+            vocab,
+            opt: Adam::new(lr),
+        }
     }
 
     /// Forward the weighting model over a batch of `(x̂ tokens, l2_term)`
@@ -104,7 +110,11 @@ impl WeightModel {
         eta: f32,
         eps: f32,
     ) {
-        let WeightBatch { mut tape, nodes, raw } = batch;
+        let WeightBatch {
+            mut tape,
+            nodes,
+            raw,
+        } = batch;
         assert_eq!(nodes.len(), c_plus.len());
         assert_eq!(nodes.len(), c_minus.len());
         if nodes.is_empty() {
@@ -162,10 +172,19 @@ mod tests {
     use rotom_text::tokenize;
 
     fn toy_model() -> WeightModel {
-        let seqs: Vec<Vec<String>> = vec![tokenize("good plot bad sound fine story extra words here")];
+        let seqs: Vec<Vec<String>> =
+            vec![tokenize("good plot bad sound fine story extra words here")];
         let refs: Vec<&[String]> = seqs.iter().map(|s| s.as_slice()).collect();
         let vocab = Vocab::build(refs, 64);
-        let cfg = TransformerConfig { vocab: 0, d_model: 16, heads: 2, d_ff: 32, layers: 1, max_len: 16, dropout: 0.0 };
+        let cfg = TransformerConfig {
+            vocab: 0,
+            d_model: 16,
+            heads: 2,
+            d_ff: 32,
+            layers: 1,
+            max_len: 16,
+            dropout: 0.0,
+        };
         WeightModel::new(vocab, cfg, 5e-3, 0)
     }
 
@@ -205,10 +224,8 @@ mod tests {
         // on it pushes M against ∇Lossval). Example 0 (c+ − c− = 0.8) should
         // therefore gain weight relative to example 1 (c+ − c− = 0).
         let mut m = toy_model();
-        let items: Vec<(Vec<String>, f32)> = vec![
-            (tokenize("good plot"), 0.0),
-            (tokenize("bad sound"), 0.0),
-        ];
+        let items: Vec<(Vec<String>, f32)> =
+            vec![(tokenize("good plot"), 0.0), (tokenize("bad sound"), 0.0)];
         let before = m.forward_batch(&items).normalized();
         for _ in 0..30 {
             let batch = m.forward_batch(&items);

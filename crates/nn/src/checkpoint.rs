@@ -117,7 +117,10 @@ pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, CheckpointError> {
 
 /// Load parsed `(name, tensor)` pairs into a store, matching by name.
 /// Every store parameter must be covered with an identical shape.
-pub fn load_into(store: &mut ParamStore, params: &[(String, Tensor)]) -> Result<(), CheckpointError> {
+pub fn load_into(
+    store: &mut ParamStore,
+    params: &[(String, Tensor)],
+) -> Result<(), CheckpointError> {
     for id in store.ids().collect::<Vec<_>>() {
         let name = store.name(id).to_string();
         let found = params.iter().find(|(n, _)| *n == name).ok_or_else(|| {
@@ -157,8 +160,8 @@ pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), Checkp
 mod tests {
     use super::*;
     use crate::init::Initializer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rotom_rng::rngs::StdRng;
+    use rotom_rng::SeedableRng;
 
     fn store() -> ParamStore {
         let mut rng = StdRng::seed_from_u64(3);
@@ -174,7 +177,9 @@ mod tests {
         let text = to_string(&src);
         let mut dst = store();
         // Perturb so the load has observable effect.
-        dst.value_mut(dst.ids().next().unwrap()).data_mut().fill(9.0);
+        dst.value_mut(dst.ids().next().unwrap())
+            .data_mut()
+            .fill(9.0);
         load_into(&mut dst, &parse(&text).unwrap()).unwrap();
         assert_eq!(src.flat_values(), dst.flat_values());
     }
@@ -190,7 +195,10 @@ mod tests {
         let text = to_string(&src).replace("layer.b 1 3", "layer.b 3 1");
         let parsed = parse(&text).unwrap();
         let mut dst = store();
-        assert!(matches!(load_into(&mut dst, &parsed), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            load_into(&mut dst, &parsed),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -199,7 +207,10 @@ mod tests {
         let mut parsed = parse(&to_string(&src)).unwrap();
         parsed.pop();
         let mut dst = store();
-        assert!(matches!(load_into(&mut dst, &parsed), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            load_into(&mut dst, &parsed),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -210,7 +221,9 @@ mod tests {
         let path = dir.join("model.ckpt");
         save(&src, &path).unwrap();
         let mut dst = store();
-        dst.value_mut(dst.ids().next().unwrap()).data_mut().fill(0.0);
+        dst.value_mut(dst.ids().next().unwrap())
+            .data_mut()
+            .fill(0.0);
         load(&mut dst, &path).unwrap();
         assert_eq!(src.flat_values(), dst.flat_values());
         let _ = std::fs::remove_file(path);

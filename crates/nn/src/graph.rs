@@ -32,7 +32,10 @@ enum Op {
     /// Leaf holding a snapshot of a parameter value.
     Param(ParamId),
     /// Row-gather from an embedding table parameter.
-    Embedding { table: ParamId, indices: Vec<usize> },
+    Embedding {
+        table: ParamId,
+        indices: Vec<usize>,
+    },
     /// `a (m x k) * b (k x n)`.
     Matmul(NodeId, NodeId),
     /// `a (m x k) * b^T (n x k)`.
@@ -64,17 +67,31 @@ enum Op {
         cache: Vec<(f32, f32)>,
     },
     /// Inverted dropout; `mask` holds `0` or `1/(1-p)` per element.
-    Dropout { x: NodeId, mask: Vec<f32> },
+    Dropout {
+        x: NodeId,
+        mask: Vec<f32>,
+    },
     ConcatCols(Vec<NodeId>),
     ConcatRows(Vec<NodeId>),
-    SliceCols { x: NodeId, start: usize, len: usize },
-    SliceRows { x: NodeId, start: usize, len: usize },
+    SliceCols {
+        x: NodeId,
+        start: usize,
+        len: usize,
+    },
+    SliceRows {
+        x: NodeId,
+        start: usize,
+        len: usize,
+    },
     /// Mean over rows: `m x n -> 1 x n`.
     MeanRows(NodeId),
     /// Sum of equal-shaped nodes.
     SumNodes(Vec<NodeId>),
     /// Multiply a tensor by a `1x1` scalar node.
-    MulScalar { x: NodeId, s: NodeId },
+    MulScalar {
+        x: NodeId,
+        s: NodeId,
+    },
     /// Mean cross-entropy over rows of logits against soft targets.
     CrossEntropy {
         logits: NodeId,
@@ -104,11 +121,17 @@ pub struct Tape {
 impl Tape {
     /// Create an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(256) }
+        Self {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> NodeId {
-        self.nodes.push(Node { op, value, grad: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -161,7 +184,10 @@ impl Tape {
         }
         let value = Tensor::from_vec(out, indices.len(), d);
         self.push(
-            Op::Embedding { table, indices: indices.to_vec() },
+            Op::Embedding {
+                table,
+                indices: indices.to_vec(),
+            },
             value,
         )
     }
@@ -281,7 +307,11 @@ impl Tape {
     pub fn masked_softmax(&mut self, a: NodeId, mask: Option<AttnMask>) -> NodeId {
         let x = self.value(a);
         if let Some(m) = &mask {
-            assert_eq!((m.rows(), m.cols()), (x.rows(), x.cols()), "mask shape mismatch");
+            assert_eq!(
+                (m.rows(), m.cols()),
+                (x.rows(), x.cols()),
+                "mask shape mismatch"
+            );
         }
         let mut out = Tensor::zeros(x.rows(), x.cols());
         for i in 0..x.rows() {
@@ -333,7 +363,16 @@ impl Tape {
                 *o = (v - mean) * inv_std * gg + bb;
             }
         }
-        self.push(Op::LayerNorm { x, gamma, beta, eps, cache }, out)
+        self.push(
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+                cache,
+            },
+            out,
+        )
     }
 
     /// Inverted dropout with keep-probability `1 - p`. `mask_bits` must have
@@ -345,7 +384,10 @@ impl Tape {
                 let xv = self.value(x);
                 assert_eq!(bits.len(), xv.len(), "dropout mask length mismatch");
                 let keep = 1.0 - p;
-                let mask: Vec<f32> = bits.iter().map(|&b| if b { 1.0 / keep } else { 0.0 }).collect();
+                let mask: Vec<f32> = bits
+                    .iter()
+                    .map(|&b| if b { 1.0 / keep } else { 0.0 })
+                    .collect();
                 let data: Vec<f32> = xv.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
                 let value = Tensor::from_vec(data, xv.rows(), xv.cols());
                 self.push(Op::Dropout { x, mask }, value)
@@ -386,7 +428,10 @@ impl Tape {
             assert_eq!(v.cols(), cols, "concat_rows col mismatch");
             data.extend_from_slice(v.data());
         }
-        self.push(Op::ConcatRows(parts.to_vec()), Tensor::from_vec(data, total, cols))
+        self.push(
+            Op::ConcatRows(parts.to_vec()),
+            Tensor::from_vec(data, total, cols),
+        )
     }
 
     /// Take columns `start..start+len`.
@@ -395,7 +440,8 @@ impl Tape {
         assert!(start + len <= v.cols(), "slice_cols out of bounds");
         let mut out = Tensor::zeros(v.rows(), len);
         for r in 0..v.rows() {
-            out.row_slice_mut(r).copy_from_slice(&v.row_slice(r)[start..start + len]);
+            out.row_slice_mut(r)
+                .copy_from_slice(&v.row_slice(r)[start..start + len]);
         }
         self.push(Op::SliceCols { x, start, len }, out)
     }
@@ -408,7 +454,10 @@ impl Tape {
         for r in start..start + len {
             data.extend_from_slice(v.row_slice(r));
         }
-        self.push(Op::SliceRows { x, start, len }, Tensor::from_vec(data, len, v.cols()))
+        self.push(
+            Op::SliceRows { x, start, len },
+            Tensor::from_vec(data, len, v.cols()),
+        )
     }
 
     /// Mean over rows: `m x n -> 1 x n`.
@@ -485,7 +534,11 @@ impl Tape {
         }
         let value = Tensor::scalar((loss / m as f64) as f32);
         self.push(
-            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
             value,
         )
     }
@@ -540,14 +593,14 @@ impl Tape {
             Op::Matmul(a, b) => {
                 // dA = dC * B^T ; dB = A^T * dC
                 let da = grad.matmul_transpose_b(self.value(*b));
-                let db = self.value(*a).transpose().matmul(grad);
+                let db = self.value(*a).matmul_transpose_a(grad);
                 self.add_grad(*a, &da);
                 self.add_grad(*b, &db);
             }
             Op::MatmulTb(a, b) => {
                 // C = A * B^T ; dA = dC * B ; dB = dC^T * A
                 let da = grad.matmul(self.value(*b));
-                let db = grad.transpose().matmul(self.value(*a));
+                let db = grad.matmul_transpose_a(self.value(*a));
                 self.add_grad(*a, &da);
                 self.add_grad(*b, &db);
             }
@@ -588,7 +641,8 @@ impl Tape {
                 self.add_grad(*a, &da);
                 let mut rg = vec![0.0f32; grad.cols()];
                 for r in 0..grad.rows() {
-                    for ((o, &g), &a_) in rg.iter_mut().zip(grad.row_slice(r)).zip(av.row_slice(r)) {
+                    for ((o, &g), &a_) in rg.iter_mut().zip(grad.row_slice(r)).zip(av.row_slice(r))
+                    {
                         *o += g * a_;
                     }
                 }
@@ -647,7 +701,13 @@ impl Tape {
                 }
                 self.add_grad(*a, &da);
             }
-            Op::LayerNorm { x, gamma, beta, eps: _, cache } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps: _,
+                cache,
+            } => {
                 let xv = self.value(*x).clone();
                 let gv = self.value(*gamma).clone();
                 let n = xv.cols() as f32;
@@ -693,7 +753,8 @@ impl Tape {
                     let rows = grad.rows();
                     let mut dp = Tensor::zeros(rows, w);
                     for r in 0..rows {
-                        dp.row_slice_mut(r).copy_from_slice(&grad.row_slice(r)[off..off + w]);
+                        dp.row_slice_mut(r)
+                            .copy_from_slice(&grad.row_slice(r)[off..off + w]);
                     }
                     self.add_grad(p, &dp);
                     off += w;
@@ -724,7 +785,8 @@ impl Tape {
                 let v = self.value(*x);
                 let mut dx = Tensor::zeros(v.rows(), v.cols());
                 for r in 0..*len {
-                    dx.row_slice_mut(start + r).copy_from_slice(grad.row_slice(r));
+                    dx.row_slice_mut(start + r)
+                        .copy_from_slice(grad.row_slice(r));
                 }
                 self.add_grad(*x, &dx);
             }
@@ -768,7 +830,11 @@ impl Tape {
                 let dx = grad.zip(&y, |g, inv| -g * inv * inv);
                 self.add_grad(*x, &dx);
             }
-            Op::CrossEntropy { logits, targets, probs } => {
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
                 let g = grad.item();
                 let lv = self.value(*logits);
                 let (m, c) = (lv.rows(), lv.cols());
@@ -821,8 +887,8 @@ fn gelu_bwd(x: f32) -> f32 {
 mod tests {
     use super::*;
     use crate::init::Initializer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rotom_rng::rngs::StdRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn matmul_forward_backward() {
@@ -937,11 +1003,7 @@ mod tests {
 
     /// Generic finite-difference check for a graph built over a single
     /// parameter tensor.
-    fn gradcheck_param(
-        rows: usize,
-        cols: usize,
-        build: impl Fn(&mut Tape, NodeId) -> NodeId,
-    ) {
+    fn gradcheck_param(rows: usize, cols: usize, build: impl Fn(&mut Tape, NodeId) -> NodeId) {
         let mut rng = StdRng::seed_from_u64(77);
         let mut store = ParamStore::new();
         let w = store.alloc("w", rows, cols, Initializer::Uniform(0.7), &mut rng);
@@ -949,7 +1011,11 @@ mod tests {
             let mut tape = Tape::new();
             let wn = tape.param(w, store);
             let out = build(&mut tape, wn);
-            let loss = if tape.value(out).len() == 1 { out } else { tape.sum_all(out) };
+            let loss = if tape.value(out).len() == 1 {
+                out
+            } else {
+                tape.sum_all(out)
+            };
             let v = tape.value(loss).item();
             if backward {
                 store.zero_grad();
@@ -982,7 +1048,11 @@ mod tests {
     #[test]
     fn gradcheck_mul_row() {
         gradcheck_param(1, 4, |t, w| {
-            let x = t.input(Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.5, 0.1, -0.4, 0.8, -1.1], 2, 4));
+            let x = t.input(Tensor::from_vec(
+                vec![0.3, -0.7, 1.2, 0.5, 0.1, -0.4, 0.8, -1.1],
+                2,
+                4,
+            ));
             t.mul_row(x, w)
         });
     }

@@ -1,8 +1,8 @@
 //! Weight initialization schemes.
 
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::RngExt;
 
 /// Initialization scheme for a parameter tensor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +53,7 @@ fn normal_sample(rng: &mut StdRng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn xavier_bounds() {
@@ -75,7 +75,15 @@ mod tests {
     #[test]
     fn zeros_and_ones() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(Initializer::Zeros.tensor(2, 2, &mut rng).data().iter().all(|&v| v == 0.0));
-        assert!(Initializer::Ones.tensor(2, 2, &mut rng).data().iter().all(|&v| v == 1.0));
+        assert!(Initializer::Zeros
+            .tensor(2, 2, &mut rng)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(Initializer::Ones
+            .tensor(2, 2, &mut rng)
+            .data()
+            .iter()
+            .all(|&v| v == 1.0));
     }
 }

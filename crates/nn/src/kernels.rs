@@ -1,0 +1,542 @@
+//! Cache-blocked, register-tiled matmul kernels with row-parallel dispatch.
+//!
+//! Three GEMM variants back the tensor/autodiff hot paths:
+//!
+//! * [`matmul`] — `C = A·B`,
+//! * [`matmul_transpose_b`] — `C = A·Bᵀ` (forward projections store weights
+//!   row-major per output),
+//! * [`matmul_transpose_a`] — `C = Aᵀ·G` (the weight-gradient contraction in
+//!   backward passes).
+//!
+//! # Kernel structure
+//!
+//! The core is an `MR×NR` register micro-kernel: an `MR`-row by `NR`-column
+//! tile of `C` is held in accumulator registers across the *entire* `k`
+//! extent, so each output element is loaded and stored exactly once instead
+//! of once per `k` step — the naive i-k-j loop's dominant cost. Per `k` step
+//! the micro-kernel reads one `NR`-wide vector of `B` (shared by all `MR`
+//! rows) and `MR` scalars of `A`. The loop is tile-column outer: each
+//! `NR`-wide strip of `B` is packed once into a contiguous `k×NR` panel and
+//! swept down all row blocks while it sits in L1 (without the pack, large
+//! `n` re-streams the strided strip from L2 for every row block).
+//!
+//! Transposed variants materialize the (cheap, `O(n·k)`) blocked transpose
+//! and reuse the single tiled core, so all three variants share one code
+//! path and one accumulation order.
+//!
+//! # SIMD dispatch
+//!
+//! On x86-64 the full-tile micro-kernel has an AVX2+FMA variant selected
+//! once per process by runtime feature detection (the workspace compiles
+//! against baseline x86-64, so the intrinsics path is how wide vectors are
+//! reached without `-C target-cpu`). Detection is process-global, so every
+//! invocation — serial or parallel, any thread — takes the same code path.
+//!
+//! # Determinism
+//!
+//! Every kernel — naive reference, serial tiled, parallel tiled at any
+//! worker count — accumulates each output element with a **single
+//! accumulator in strictly increasing `k` order**. Tiling only reorders
+//! *which elements* are computed when, never the summation order *within* an
+//! element, and the parallel path splits work on `MR`-row boundaries with
+//! each row block computed by the same serial code. Serial and parallel
+//! tiled results are therefore bit-identical at every `ROTOM_THREADS`
+//! setting; tests assert this. The naive reference shares the summation
+//! order but may differ from the tiled path in final rounding when the FMA
+//! variant is active (fused multiply-add rounds once per step), which is
+//! why cross-kernel tests compare within 1e-4 while cross-thread-count
+//! tests compare bits.
+//!
+//! Shapes below [`SMALL_FLOPS`] multiply-adds skip tiling (tiny meta-model
+//! updates would pay more in tile-edge handling than they save), and shapes
+//! below [`PAR_MIN_FLOPS`] skip the thread fan-out.
+
+use crate::pool::RotomPool;
+
+/// Rows of `C` per register tile.
+pub const MR: usize = 4;
+/// Columns of `C` per register tile — two 8-wide AVX vectors in the FMA
+/// micro-kernel (the scalar fallback walks the same width).
+pub const NR: usize = 16;
+/// Below this many multiply-adds (`m·k·n`), use the plain i-k-j kernel.
+pub const SMALL_FLOPS: usize = 32 * 32 * 32;
+/// Below this many multiply-adds, never fan out across threads.
+pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// Reference kernel: the seed's naive i-k-j loop (single accumulator per
+/// element, increasing `k`), kept as the ground truth for property tests and
+/// the benchmark baseline.
+pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Blocked out-of-place transpose: `src` is `rows×cols`, the result is
+/// `cols×rows`. Blocking keeps both access streams within a few cache lines.
+pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    debug_assert_eq!(src.len(), rows * cols);
+    const TB: usize = 32;
+    let mut out = vec![0.0f32; rows * cols];
+    for r0 in (0..rows).step_by(TB) {
+        let r1 = (r0 + TB).min(rows);
+        for c0 in (0..cols).step_by(TB) {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    out[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Full `MR×NR` register tile over the whole `k` extent.
+///
+/// `a_rows` holds the `MR` row slices of `A` for this tile; `panel` is the
+/// packed `k×NR` strip of `B` for this tile column (contiguous, stride
+/// `NR`); the tile's top-left output column is `j0`.
+#[inline]
+fn micro_full(a_rows: [&[f32]; MR], panel: &[f32], j0: usize, out_rows: &mut [&mut [f32]; MR]) {
+    let k = a_rows[0].len();
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let b_vec: &[f32; NR] = panel[p * NR..(p + 1) * NR].try_into().unwrap();
+        for r in 0..MR {
+            let av = a_rows[r][p];
+            for c in 0..NR {
+                acc[r][c] += av * b_vec[c];
+            }
+        }
+    }
+    for r in 0..MR {
+        out_rows[r][j0..j0 + NR].copy_from_slice(&acc[r]);
+    }
+}
+
+/// AVX2+FMA micro-kernel, selected at runtime on x86-64.
+#[cfg(target_arch = "x86_64")]
+mod fma {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    /// Whether the running CPU supports the AVX2+FMA micro-kernel. Detected
+    /// once; the cached result makes the dispatch process-global, so serial
+    /// and parallel runs (and every worker thread) always agree on the path.
+    #[inline]
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// AVX2+FMA variant of [`super::micro_full`]: same `MR×NR` tile, same
+    /// per-element strictly-increasing-`k` accumulation (each output element
+    /// lives in one SIMD lane for the whole `k` extent), fused
+    /// multiply-add rounding.
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`]. Slice bounds are the same as
+    /// the scalar kernel's: `a_rows` are `k`-long, `panel` is `k×NR`, and
+    /// `j0 + NR ≤ out_rows[r].len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_full(
+        a_rows: [&[f32]; MR],
+        panel: &[f32],
+        j0: usize,
+        out_rows: &mut [&mut [f32]; MR],
+    ) {
+        let k = a_rows[0].len();
+        debug_assert!(panel.len() >= k * NR);
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for p in 0..k {
+            let bp = panel.as_ptr().add(p * NR);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for r in 0..MR {
+                let av = _mm256_set1_ps(*a_rows[r].get_unchecked(p));
+                acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+                acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+            }
+        }
+        for r in 0..MR {
+            let op = out_rows[r].as_mut_ptr().add(j0);
+            _mm256_storeu_ps(op, acc[r][0]);
+            _mm256_storeu_ps(op.add(8), acc[r][1]);
+        }
+    }
+}
+
+/// Edge tile: `mr ≤ MR` rows by `nr ≤ NR` columns. Same accumulation order
+/// as [`micro_full`], scalar-indexed for the ragged bounds.
+#[inline]
+fn micro_edge(
+    a_block: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    out_block: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let b_row = &b[p * n + j0..p * n + j0 + nr];
+        for r in 0..mr {
+            let av = a_block[(i0 + r) * k + p];
+            for (c, &bv) in b_row.iter().enumerate() {
+                acc[r][c] += av * bv;
+            }
+        }
+    }
+    for r in 0..mr {
+        out_block[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr].copy_from_slice(&acc[r][..nr]);
+    }
+}
+
+/// Tiled kernel over a contiguous block of `rows` output rows.
+///
+/// `a_block` is the matching `rows×k` slice of `A`; `out_block` the
+/// `rows×n` destination. This is the unit the parallel path dispatches per
+/// worker, so serial and parallel runs execute identical code per row.
+///
+/// Loop order is tile-column outer: each `NR`-wide strip of `B` is packed
+/// into a contiguous `k×NR` panel once, then swept down all `MR`-row blocks
+/// while the panel sits in L1. Without the pack, large `n` re-streams the
+/// strided strip from L2 for every row block (`B` gets re-read `rows/MR`
+/// times), which caps the kernel well below FMA throughput.
+fn matmul_block_tiled(
+    a_block: &[f32],
+    rows: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out_block: &mut [f32],
+) {
+    let full_rows = rows - rows % MR;
+    let full_cols = n - n % NR;
+    #[cfg(target_arch = "x86_64")]
+    let use_fma = fma::available();
+    let mut panel = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 < full_cols {
+        for p in 0..k {
+            panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+        }
+        let mut i0 = 0;
+        while i0 < full_rows {
+            let (a0, rest) = a_block[i0 * k..].split_at(k);
+            let (a1, rest) = rest.split_at(k);
+            let (a2, rest) = rest.split_at(k);
+            let a3 = &rest[..k];
+            let (o0, rest) = out_block[i0 * n..].split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, rest) = rest.split_at_mut(n);
+            let (o3, _) = rest.split_at_mut(n);
+            let mut out_rows = [o0, o1, o2, o3];
+            #[cfg(target_arch = "x86_64")]
+            if use_fma {
+                // SAFETY: `available()` checked; the panel is `k×NR` and
+                // every out row is `n ≥ j0 + NR` long.
+                unsafe { fma::micro_full([a0, a1, a2, a3], &panel, j0, &mut out_rows) };
+                i0 += MR;
+                continue;
+            }
+            micro_full([a0, a1, a2, a3], &panel, j0, &mut out_rows);
+            i0 += MR;
+        }
+        j0 += NR;
+    }
+    // Edges share the scalar kernel and read `b` directly: the ragged
+    // column strip (j ≥ full_cols, all rows) and the ragged row block
+    // (i ≥ full_rows, full-width columns).
+    for i0 in (0..rows).step_by(MR) {
+        let mr = (rows - i0).min(MR);
+        let mut j0 = if i0 < full_rows { full_cols } else { 0 };
+        while j0 < n {
+            let nr = (n - j0).min(NR);
+            micro_edge(a_block, k, b, n, i0, j0, mr, nr, out_block);
+            j0 += nr;
+        }
+    }
+}
+
+/// `C = A·B` with an explicit pool (`A`: `m×k`, `B`: `k×n`).
+pub fn matmul_with_pool(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let flops = m * k * n;
+    if flops < SMALL_FLOPS {
+        return matmul_naive(a, b, m, k, n);
+    }
+    let mut out = vec![0.0f32; m * n];
+    if flops < PAR_MIN_FLOPS || pool.threads() <= 1 || m < 2 * MR {
+        matmul_block_tiled(a, m, k, b, n, &mut out);
+    } else {
+        // Split on MR-row boundaries so every worker runs full tiles with
+        // the exact code (and summation order) the serial path uses.
+        //
+        // Soundness of the raw-pointer fan-out: `run_ranges` hands every
+        // worker a distinct, non-overlapping row range, so the re-sliced
+        // `&mut` views never alias, and it joins all workers before
+        // returning, so no view outlives the buffer borrow.
+        let out_base = SendPtr(out.as_mut_ptr());
+        let out_base = &out_base;
+        pool.run_ranges(m, MR, move |range| {
+            let rows = range.end - range.start;
+            let a_block = &a[range.start * k..range.end * k];
+            let out_block = unsafe {
+                std::slice::from_raw_parts_mut(out_base.0.add(range.start * n), rows * n)
+            };
+            matmul_block_tiled(a_block, rows, k, b, n, out_block);
+        });
+    }
+    out
+}
+
+/// A raw pointer blessed for cross-thread sharing; see the soundness note at
+/// its single use site in [`matmul_with_pool`].
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// `C = A·B` on the global pool.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    matmul_with_pool(a, b, m, k, n, RotomPool::global())
+}
+
+/// Naive reference for `A·Bᵀ` (`A`: `m×k`, `B`: `n×k`): per-element dot
+/// product, increasing `k`.
+pub fn matmul_transpose_b_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// `C = A·Bᵀ` with an explicit pool (`A`: `m×k`, `B`: `n×k`).
+///
+/// Large shapes transpose `B` once and reuse the tiled core (the transpose
+/// is `O(n·k)` against the product's `O(m·n·k)`); small shapes use the dot
+/// form directly. Both paths share the increasing-`k` single-accumulator
+/// order, so the choice never changes results.
+pub fn matmul_transpose_b_with_pool(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+) -> Vec<f32> {
+    if m * k * n < SMALL_FLOPS {
+        return matmul_transpose_b_naive(a, b, m, k, n);
+    }
+    let bt = transpose(b, n, k);
+    matmul_with_pool(a, &bt, m, k, n, pool)
+}
+
+/// `C = A·Bᵀ` on the global pool.
+pub fn matmul_transpose_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    matmul_transpose_b_with_pool(a, b, m, k, n, RotomPool::global())
+}
+
+/// `C = Aᵀ·G` with an explicit pool (`A`: `m×k`, `G`: `m×n`, `C`: `k×n`).
+///
+/// This is the weight-gradient contraction (`dW = Xᵀ·dY`) in every matmul
+/// backward. Accumulation runs over `m` in increasing order on both paths.
+pub fn matmul_transpose_a_with_pool(
+    a: &[f32],
+    g: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(g.len(), m * n);
+    if m * k * n < SMALL_FLOPS {
+        // Direct q-i-j form: out[q][j] += a[i][q] * g[i][j], i increasing.
+        let mut out = vec![0.0f32; k * n];
+        for q in 0..k {
+            let o_row = &mut out[q * n..(q + 1) * n];
+            for i in 0..m {
+                let av = a[i * k + q];
+                if av == 0.0 {
+                    continue;
+                }
+                let g_row = &g[i * n..(i + 1) * n];
+                for (o, &gv) in o_row.iter_mut().zip(g_row) {
+                    *o += av * gv;
+                }
+            }
+        }
+        return out;
+    }
+    let at = transpose(a, m, k);
+    matmul_with_pool(&at, g, k, m, n, pool)
+}
+
+/// `C = Aᵀ·G` on the global pool.
+pub fn matmul_transpose_a(a: &[f32], g: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    matmul_transpose_a_with_pool(a, g, m, k, n, RotomPool::global())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotom_rng::rngs::StdRng;
+    use rotom_rng::{split_seed, RngExt, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|_| rng.random_range(-2.0f32..2.0))
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "{ctx}: element {i}: {x} vs {y}");
+        }
+    }
+
+    /// Shapes covering tile edges: non-multiples of MR/NR, m=1 row vectors,
+    /// tall/wide extremes, and sizes straddling both dispatch thresholds.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 7, 5),
+        (1, 64, 64),
+        (3, 3, 3),
+        (4, 8, 8),
+        (5, 9, 13),
+        (17, 31, 29),
+        (32, 32, 32),
+        (33, 65, 63),
+        (64, 64, 64),
+        (70, 64, 70),
+        (1, 300, 300),
+        (128, 17, 128),
+    ];
+
+    #[test]
+    fn tiled_matches_naive_within_1e4() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e1, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let naive = matmul_naive(&a, &b, m, k, n);
+            let tiled = matmul_with_pool(&a, &b, m, k, n, &RotomPool::new(1));
+            assert_close(&naive, &tiled, 1e-4, &format!("matmul {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Explicit pools, so the assertion holds regardless of the
+        // ROTOM_THREADS environment.
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e2, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let serial = matmul_with_pool(&a, &b, m, k, n, &RotomPool::new(1));
+            for threads in [2, 3, 8] {
+                let par = matmul_with_pool(&a, &b, m, k, n, &RotomPool::new(threads));
+                assert_eq!(serial, par, "matmul {m}x{k}x{n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_at_large_size() {
+        // Big enough to actually cross PAR_MIN_FLOPS and fan out.
+        let (m, k, n) = (96, 80, 96);
+        let mut rng = StdRng::seed_from_u64(0x4e3);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let serial = matmul_with_pool(&a, &b, m, k, n, &RotomPool::new(1));
+        for threads in [2, 5, 16] {
+            let par = matmul_with_pool(&a, &b, m, k, n, &RotomPool::new(threads));
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_b_matches_naive_and_explicit_transpose() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e4, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, n, k);
+            let fast = matmul_transpose_b_with_pool(&a, &b, m, k, n, &RotomPool::new(2));
+            let naive = matmul_transpose_b_naive(&a, &b, m, k, n);
+            assert_close(&fast, &naive, 1e-4, &format!("matmul_tb {m}x{k}x{n}"));
+            let explicit = matmul_with_pool(&a, &transpose(&b, n, k), m, k, n, &RotomPool::new(2));
+            assert_eq!(fast, explicit, "tb vs explicit transpose {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transpose_a_matches_explicit_transpose() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e5, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let g = random_matrix(&mut rng, m, n);
+            let fast = matmul_transpose_a_with_pool(&a, &g, m, k, n, &RotomPool::new(2));
+            let explicit = matmul_with_pool(&transpose(&a, m, k), &g, k, m, n, &RotomPool::new(2));
+            assert_close(&fast, &explicit, 1e-4, &format!("matmul_ta {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0x4e6);
+        for &(rows, cols) in &[(1, 1), (1, 17), (33, 65), (64, 64), (100, 3)] {
+            let src = random_matrix(&mut rng, rows, cols);
+            let rt = transpose(&transpose(&src, rows, cols), cols, rows);
+            assert_eq!(src, rt, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        // m=0 or n=0 products are legal (empty batches) and return empty.
+        assert!(matmul(&[], &[1.0, 2.0], 0, 1, 2).is_empty());
+        let out = matmul(&[1.0, 2.0], &[], 1, 2, 0);
+        assert!(out.is_empty());
+    }
+}

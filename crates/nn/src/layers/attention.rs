@@ -3,7 +3,7 @@
 use super::linear::Linear;
 use crate::graph::{AttnMask, NodeId, Tape};
 use crate::params::ParamStore;
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// Multi-head attention with separate Q/K/V/O projections.
 ///
@@ -75,7 +75,7 @@ mod tests {
     use super::*;
     use crate::layers::transformer::causal_mask;
     use crate::tensor::Tensor;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn self_attention_shape() {

@@ -3,7 +3,7 @@
 use crate::graph::{NodeId, Tape};
 use crate::init::Initializer;
 use crate::params::{ParamId, ParamStore};
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// Learned embedding table mapping token ids to `dim`-wide rows.
 pub struct Embedding {
@@ -52,7 +52,7 @@ impl Embedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn lookup_shape_and_identity() {

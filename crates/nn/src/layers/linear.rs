@@ -3,7 +3,7 @@
 use crate::graph::{NodeId, Tape};
 use crate::init::Initializer;
 use crate::params::{ParamId, ParamStore};
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// `y = x W + b` with Xavier-initialized `W` and zero-initialized `b`.
 pub struct Linear {
@@ -34,9 +34,20 @@ impl Linear {
         out_dim: usize,
         bias: bool,
     ) -> Self {
-        let w = store.alloc(format!("{name}.w"), in_dim, out_dim, Initializer::XavierUniform, rng);
+        let w = store.alloc(
+            format!("{name}.w"),
+            in_dim,
+            out_dim,
+            Initializer::XavierUniform,
+            rng,
+        );
         let b = bias.then(|| store.alloc(format!("{name}.b"), 1, out_dim, Initializer::Zeros, rng));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimension.
@@ -72,7 +83,7 @@ impl Linear {
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn forward_shape() {

@@ -18,11 +18,11 @@ pub use linear::Linear;
 pub use norm::LayerNorm;
 pub use rnn::Gru;
 pub use transformer::{
-    causal_mask, DecoderLayer, EncoderLayer, FeedForward, TransformerDecoder, TransformerEncoder,
-    TransformerConfig,
+    causal_mask, DecoderLayer, EncoderLayer, FeedForward, TransformerConfig, TransformerDecoder,
+    TransformerEncoder,
 };
 
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// Per-forward context: parameter store plus (optionally) a dropout source.
 ///
@@ -40,12 +40,20 @@ pub struct FwdCtx<'a> {
 impl<'a> FwdCtx<'a> {
     /// Evaluation-mode context (no dropout).
     pub fn eval(store: &'a crate::params::ParamStore) -> Self {
-        Self { store, dropout: 0.0, rng: None }
+        Self {
+            store,
+            dropout: 0.0,
+            rng: None,
+        }
     }
 
     /// Training-mode context with dropout probability `p`.
     pub fn train(store: &'a crate::params::ParamStore, p: f32, rng: &'a mut StdRng) -> Self {
-        Self { store, dropout: p, rng: Some(rng) }
+        Self {
+            store,
+            dropout: p,
+            rng: Some(rng),
+        }
     }
 
     /// Draw a dropout mask of `n` Bernoulli(1-p) bits, or `None` in eval mode
@@ -55,9 +63,11 @@ impl<'a> FwdCtx<'a> {
             return None;
         }
         let p = self.dropout;
-        self.rng
-            .as_deref_mut()
-            .map(|rng| (0..n).map(|_| rand::RngExt::random_bool(rng, (1.0 - p) as f64)).collect())
+        self.rng.as_deref_mut().map(|rng| {
+            (0..n)
+                .map(|_| rotom_rng::RngExt::random_bool(rng, (1.0 - p) as f64))
+                .collect()
+        })
     }
 }
 
@@ -65,7 +75,7 @@ impl<'a> FwdCtx<'a> {
 mod tests {
     use super::*;
     use crate::params::ParamStore;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn eval_ctx_never_produces_masks() {

@@ -3,7 +3,7 @@
 use crate::graph::{NodeId, Tape};
 use crate::init::Initializer;
 use crate::params::{ParamId, ParamStore};
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// Row-wise layer normalization with learned scale and shift.
 pub struct LayerNorm {
@@ -17,7 +17,11 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
         let gamma = store.alloc(format!("{name}.gamma"), 1, dim, Initializer::Ones, rng);
         let beta = store.alloc(format!("{name}.beta"), 1, dim, Initializer::Zeros, rng);
-        Self { gamma, beta, eps: 1e-5 }
+        Self {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     /// Normalize each row of `x`.
@@ -32,7 +36,7 @@ impl LayerNorm {
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn normalized_rows_have_zero_mean_unit_var() {
@@ -40,7 +44,11 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, &mut rng, "ln", 4);
         let mut tape = Tape::new();
-        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0], 2, 4));
+        let x = tape.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0],
+            2,
+            4,
+        ));
         let y = ln.forward(&mut tape, x, &store);
         for r in 0..2 {
             let row = tape.value(y).row_slice(r);

@@ -4,7 +4,7 @@ use super::linear::Linear;
 use crate::graph::{NodeId, Tape};
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// A single-direction GRU over a `T x in_dim` sequence.
 pub struct Gru {
@@ -93,7 +93,7 @@ impl Gru {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn gru_shapes() {
@@ -119,6 +119,9 @@ mod tests {
         let loss = tape.sum_all(last);
         store.zero_grad();
         tape.backward(loss, &mut store);
-        assert!(store.grad_norm() > 0.0, "no gradient reached GRU parameters");
+        assert!(
+            store.grad_norm() > 0.0,
+            "no gradient reached GRU parameters"
+        );
     }
 }

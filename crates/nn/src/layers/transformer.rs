@@ -13,11 +13,10 @@ use super::FwdCtx;
 use crate::graph::{AttnMask, NodeId, Tape};
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use rotom_rng::rngs::StdRng;
 
 /// Hyper-parameters shared by encoder and decoder stacks.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerConfig {
     /// Vocabulary size (token embedding rows).
     pub vocab: usize,
@@ -38,7 +37,15 @@ pub struct TransformerConfig {
 impl TransformerConfig {
     /// A small configuration suitable for unit tests.
     pub fn tiny(vocab: usize) -> Self {
-        Self { vocab, d_model: 32, heads: 2, d_ff: 64, layers: 2, max_len: 64, dropout: 0.1 }
+        Self {
+            vocab,
+            d_model: 32,
+            heads: 2,
+            d_ff: 64,
+            layers: 2,
+            max_len: 64,
+            dropout: 0.1,
+        }
     }
 }
 
@@ -94,9 +101,20 @@ pub struct EncoderLayer {
 
 impl EncoderLayer {
     /// Register one encoder layer.
-    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &TransformerConfig) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        cfg: &TransformerConfig,
+    ) -> Self {
         Self {
-            attn: MultiHeadAttention::new(store, rng, &format!("{name}.attn"), cfg.d_model, cfg.heads),
+            attn: MultiHeadAttention::new(
+                store,
+                rng,
+                &format!("{name}.attn"),
+                cfg.d_model,
+                cfg.heads,
+            ),
             ln1: LayerNorm::new(store, rng, &format!("{name}.ln1"), cfg.d_model),
             ff: FeedForward::new(store, rng, &format!("{name}.ff"), cfg.d_model, cfg.d_ff),
             ln2: LayerNorm::new(store, rng, &format!("{name}.ln2"), cfg.d_model),
@@ -128,11 +146,28 @@ pub struct DecoderLayer {
 
 impl DecoderLayer {
     /// Register one decoder layer.
-    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &TransformerConfig) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        cfg: &TransformerConfig,
+    ) -> Self {
         Self {
-            self_attn: MultiHeadAttention::new(store, rng, &format!("{name}.self"), cfg.d_model, cfg.heads),
+            self_attn: MultiHeadAttention::new(
+                store,
+                rng,
+                &format!("{name}.self"),
+                cfg.d_model,
+                cfg.heads,
+            ),
             ln1: LayerNorm::new(store, rng, &format!("{name}.ln1"), cfg.d_model),
-            cross_attn: MultiHeadAttention::new(store, rng, &format!("{name}.cross"), cfg.d_model, cfg.heads),
+            cross_attn: MultiHeadAttention::new(
+                store,
+                rng,
+                &format!("{name}.cross"),
+                cfg.d_model,
+                cfg.heads,
+            ),
             ln2: LayerNorm::new(store, rng, &format!("{name}.ln2"), cfg.d_model),
             ff: FeedForward::new(store, rng, &format!("{name}.ff"), cfg.d_model, cfg.d_ff),
             ln3: LayerNorm::new(store, rng, &format!("{name}.ln3"), cfg.d_model),
@@ -150,7 +185,9 @@ impl DecoderLayer {
         ctx: &mut FwdCtx<'_>,
     ) -> NodeId {
         let n1 = self.ln1.forward(tape, x, ctx.store);
-        let a = self.self_attn.forward(tape, n1, n1, Some(self_mask), ctx.store);
+        let a = self
+            .self_attn
+            .forward(tape, n1, n1, Some(self_mask), ctx.store);
         let a = apply_dropout(tape, a, ctx);
         let x = tape.add(x, a);
         let n2 = self.ln2.forward(tape, x, ctx.store);
@@ -182,14 +219,25 @@ pub struct TransformerEncoder {
 
 impl TransformerEncoder {
     /// Register the full encoder stack.
-    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: TransformerConfig) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        cfg: TransformerConfig,
+    ) -> Self {
         let tok = Embedding::new(store, rng, &format!("{name}.tok"), cfg.vocab, cfg.d_model);
         let pos = Embedding::new(store, rng, &format!("{name}.pos"), cfg.max_len, cfg.d_model);
         let layers = (0..cfg.layers)
             .map(|i| EncoderLayer::new(store, rng, &format!("{name}.enc{i}"), &cfg))
             .collect();
         let ln_f = LayerNorm::new(store, rng, &format!("{name}.lnf"), cfg.d_model);
-        Self { tok, pos, layers, ln_f, cfg }
+        Self {
+            tok,
+            pos,
+            layers,
+            ln_f,
+            cfg,
+        }
     }
 
     /// Configuration used at construction.
@@ -267,7 +315,12 @@ pub struct TransformerDecoder {
 
 impl TransformerDecoder {
     /// Register the full decoder stack.
-    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: TransformerConfig) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        cfg: TransformerConfig,
+    ) -> Self {
         let tok = Embedding::new(store, rng, &format!("{name}.tok"), cfg.vocab, cfg.d_model);
         let pos = Embedding::new(store, rng, &format!("{name}.pos"), cfg.max_len, cfg.d_model);
         let layers = (0..cfg.layers)
@@ -275,7 +328,14 @@ impl TransformerDecoder {
             .collect();
         let ln_f = LayerNorm::new(store, rng, &format!("{name}.lnf"), cfg.d_model);
         let proj = Linear::new(store, rng, &format!("{name}.proj"), cfg.d_model, cfg.vocab);
-        Self { tok, pos, layers, ln_f, proj, cfg }
+        Self {
+            tok,
+            pos,
+            layers,
+            ln_f,
+            proj,
+            cfg,
+        }
     }
 
     /// Configuration used at construction.
@@ -311,7 +371,7 @@ impl TransformerDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     #[test]
     fn encoder_shapes() {
@@ -352,7 +412,10 @@ mod tests {
         let mut ctx = FwdCtx::eval(&store);
         let mem = enc.forward(&mut tape, &[5, 6, 7], &mut ctx);
         let logits = dec.forward(&mut tape, &[1, 2], mem, &mut ctx);
-        assert_eq!((tape.value(logits).rows(), tape.value(logits).cols()), (2, 50));
+        assert_eq!(
+            (tape.value(logits).rows(), tape.value(logits).cols()),
+            (2, 50)
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use rotom_nn::{ParamStore, Tape, Tensor, Initializer, Adam};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use rotom_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mut store = ParamStore::new();
@@ -44,9 +44,11 @@
 pub mod checkpoint;
 mod graph;
 mod init;
+pub mod kernels;
 pub mod layers;
 mod optim;
 mod params;
+pub mod pool;
 pub mod schedule;
 mod tensor;
 
@@ -58,6 +60,7 @@ pub use layers::{
 };
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use pool::RotomPool;
 pub use schedule::{LrSchedule, LrStepper};
 pub use tensor::Tensor;
 

@@ -13,7 +13,11 @@ pub struct Sgd {
 impl Sgd {
     /// Create an SGD optimizer with the given learning rate (no momentum).
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Enable classical momentum.
@@ -151,8 +155,8 @@ mod tests {
     use crate::graph::Tape;
     use crate::init::Initializer;
     use crate::tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rotom_rng::rngs::StdRng;
+    use rotom_rng::SeedableRng;
 
     /// Minimize ||W x - y||-ish quadratic via cross-entropy on a 2-class toy
     /// problem and check the loss decreases monotonically-ish.

@@ -8,7 +8,7 @@
 
 use crate::init::Initializer;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
+use rotom_rng::rngs::StdRng;
 
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,7 +164,12 @@ impl ParamStore {
                 continue;
             }
             let n = e.value.len();
-            for (v, &d) in e.value.data_mut().iter_mut().zip(&delta[offset..offset + n]) {
+            for (v, &d) in e
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(&delta[offset..offset + n])
+            {
                 *v += alpha * d;
             }
             offset += n;
@@ -201,7 +206,7 @@ impl ParamStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rotom_rng::SeedableRng;
 
     fn store() -> (ParamStore, ParamId, ParamId) {
         let mut rng = StdRng::seed_from_u64(7);

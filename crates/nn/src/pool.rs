@@ -1,0 +1,254 @@
+//! A std-only scoped worker pool for data-parallel fan-out.
+//!
+//! The training hot paths (tiled matmul row-splitting, batch scoring,
+//! augmentation fan-out) all share the same shape: N independent work items,
+//! results needed back in input order. [`RotomPool`] packages that pattern on
+//! top of [`std::thread::scope`] — no `rayon`/`crossbeam`, no unsafe, no
+//! `'static` bounds on the closures, because scoped threads may borrow from
+//! the caller's stack.
+//!
+//! A pool value is a *sizing policy* (how many workers to use), not a set of
+//! live threads: workers are spawned per call and joined before the call
+//! returns, which keeps borrows sound and keeps idle cost at zero. Thread
+//! spawn overhead (~10µs) is negligible against the millisecond-scale work
+//! items these paths dispatch; anything smaller should stay below the
+//! serial-fallback thresholds in [`crate::kernels`].
+//!
+//! The process-wide default is [`RotomPool::global`], sized from
+//! [`std::thread::available_parallelism`] and overridable with the
+//! `ROTOM_THREADS` environment variable (read once, at first use). Every
+//! helper guarantees **deterministic, input-ordered results** regardless of
+//! worker count: parallelism never changes observable output.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// A scoped worker pool with a fixed worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotomPool {
+    threads: usize,
+}
+
+static GLOBAL: OnceLock<RotomPool> = OnceLock::new();
+
+impl RotomPool {
+    /// A pool using exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from the environment: `ROTOM_THREADS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let threads = std::env::var("ROTOM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// The process-wide shared pool (first use reads `ROTOM_THREADS`).
+    pub fn global() -> &'static RotomPool {
+        GLOBAL.get_or_init(RotomPool::from_env)
+    }
+
+    /// Worker count this pool dispatches to.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compute `f(i)` for every `i in 0..n` and return the results in index
+    /// order. Items are split into contiguous per-worker chunks; with one
+    /// worker (or one item) this runs inline with no threads spawned.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(base + j));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Split the index range `0..n` into at most `threads` contiguous
+    /// sub-ranges (each a multiple of `granularity` long, except the last)
+    /// and run `f(range)` on each in parallel.
+    ///
+    /// Used where the caller owns a pre-split output buffer (e.g. matmul row
+    /// blocks) and only needs the range assignment.
+    pub fn run_ranges<F>(&self, n: usize, granularity: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let g = granularity.max(1);
+        let units = n.div_ceil(g);
+        let workers = self.threads.min(units);
+        if workers <= 1 {
+            if n > 0 {
+                f(0..n);
+            }
+            return;
+        }
+        let units_per = units.div_ceil(workers);
+        let step = units_per * g;
+        std::thread::scope(|scope| {
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + step).min(n);
+                let f = &f;
+                scope.spawn(move || f(start..end));
+                start = end;
+            }
+        });
+    }
+
+    /// Split `data` into at most `threads` contiguous chunks of whole
+    /// `width`-element rows and run `f(first_row, chunk)` on each in
+    /// parallel. The chunks are disjoint `&mut` views, so workers can write
+    /// their results in place with no synchronization.
+    pub fn chunk_rows<T, F>(&self, data: &mut [T], width: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(width > 0, "row width must be positive");
+        debug_assert_eq!(data.len() % width, 0, "data must be whole rows");
+        let rows = data.len() / width;
+        let workers = self.threads.min(rows);
+        if workers <= 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per = rows.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in data.chunks_mut(rows_per * width).enumerate() {
+                let f = &f;
+                scope.spawn(move || f(ci * rows_per, chunk));
+            }
+        });
+    }
+}
+
+impl Default for RotomPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn new_clamps_to_one() {
+        assert_eq!(RotomPool::new(0).threads(), 1);
+        assert_eq!(RotomPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_width() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = RotomPool::new(threads);
+            assert_eq!(pool.map(37, |i| i * i), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = RotomPool::new(4);
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn map_borrows_from_caller_stack() {
+        let data: Vec<usize> = (0..100).collect();
+        let pool = RotomPool::new(4);
+        let doubled = pool.map(data.len(), |i| data[i] * 2);
+        assert_eq!(doubled[99], 198);
+    }
+
+    #[test]
+    fn run_ranges_covers_exactly_once() {
+        for threads in [1, 2, 5] {
+            let pool = RotomPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_ranges(23, 4, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_ranges_respects_granularity() {
+        let pool = RotomPool::new(3);
+        let starts = std::sync::Mutex::new(Vec::new());
+        pool.run_ranges(20, 8, |r| starts.lock().unwrap().push((r.start, r.end)));
+        let mut s = starts.lock().unwrap().clone();
+        s.sort_unstable();
+        // 20 items at granularity 8 = 3 units; every boundary is a multiple
+        // of 8 except the final end.
+        for &(start, _) in &s {
+            assert_eq!(start % 8, 0);
+        }
+        assert_eq!(s.last().unwrap().1, 20);
+    }
+
+    #[test]
+    fn chunk_rows_writes_disjoint_chunks() {
+        for threads in [1, 2, 4, 16] {
+            let pool = RotomPool::new(threads);
+            let mut data = vec![0u32; 9 * 5];
+            pool.chunk_rows(&mut data, 5, |first_row, chunk| {
+                for (r, row) in chunk.chunks_mut(5).enumerate() {
+                    row.fill((first_row + r) as u32);
+                }
+            });
+            for r in 0..9 {
+                assert!(
+                    data[r * 5..(r + 1) * 5].iter().all(|&v| v == r as u32),
+                    "threads={threads} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_pool_is_cached() {
+        assert!(std::ptr::eq(RotomPool::global(), RotomPool::global()));
+        assert!(RotomPool::global().threads() >= 1);
+    }
+}

@@ -5,10 +5,8 @@
 //! setup). Schedules are plain state machines the caller steps once per
 //! optimizer update.
 
-use serde::{Deserialize, Serialize};
-
 /// A learning-rate schedule.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LrSchedule {
     /// Constant learning rate.
     Constant {
@@ -32,7 +30,11 @@ impl LrSchedule {
     pub fn at(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant { lr } => lr,
-            LrSchedule::LinearWarmupDecay { peak, warmup_steps, total_steps } => {
+            LrSchedule::LinearWarmupDecay {
+                peak,
+                warmup_steps,
+                total_steps,
+            } => {
                 if warmup_steps > 0 && step < warmup_steps {
                     peak * (step + 1) as f32 / warmup_steps as f32
                 } else if step >= total_steps {
@@ -48,7 +50,10 @@ impl LrSchedule {
 
     /// Iterator-style helper: a stateful stepper.
     pub fn stepper(self) -> LrStepper {
-        LrStepper { schedule: self, step: 0 }
+        LrStepper {
+            schedule: self,
+            step: 0,
+        }
     }
 }
 
@@ -86,7 +91,11 @@ mod tests {
 
     #[test]
     fn warmup_rises_then_decays() {
-        let s = LrSchedule::LinearWarmupDecay { peak: 1.0, warmup_steps: 10, total_steps: 110 };
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
         assert!(s.at(0) < s.at(5));
         assert!((s.at(9) - 1.0).abs() < 1e-6);
         assert!(s.at(10) > s.at(60));
@@ -97,14 +106,22 @@ mod tests {
 
     #[test]
     fn zero_warmup_starts_at_peak() {
-        let s = LrSchedule::LinearWarmupDecay { peak: 2.0, warmup_steps: 0, total_steps: 10 };
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 2.0,
+            warmup_steps: 0,
+            total_steps: 10,
+        };
         assert!((s.at(0) - 2.0).abs() < 1e-6);
     }
 
     #[test]
     fn stepper_advances() {
-        let mut st = LrSchedule::LinearWarmupDecay { peak: 1.0, warmup_steps: 2, total_steps: 4 }
-            .stepper();
+        let mut st = LrSchedule::LinearWarmupDecay {
+            peak: 1.0,
+            warmup_steps: 2,
+            total_steps: 4,
+        }
+        .stepper();
         let seq: Vec<f32> = (0..5).map(|_| st.next_lr()).collect();
         assert!((seq[0] - 0.5).abs() < 1e-6);
         assert!((seq[1] - 1.0).abs() < 1e-6);

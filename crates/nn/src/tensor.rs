@@ -147,8 +147,9 @@ impl Tensor {
 
     /// Matrix product `self (m x k) * other (k x n) -> m x n`.
     ///
-    /// Uses the cache-friendly i-k-j loop order; for the model sizes in this
-    /// repository (d ≤ 256) this is well within budget.
+    /// Dispatches to the register-tiled kernels in [`crate::kernels`]:
+    /// small shapes run the plain i-k-j loop, large shapes run tiled and
+    /// (above a threshold) row-parallel across [`crate::pool::RotomPool`].
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -156,25 +157,17 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(out, m, n)
+        Tensor::from_vec(
+            crate::kernels::matmul(&self.data, &other.data, m, k, n),
+            m,
+            n,
+        )
     }
 
-    /// `self (m x k) * other^T (n x k) -> m x n` without materializing the
-    /// transpose.
+    /// `self (m x k) * other^T (n x k) -> m x n`.
+    ///
+    /// Small shapes avoid materializing the transpose; large shapes
+    /// transpose once and reuse the tiled kernel.
     pub fn matmul_transpose_b(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -182,43 +175,62 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Tensor::from_vec(out, m, n)
+        Tensor::from_vec(
+            crate::kernels::matmul_transpose_b(&self.data, &other.data, m, k, n),
+            m,
+            n,
+        )
+    }
+
+    /// `self^T (k x m) * other (m x n) -> k x n` — the weight-gradient
+    /// contraction used by matmul backward passes, without the caller
+    /// materializing the transpose.
+    pub fn matmul_transpose_a(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        Tensor::from_vec(
+            crate::kernels::matmul_transpose_a(&self.data, &other.data, m, k, n),
+            k,
+            n,
+        )
     }
 
     /// `self^T (k x m)^T=(m x k)… ` — transpose of an `m x k` tensor,
     /// producing `k x m`.
     pub fn transpose(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.len()];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c * self.rows + r] = self.at(r, c);
-            }
-        }
-        Tensor::from_vec(out, self.cols, self.rows)
+        Tensor::from_vec(
+            crate::kernels::transpose(&self.data, self.rows, self.cols),
+            self.cols,
+            self.rows,
+        )
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), self.rows, self.cols)
+        Tensor::from_vec(
+            self.data.iter().map(|&v| f(v)).collect(),
+            self.rows,
+            self.cols,
+        )
     }
 
     /// Elementwise binary zip. Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip shape mismatch"
+        );
         Tensor::from_vec(
-            self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             self.rows,
             self.cols,
         )
@@ -226,7 +238,11 @@ impl Tensor {
 
     /// In-place `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -300,11 +316,16 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use rotom_rng::rngs::StdRng;
+        use rotom_rng::{RngExt, SeedableRng};
 
-        fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-            prop::collection::vec(-3.0f32..3.0, rows * cols)
-                .prop_map(move |data| Tensor::from_vec(data, rows, cols))
+        const CASES: usize = 32;
+
+        fn tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+            let data = (0..rows * cols)
+                .map(|_| rng.random_range(-3.0f32..3.0))
+                .collect();
+            Tensor::from_vec(data, rows, cols)
         }
 
         fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
@@ -314,40 +335,57 @@ mod tests {
             }
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
-
-            /// Matmul distributes over addition: A(B + C) = AB + AC.
-            #[test]
-            fn matmul_distributes(a in tensor(3, 4), b in tensor(4, 2), c in tensor(4, 2)) {
+        /// Matmul distributes over addition: A(B + C) = AB + AC.
+        #[test]
+        fn matmul_distributes() {
+            let mut rng = StdRng::seed_from_u64(0x7e57_0001);
+            for _ in 0..CASES {
+                let a = tensor(&mut rng, 3, 4);
+                let b = tensor(&mut rng, 4, 2);
+                let c = tensor(&mut rng, 4, 2);
                 let sum = b.zip(&c, |x, y| x + y);
                 let lhs = a.matmul(&sum);
                 let mut rhs = a.matmul(&b);
                 rhs.axpy(1.0, &a.matmul(&c));
                 assert_close(&lhs, &rhs, 1e-3);
             }
+        }
 
-            /// (AB)^T = B^T A^T.
-            #[test]
-            fn transpose_of_product(a in tensor(2, 3), b in tensor(3, 4)) {
+        /// (AB)^T = B^T A^T.
+        #[test]
+        fn transpose_of_product() {
+            let mut rng = StdRng::seed_from_u64(0x7e57_0002);
+            for _ in 0..CASES {
+                let a = tensor(&mut rng, 2, 3);
+                let b = tensor(&mut rng, 3, 4);
                 let lhs = a.matmul(&b).transpose();
                 let rhs = b.transpose().matmul(&a.transpose());
                 assert_close(&lhs, &rhs, 1e-4);
             }
+        }
 
-            /// matmul_transpose_b agrees with the explicit transpose form.
-            #[test]
-            fn matmul_tb_consistent(a in tensor(3, 5), b in tensor(4, 5)) {
+        /// matmul_transpose_b agrees with the explicit transpose form.
+        #[test]
+        fn matmul_tb_consistent() {
+            let mut rng = StdRng::seed_from_u64(0x7e57_0003);
+            for _ in 0..CASES {
+                let a = tensor(&mut rng, 3, 5);
+                let b = tensor(&mut rng, 4, 5);
                 let fast = a.matmul_transpose_b(&b);
                 let slow = a.matmul(&b.transpose());
                 assert_close(&fast, &slow, 1e-4);
             }
+        }
 
-            /// Norm is absolutely homogeneous: ‖αx‖ = |α|·‖x‖.
-            #[test]
-            fn norm_homogeneous(a in tensor(2, 6), alpha in -4.0f32..4.0) {
+        /// Norm is absolutely homogeneous: ‖αx‖ = |α|·‖x‖.
+        #[test]
+        fn norm_homogeneous() {
+            let mut rng = StdRng::seed_from_u64(0x7e57_0004);
+            for _ in 0..CASES {
+                let a = tensor(&mut rng, 2, 6);
+                let alpha: f32 = rng.random_range(-4.0f32..4.0);
                 let scaled = a.map(|v| v * alpha);
-                prop_assert!((scaled.norm() - alpha.abs() * a.norm()).abs() < 1e-2);
+                assert!((scaled.norm() - alpha.abs() * a.norm()).abs() < 1e-2);
             }
         }
     }

@@ -3,10 +3,9 @@
 use rotom_augment::InvDaConfig;
 use rotom_meta::{MetaConfig, SslConfig};
 use rotom_nn::TransformerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Target-model (TinyLm) hyper-parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelConfig {
     /// Model width.
     pub d_model: usize,
@@ -84,7 +83,7 @@ impl ModelConfig {
 
 /// Fine-tuning hyper-parameters (paper §6.1: batch 32, lr 3e-5, ≤40 epochs —
 /// scaled to the CPU-sized stand-in models).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Fine-tuning epochs.
     pub epochs: usize,
@@ -114,7 +113,7 @@ impl Default for TrainConfig {
 }
 
 /// Everything a full Rotom run needs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RotomConfig {
     /// Target-model configuration.
     pub model: ModelConfig,

@@ -50,4 +50,6 @@ pub use pipeline::{default_op, evaluate, run_method, Method, RunResult};
 // Re-export the pieces users compose with.
 pub use rotom_augment::{DaContext, DaOp, InvDa, InvDaConfig};
 pub use rotom_datasets::{TaskDataset, TaskKind};
-pub use rotom_meta::{AblationConfig, MetaConfig, MetaTarget, MetaTrainer, SslConfig, WeightedItem};
+pub use rotom_meta::{
+    AblationConfig, MetaConfig, MetaTarget, MetaTrainer, SslConfig, WeightedItem,
+};

@@ -1,9 +1,7 @@
 //! Evaluation metrics: accuracy and per-class precision / recall / F1.
 
-use serde::{Deserialize, Serialize};
-
 /// Binary-classification counts for the positive class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PrF1 {
     /// Precision of the positive class.
     pub precision: f32,
@@ -38,19 +36,34 @@ pub fn prf1(pred: &[usize], gold: &[usize], positive: usize) -> PrF1 {
             (false, false) => {}
         }
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f32 / (tp + fp) as f32 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f32 / (tp + fn_) as f32 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f32 / (tp + fp) as f32
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f32 / (tp + fn_) as f32
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PrF1 { precision, recall, f1 }
+    PrF1 {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Macro-averaged F1 across all classes.
 pub fn macro_f1(pred: &[usize], gold: &[usize], num_classes: usize) -> f32 {
-    (0..num_classes).map(|c| prf1(pred, gold, c).f1).sum::<f32>() / num_classes as f32
+    (0..num_classes)
+        .map(|c| prf1(pred, gold, c).f1)
+        .sum::<f32>()
+        / num_classes as f32
 }
 
 /// Mean and (sample) standard deviation of a slice.
@@ -62,8 +75,7 @@ pub fn mean_std(values: &[f32]) -> (f32, f32) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var =
-        values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (values.len() - 1) as f32;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (values.len() - 1) as f32;
     (mean, var.sqrt())
 }
 

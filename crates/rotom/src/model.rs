@@ -11,11 +11,11 @@
 //! meta-trainer.
 
 use crate::config::ModelConfig;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom_augment::mixda::sample_lambda;
 use rotom_meta::{MetaTarget, WeightedItem};
 use rotom_nn::{Adam, Embedding, FwdCtx, Linear, NodeId, ParamStore, Tape, TransformerEncoder};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::token::{CLS, MASK};
 use rotom_text::vocab::Vocab;
 
@@ -146,8 +146,7 @@ impl TinyLm {
 
     fn cls_node(&self, tape: &mut Tape, tokens: &[String], ctx: &mut FwdCtx<'_>) -> NodeId {
         let (ids, segs, dups) = self.encode_input(tokens);
-        let extras: [(&Embedding, &[usize]); 2] =
-            [(&self.seg_emb, &segs), (&self.dup_emb, &dups)];
+        let extras: [(&Embedding, &[usize]); 2] = [(&self.seg_emb, &segs), (&self.dup_emb, &dups)];
         self.encoder.encode_cls_with(tape, &ids, &extras, ctx)
     }
 
@@ -197,8 +196,10 @@ impl TinyLm {
                     }
                     let mut ctx = FwdCtx::eval(&self.store);
                     let h = self.encoder.forward(&mut tape, &masked, &mut ctx);
-                    let rows: Vec<NodeId> =
-                        positions.iter().map(|&p| tape.slice_rows(h, p, 1)).collect();
+                    let rows: Vec<NodeId> = positions
+                        .iter()
+                        .map(|&p| tape.slice_rows(h, p, 1))
+                        .collect();
                     let gathered = tape.concat_rows(&rows);
                     let logits = self.mlm_head.forward(&mut tape, gathered, &self.store);
                     let mut one_hot = vec![0.0f32; targets.len() * vocab_len];
@@ -218,7 +219,8 @@ impl TinyLm {
                 self.store.clip_grad_norm(5.0);
                 opt.step(&mut self.store);
             }
-            self.pretrain_losses.push(epoch_loss / batches.max(1) as f32);
+            self.pretrain_losses
+                .push(epoch_loss / batches.max(1) as f32);
         }
     }
 
@@ -464,17 +466,17 @@ impl MetaTarget for TinyLm {
     }
 
     fn per_example_losses(&self, items: &[WeightedItem]) -> Vec<f32> {
-        items
-            .iter()
-            .map(|item| {
-                let mut tape = Tape::new();
-                let mut ctx = FwdCtx::eval(&self.store);
-                let cls = self.cls_node(&mut tape, &item.tokens, &mut ctx);
-                let logits = self.head.forward(&mut tape, cls, &self.store);
-                let ce = tape.cross_entropy(logits, &item.target);
-                tape.value(ce).item()
-            })
-            .collect()
+        // Forward-only and per-example independent: fan out across the pool.
+        // Each worker builds its own tape; results return in input order.
+        rotom_nn::RotomPool::global().map(items.len(), |i| {
+            let item = &items[i];
+            let mut tape = Tape::new();
+            let mut ctx = FwdCtx::eval(&self.store);
+            let cls = self.cls_node(&mut tape, &item.tokens, &mut ctx);
+            let logits = self.head.forward(&mut tape, cls, &self.store);
+            let ce = tape.cross_entropy(logits, &item.target);
+            tape.value(ce).item()
+        })
     }
 
     fn flat_params(&self) -> Vec<f32> {
@@ -567,8 +569,16 @@ mod tests {
     fn mixda_step_runs_and_learns() {
         let mut m = model();
         let pairs = vec![
-            (tokenize("the quick brown fox jumps"), tokenize("the quick fox jumps"), 0),
-            (tokenize("a lazy dog sleeps all day"), tokenize("a lazy dog sleeps"), 1),
+            (
+                tokenize("the quick brown fox jumps"),
+                tokenize("the quick fox jumps"),
+                0,
+            ),
+            (
+                tokenize("a lazy dog sleeps all day"),
+                tokenize("a lazy dog sleeps"),
+                1,
+            ),
         ];
         let mut rng = StdRng::seed_from_u64(5);
         let first = m.mixda_loss_backward(&pairs, 0.8, &mut rng);

@@ -9,18 +9,18 @@
 use crate::config::RotomConfig;
 use crate::metrics::{accuracy, prf1, PrF1};
 use crate::model::TinyLm;
-use rotom_text::vocab::Vocab;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use rotom_augment::{apply, DaContext, DaOp, InvDa};
+use rotom_augment::{apply, apply_batch, DaContext, DaOp, InvDa};
 use rotom_datasets::{TaskDataset, TaskKind};
 use rotom_meta::{MetaTarget, MetaTrainer, WeightedItem};
+use rotom_nn::RotomPool;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngCore, RngExt, SeedableRng};
 use rotom_text::example::{AugExample, Example};
-use serde::{Deserialize, Serialize};
+use rotom_text::vocab::Vocab;
 use std::time::Instant;
 
 /// The five methods compared throughout the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     /// Fine-tune the LM on the original examples only.
     Baseline,
@@ -37,8 +37,13 @@ pub enum Method {
 
 impl Method {
     /// All methods in the order the paper's tables list them.
-    pub const ALL: [Method; 5] =
-        [Method::Baseline, Method::MixDa, Method::InvDa, Method::Rotom, Method::RotomSsl];
+    pub const ALL: [Method; 5] = [
+        Method::Baseline,
+        Method::MixDa,
+        Method::InvDa,
+        Method::Rotom,
+        Method::RotomSsl,
+    ];
 
     /// Display name used in tables.
     pub fn name(self) -> &'static str {
@@ -63,7 +68,7 @@ pub fn default_op(kind: TaskKind) -> DaOp {
 }
 
 /// Result of one training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Method name.
     pub method: String,
@@ -115,14 +120,20 @@ pub fn prepare_base(task: &TaskDataset, cfg: &RotomConfig, seed: u64) -> Pretrai
     if task.kind == TaskKind::EntityMatching {
         let halves: Vec<Vec<String>> = pretrain_sample
             .iter()
-            .flat_map(|seq| match seq.iter().position(|t| t == rotom_text::token::SEP) {
-                Some(i) => vec![seq[..i].to_vec(), seq[i + 1..].to_vec()],
-                None => vec![seq.clone()],
-            })
+            .flat_map(
+                |seq| match seq.iter().position(|t| t == rotom_text::token::SEP) {
+                    Some(i) => vec![seq[..i].to_vec(), seq[i + 1..].to_vec()],
+                    None => vec![seq.clone()],
+                },
+            )
             .filter(|h| !h.is_empty())
             .take(300)
             .collect();
-        model.pretrain_pairs(&halves, cfg.model.pair_pretrain_epochs, cfg.train.batch_size);
+        model.pretrain_pairs(
+            &halves,
+            cfg.model.pair_pretrain_epochs,
+            cfg.train.batch_size,
+        );
         model.init_head_from_nsp();
     }
     PretrainedBase {
@@ -135,16 +146,28 @@ pub fn prepare_base(task: &TaskDataset, cfg: &RotomConfig, seed: u64) -> Pretrai
 impl PretrainedBase {
     /// Instantiate a fresh fine-tunable model from the checkpoint.
     pub fn instantiate(&self, cfg: &RotomConfig, seed: u64) -> TinyLm {
-        let mut model =
-            TinyLm::new(self.vocab.clone(), self.num_classes, &cfg.model, cfg.train.lr, seed);
+        let mut model = TinyLm::new(
+            self.vocab.clone(),
+            self.num_classes,
+            &cfg.model,
+            cfg.train.lr,
+            seed,
+        );
         model.restore(&self.params);
         model
     }
 }
 
-/// Evaluate a model on labeled examples.
+/// Evaluate a model on labeled examples, scoring examples across the global
+/// worker pool. Prediction is eval-mode (consumes no RNG) and results come
+/// back in input order, so the outcome is identical to a serial loop.
 pub fn evaluate(model: &TinyLm, test: &[Example]) -> (f32, PrF1) {
-    let pred: Vec<usize> = test.iter().map(|e| model.predict(&e.tokens)).collect();
+    evaluate_with_pool(model, test, RotomPool::global())
+}
+
+/// [`evaluate`] with an explicit pool (tests pin worker counts with this).
+pub fn evaluate_with_pool(model: &TinyLm, test: &[Example], pool: &RotomPool) -> (f32, PrF1) {
+    let pred: Vec<usize> = pool.map(test.len(), |i| model.predict(&test[i].tokens));
     let gold: Vec<usize> = test.iter().map(|e| e.label).collect();
     (accuracy(&pred, &gold), prf1(&pred, &gold, 1))
 }
@@ -230,9 +253,15 @@ pub fn run_method_with_base(
     let start = Instant::now();
     match method {
         Method::Baseline => train_plain(&mut model, train, valid, task.kind, cfg, &mut rng),
-        Method::MixDa => {
-            train_mixda(&mut model, train, valid, task.kind, cfg, MixSource::SimpleOp, &mut rng)
-        }
+        Method::MixDa => train_mixda(
+            &mut model,
+            train,
+            valid,
+            task.kind,
+            cfg,
+            MixSource::SimpleOp,
+            &mut rng,
+        ),
         Method::InvDa => train_mixda(
             &mut model,
             train,
@@ -332,18 +361,23 @@ fn train_mixda(
 ) {
     let op = default_op(kind);
     let da_ctx = DaContext::default();
+    let workers = RotomPool::global();
     let mut best = (f32::NEG_INFINITY, model.snapshot());
     for _ in 0..cfg.train.epochs {
         for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+            // Augment the whole chunk across the pool. One base seed drawn
+            // from the caller RNG is sharded per example inside the batch
+            // APIs, so the output is independent of the worker count.
+            let aug_seed = rng.next_u64();
+            let inputs: Vec<&[String]> = chunk.iter().map(|e| e.tokens.as_slice()).collect();
+            let augs = match &source {
+                MixSource::SimpleOp => apply_batch(op, &inputs, &da_ctx, aug_seed, workers),
+                MixSource::InvDa(m) => m.augment_batch(&inputs, aug_seed, workers),
+            };
             let pairs: Vec<(Vec<String>, Vec<String>, usize)> = chunk
                 .iter()
-                .map(|e| {
-                    let aug = match &source {
-                        MixSource::SimpleOp => apply(op, &e.tokens, &da_ctx, rng),
-                        MixSource::InvDa(m) => m.augment(&e.tokens, rng),
-                    };
-                    (e.tokens.clone(), aug, e.label)
-                })
+                .zip(augs)
+                .map(|(e, aug)| (e.tokens.clone(), aug, e.label))
                 .collect();
             model.mixda_loss_backward(&pairs, cfg.train.mixda_alpha, rng);
             model.step();
@@ -372,10 +406,13 @@ fn train_rotom(
     let op = default_op(task.kind);
     let da_ctx = DaContext::default();
     let mut meta_cfg = cfg.meta.clone();
-    meta_cfg.ssl = if ssl { Some(meta_cfg.ssl.unwrap_or_default()) } else { None };
+    meta_cfg.ssl = if ssl {
+        Some(meta_cfg.ssl.unwrap_or_default())
+    } else {
+        None
+    };
     let enc_cfg = cfg.model.encoder(model.vocab().len());
-    let mut trainer =
-        MetaTrainer::new(task.num_classes, model.vocab().clone(), enc_cfg, meta_cfg);
+    let mut trainer = MetaTrainer::new(task.num_classes, model.vocab().clone(), enc_cfg, meta_cfg);
 
     let unlabeled: Vec<Vec<String>> = if ssl {
         task.sample_unlabeled(cfg.train.max_unlabeled, cfg.train.seed)
@@ -383,28 +420,38 @@ fn train_rotom(
         Vec::new()
     };
 
+    let workers = RotomPool::global();
     let mut best = (f32::NEG_INFINITY, model.snapshot());
     for _ in 0..cfg.train.epochs {
         // Per-epoch augmented pool: identity + one simple-DA variant + one
-        // InvDA variant per training example.
+        // InvDA variant per training example. Both augmentation families fan
+        // out across the worker pool; the base seeds drawn from the caller
+        // RNG are sharded per example, keeping the pool contents identical
+        // to a serial build at any `ROTOM_THREADS`.
+        let inputs: Vec<&[String]> = train.iter().map(|e| e.tokens.as_slice()).collect();
+        let simple_seed = rng.next_u64();
+        let invda_seed = rng.next_u64();
+        let simple_augs = apply_batch(op, &inputs, &da_ctx, simple_seed, workers);
+        let invda_augs = invda.augment_batch(&inputs, invda_seed, workers);
         let mut pool: Vec<AugExample> = Vec::with_capacity(train.len() * 3);
-        for e in train {
+        for ((e, simple), inv) in train.iter().zip(simple_augs).zip(invda_augs) {
             pool.push(AugExample::identity(e));
-            pool.push(AugExample::from_example(e, apply(op, &e.tokens, &da_ctx, rng)));
-            pool.push(AugExample::from_example(e, invda.augment(&e.tokens, rng)));
+            pool.push(AugExample::from_example(e, simple));
+            pool.push(AugExample::from_example(e, inv));
         }
-        // Unlabeled (x, x̂) pairs for SSL: half simple-DA, half InvDA.
-        let unlabeled_aug: Vec<(Vec<String>, Vec<String>)> = unlabeled
-            .iter()
-            .map(|x| {
-                let x_hat = if rng.random_bool(0.5) {
-                    apply(op, x, &da_ctx, rng)
-                } else {
-                    invda.augment(x, rng)
-                };
-                (x.clone(), x_hat)
-            })
-            .collect();
+        // Unlabeled (x, x̂) pairs for SSL: half simple-DA, half InvDA. Same
+        // seed-sharding scheme, one worker task per unlabeled sequence.
+        let ssl_seed = rng.next_u64();
+        let unlabeled_aug: Vec<(Vec<String>, Vec<String>)> = workers.map(unlabeled.len(), |i| {
+            let mut r = StdRng::seed_from_u64(rotom_rng::split_seed(ssl_seed, i as u64));
+            let x = &unlabeled[i];
+            let x_hat = if r.random_bool(0.5) {
+                apply(op, x, &da_ctx, &mut r)
+            } else {
+                invda.augment(x, &mut r)
+            };
+            (x.clone(), x_hat)
+        });
         trainer.train_epoch(model, &pool, valid, &unlabeled_aug);
         let m = valid_metric(model, valid, task.kind);
         if m > best.0 {
@@ -420,7 +467,12 @@ mod tests {
     use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 
     fn tiny_task() -> TaskDataset {
-        let cfg = TextClsConfig { train_pool: 60, test: 40, unlabeled: 40, seed: 5 };
+        let cfg = TextClsConfig {
+            train_pool: 60,
+            test: 40,
+            unlabeled: 40,
+            seed: 5,
+        };
         textcls::generate(TextClsFlavor::Sst2, &cfg)
     }
 
@@ -448,6 +500,22 @@ mod tests {
             let r = run_method(&task, &train, &train, method, &cfg, Some(&invda), 4);
             assert_eq!(r.method, method.name());
             assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        let task = tiny_task();
+        let cfg = RotomConfig::test_tiny();
+        let base = prepare_base(&task, &cfg, 7);
+        let model = base.instantiate(&cfg, 7);
+        let serial = RotomPool::new(1);
+        let (acc_ref, f1_ref) = evaluate_with_pool(&model, &task.test, &serial);
+        for threads in [2, 3, 8] {
+            let pool = RotomPool::new(threads);
+            let (acc, f1) = evaluate_with_pool(&model, &task.test, &pool);
+            assert_eq!(acc.to_bits(), acc_ref.to_bits(), "threads={threads}");
+            assert_eq!(f1.f1.to_bits(), f1_ref.f1.to_bits(), "threads={threads}");
         }
     }
 

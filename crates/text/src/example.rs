@@ -1,10 +1,8 @@
 //! Training-example types shared by the augmentation and meta-learning
 //! layers.
 
-use serde::{Deserialize, Serialize};
-
 /// A labeled, serialized training example.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Example {
     /// Serialized token sequence (see `rotom_text::serialize`).
     pub tokens: Vec<String>,
@@ -21,7 +19,7 @@ impl Example {
 
 /// An augmented example `e = (x, x̂, y)` (paper Definition 4.1): the original
 /// sequence, the augmented sequence, and the (inherited) label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AugExample {
     /// Original sequence `x`.
     pub orig: Vec<String>,
@@ -35,12 +33,20 @@ impl AugExample {
     /// An "identity" augmentation (x̂ = x); original training examples enter
     /// the meta-learning batch in this form.
     pub fn identity(ex: &Example) -> Self {
-        Self { orig: ex.tokens.clone(), aug: ex.tokens.clone(), label: ex.label }
+        Self {
+            orig: ex.tokens.clone(),
+            aug: ex.tokens.clone(),
+            label: ex.label,
+        }
     }
 
     /// Pair an example with an augmented token sequence.
     pub fn from_example(ex: &Example, aug: Vec<String>) -> Self {
-        Self { orig: ex.tokens.clone(), aug, label: ex.label }
+        Self {
+            orig: ex.tokens.clone(),
+            aug,
+            label: ex.label,
+        }
     }
 }
 

@@ -25,7 +25,11 @@ impl IdfIndex {
         let mut num_docs = 0usize;
         for doc in docs {
             num_docs += 1;
-            let uniq: HashSet<&str> = doc.iter().map(|t| t.as_str()).filter(|t| !is_special(t)).collect();
+            let uniq: HashSet<&str> = doc
+                .iter()
+                .map(|t| t.as_str())
+                .filter(|t| !is_special(t))
+                .collect();
             for t in uniq {
                 *df.entry(t).or_insert(0) += 1;
             }
@@ -36,7 +40,11 @@ impl IdfIndex {
             .map(|(t, d)| (t.to_string(), (n / (1.0 + d as f32)).ln().max(0.0)))
             .collect();
         let max_idf = idf.values().copied().fold(0.0f32, f32::max);
-        Self { idf, num_docs, max_idf }
+        Self {
+            idf,
+            num_docs,
+            max_idf,
+        }
     }
 
     /// Number of documents seen.

@@ -5,10 +5,9 @@
 
 use crate::token::{COL, SEP, VAL};
 use crate::tokenizer::tokenize;
-use serde::{Deserialize, Serialize};
 
 /// A data entry: an ordered set of (attribute, value) pairs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// Attribute name/value pairs in schema order.
     pub attrs: Vec<(String, String)>,
@@ -17,12 +16,20 @@ pub struct Record {
 impl Record {
     /// Build a record from (attribute, value) pairs.
     pub fn new<S: Into<String>>(attrs: Vec<(S, S)>) -> Self {
-        Self { attrs: attrs.into_iter().map(|(a, v)| (a.into(), v.into())).collect() }
+        Self {
+            attrs: attrs
+                .into_iter()
+                .map(|(a, v)| (a.into(), v.into()))
+                .collect(),
+        }
     }
 
     /// Value of the named attribute, if present.
     pub fn get(&self, attr: &str) -> Option<&str> {
-        self.attrs.iter().find(|(a, _)| a == attr).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Replace (or insert) an attribute value.
@@ -138,7 +145,11 @@ pub fn parse_structure(tokens: &[String]) -> Structure {
     if value_spans.is_empty() && !tokens.is_empty() && col_spans.is_empty() {
         value_spans.push((0, tokens.len()));
     }
-    Structure { value_spans, col_spans, sep_index }
+    Structure {
+        value_spans,
+        col_spans,
+        sep_index,
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +200,10 @@ mod tests {
 
     #[test]
     fn structure_of_plain_text() {
-        let toks: Vec<String> = ["where", "is", "it"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["where", "is", "it"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let s = parse_structure(&toks);
         assert_eq!(s.value_spans, vec![(0, 3)]);
         assert!(s.col_spans.is_empty());

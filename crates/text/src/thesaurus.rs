@@ -153,7 +153,11 @@ impl Thesaurus {
     /// Synonyms of `word`, excluding the word itself. Empty when unknown.
     pub fn synonyms(&self, word: &str) -> Vec<&str> {
         match self.index.get(word) {
-            Some(&gi) => self.groups[gi].iter().map(|s| s.as_str()).filter(|&s| s != word).collect(),
+            Some(&gi) => self.groups[gi]
+                .iter()
+                .map(|s| s.as_str())
+                .filter(|&s| s != word)
+                .collect(),
             None => Vec::new(),
         }
     }

@@ -73,12 +73,18 @@ mod tests {
 
     #[test]
     fn splits_and_lowercases() {
-        assert_eq!(toks("Where is the Orange Bowl?"), ["where", "is", "the", "orange", "bowl", "?"]);
+        assert_eq!(
+            toks("Where is the Orange Bowl?"),
+            ["where", "is", "the", "orange", "bowl", "?"]
+        );
     }
 
     #[test]
     fn preserves_special_tokens() {
-        assert_eq!(toks("[COL] Name [VAL] Google LLC"), ["[COL]", "name", "[VAL]", "google", "llc"]);
+        assert_eq!(
+            toks("[COL] Name [VAL] Google LLC"),
+            ["[COL]", "name", "[VAL]", "google", "llc"]
+        );
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! Token vocabulary with frequency-based construction.
 
 use crate::token::{SPECIAL_TOKENS, UNK};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Bidirectional token ↔ id map. Special tokens always occupy the lowest ids
 /// in [`SPECIAL_TOKENS`] order, so `PAD = 0`, `UNK = 1`, `CLS = 2`, ….
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vocab {
     tokens: Vec<String>,
     index: HashMap<String, usize>,
@@ -43,7 +42,11 @@ impl Vocab {
         let mut tokens: Vec<String> = SPECIAL_TOKENS.iter().map(|s| s.to_string()).collect();
         tokens.extend(char_tokens);
         tokens.extend(ranked.into_iter().take(budget).map(|(t, _)| t.to_string()));
-        let index = tokens.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
         Self { tokens, index }
     }
 
@@ -104,7 +107,10 @@ impl Vocab {
 
     /// Id of `tok`, or the `[UNK]` id when out of vocabulary.
     pub fn id(&self, tok: &str) -> usize {
-        self.index.get(tok).copied().unwrap_or_else(|| self.index[UNK])
+        self.index
+            .get(tok)
+            .copied()
+            .unwrap_or_else(|| self.index[UNK])
     }
 
     /// Id of `tok` only if present.

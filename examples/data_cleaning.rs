@@ -11,7 +11,13 @@ use rotom_baselines::raha::Raha;
 use rotom_datasets::edt::{self, EdtConfig, EdtFlavor};
 
 fn main() {
-    let data = edt::generate(EdtFlavor::Beers, &EdtConfig { rows: Some(120), ..Default::default() });
+    let data = edt::generate(
+        EdtFlavor::Beers,
+        &EdtConfig {
+            rows: Some(120),
+            ..Default::default()
+        },
+    );
     println!(
         "{}: {} rows x {} columns, {} injected errors",
         data.name,
@@ -21,11 +27,22 @@ fn main() {
     );
 
     // Peek at a dirty row.
-    let dirty_row = (0..data.rows.len()).find(|&r| data.mask[r].iter().any(|&b| b)).unwrap();
+    let dirty_row = (0..data.rows.len())
+        .find(|&r| data.mask[r].iter().any(|&b| b))
+        .unwrap();
     println!("\nrow {dirty_row} (errors marked):");
     for (c, col) in data.columns.iter().enumerate() {
-        let marker = if data.mask[dirty_row][c] { "  <-- ERROR" } else { "" };
-        println!("  {:>10}: {}{}", col, data.rows[dirty_row].get(col).unwrap_or(""), marker);
+        let marker = if data.mask[dirty_row][c] {
+            "  <-- ERROR"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>10}: {}{}",
+            col,
+            data.rows[dirty_row].get(col).unwrap_or(""),
+            marker
+        );
     }
 
     // Raha with 20 labeled tuples.

@@ -15,14 +15,27 @@ use rotom_text::serialize::serialize_pair;
 fn main() {
     // Walmart-Amazon-style product pairs: two noisy renderings of shared
     // latent products, with blocking-style hard negatives.
-    let gen = EmConfig { num_entities: 160, train_pairs: 400, test_pairs: 200, ..Default::default() };
+    let gen = EmConfig {
+        num_entities: 160,
+        train_pairs: 400,
+        test_pairs: 200,
+        ..Default::default()
+    };
     let data = em::generate(EmFlavor::WalmartAmazon, &gen);
     let task = data.to_task();
-    println!("{}: {} candidate pairs ({} test)", data.name, data.train_pairs.len(), data.test_pairs.len());
+    println!(
+        "{}: {} candidate pairs ({} test)",
+        data.name,
+        data.train_pairs.len(),
+        data.test_pairs.len()
+    );
 
     // Show one matching pair as the model sees it (paper §2.1 serialization).
     let sample = data.train_pairs.iter().find(|p| p.is_match).unwrap();
-    println!("\nserialized match example:\n  {}\n", serialize_pair(&sample.left, &sample.right).join(" "));
+    println!(
+        "\nserialized match example:\n  {}\n",
+        serialize_pair(&sample.left, &sample.right).join(" ")
+    );
 
     // Shared pre-training (MLM + matched-view pairs) and InvDA — built once,
     // reused by every method, like loading the same RoBERTa checkpoint.
@@ -40,7 +53,16 @@ fn main() {
     let train = task.sample_train(240, 0);
     println!("method comparison with {} labeled pairs:", train.len());
     for method in Method::ALL {
-        let r = run_method_with_base(&task, &train, &train, method, &cfg, Some(&invda), Some(&base), 0);
+        let r = run_method_with_base(
+            &task,
+            &train,
+            &train,
+            method,
+            &cfg,
+            Some(&invda),
+            Some(&base),
+            0,
+        );
         println!(
             "  {:>10}: F1 {:>5.1}  (precision {:.2}, recall {:.2}, {:.1}s)",
             r.method,

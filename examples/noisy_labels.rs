@@ -8,16 +8,21 @@
 //! cargo run --release --example noisy_labels
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rotom::pipeline::{evaluate, prepare_base};
 use rotom::{MetaConfig, MetaTrainer, RotomConfig, WeightedItem};
 use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 use rotom_meta::MetaTarget;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::AugExample;
 
 fn main() {
-    let data_cfg = TextClsConfig { train_pool: 300, test: 200, unlabeled: 200, seed: 13 };
+    let data_cfg = TextClsConfig {
+        train_pool: 300,
+        test: 200,
+        unlabeled: 200,
+        seed: 13,
+    };
     let task = textcls::generate(TextClsFlavor::Sst2, &data_cfg);
     let mut rng = StdRng::seed_from_u64(0);
 
@@ -31,7 +36,11 @@ fn main() {
             flipped += 1;
         }
     }
-    println!("{}: {} labeled examples, {flipped} with corrupted labels", task.name, train.len());
+    println!(
+        "{}: {} labeled examples, {flipped} with corrupted labels",
+        task.name,
+        train.len()
+    );
 
     let mut cfg = RotomConfig::bench_small();
     cfg.model.max_len = 32;
@@ -62,7 +71,10 @@ fn main() {
         let pool: Vec<AugExample> = train.iter().map(AugExample::identity).collect();
         let valid: Vec<_> = clean.iter().take(40).cloned().collect();
         let enc_cfg = cfg.model.encoder(model.vocab().len());
-        let meta_cfg = MetaConfig { batch_size: 12, ..Default::default() };
+        let meta_cfg = MetaConfig {
+            batch_size: 12,
+            ..Default::default()
+        };
         let mut trainer = MetaTrainer::new(2, model.vocab().clone(), enc_cfg, meta_cfg);
         for _ in 0..6 {
             trainer.train_epoch(&mut model, &pool, &valid, &[]);

@@ -11,7 +11,12 @@ use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 fn main() {
     // 1. A TREC-style question-intent dataset (6 classes) with a small
     //    labeled pool and some unlabeled text.
-    let data_cfg = TextClsConfig { train_pool: 300, test: 200, unlabeled: 200, seed: 1 };
+    let data_cfg = TextClsConfig {
+        train_pool: 300,
+        test: 200,
+        unlabeled: 200,
+        seed: 1,
+    };
     let task = textcls::generate(TextClsFlavor::Trec, &data_cfg);
 
     // 2. A low-resource split: 100 labeled examples (the paper's smallest
@@ -24,7 +29,13 @@ fn main() {
     cfg.train.epochs = 6;
     cfg.train.lr = 1e-3;
 
-    println!("dataset: {} ({} classes, {} train, {} test)", task.name, task.num_classes, train.len(), task.test.len());
+    println!(
+        "dataset: {} ({} classes, {} train, {} test)",
+        task.name,
+        task.num_classes,
+        train.len(),
+        task.test.len()
+    );
     for method in [Method::Baseline, Method::Rotom] {
         let result = run_method(&task, &train, &train, method, &cfg, None, 0);
         println!(

@@ -12,7 +12,12 @@ use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 
 fn main() {
     // SST-2-style binary sentiment with a large unlabeled pool.
-    let data_cfg = TextClsConfig { train_pool: 300, test: 200, unlabeled: 400, seed: 9 };
+    let data_cfg = TextClsConfig {
+        train_pool: 300,
+        test: 200,
+        unlabeled: 400,
+        seed: 9,
+    };
     let task = textcls::generate(TextClsFlavor::Sst2, &data_cfg);
     let train = task.sample_train(60, 0);
     println!(
@@ -30,7 +35,16 @@ fn main() {
     let invda = InvDa::train(&task.unlabeled, cfg.invda.clone(), 5);
 
     for method in [Method::Baseline, Method::Rotom, Method::RotomSsl] {
-        let r = run_method_with_base(&task, &train, &train, method, &cfg, Some(&invda), Some(&base), 0);
+        let r = run_method_with_base(
+            &task,
+            &train,
+            &train,
+            method,
+            &cfg,
+            Some(&invda),
+            Some(&base),
+            0,
+        );
         println!(
             "{:>10}: accuracy {:.1}%  ({:.1}s)",
             r.method,

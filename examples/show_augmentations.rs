@@ -5,11 +5,11 @@
 //! cargo run --release --example show_augmentations
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rotom_augment::diversity::diversity;
 use rotom_augment::{apply, DaContext, DaOp, InvDa, InvDaConfig};
 use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::SeedableRng;
 use rotom_text::serialize::{serialize_cell, serialize_record, Record};
 use rotom_text::tokenize;
 
@@ -27,8 +27,9 @@ fn show(title: &str, original: &[String], invda: &InvDa, rng: &mut StdRng) {
     }
     // Quantify the diversity/quality trade-off of §3.2: simple single-token
     // operators sit near 1/len edit distance; InvDA ranges much wider.
-    let simple: Vec<Vec<String>> =
-        (0..8).map(|_| apply(DaOp::TokenRepl, original, &ctx, rng)).collect();
+    let simple: Vec<Vec<String>> = (0..8)
+        .map(|_| apply(DaOp::TokenRepl, original, &ctx, rng))
+        .collect();
     let d_simple = diversity(original, &simple);
     let d_invda = diversity(original, &invda_variants);
     println!(
@@ -44,24 +45,49 @@ fn main() {
     let question = tokenize("where is the orange bowl ?");
     let tcls = textcls::generate(
         TextClsFlavor::Trec,
-        &TextClsConfig { train_pool: 0, test: 0, unlabeled: 300, seed: 2 },
+        &TextClsConfig {
+            train_pool: 0,
+            test: 0,
+            unlabeled: 300,
+            seed: 2,
+        },
     );
     let invda_text = InvDa::train(&tcls.unlabeled, InvDaConfig::default(), 1);
-    show("Text classification — question intent", &question, &invda_text, &mut rng);
+    show(
+        "Text classification — question intent",
+        &question,
+        &invda_text,
+        &mut rng,
+    );
 
     // Error detection (Table 4, right): a movie-name cell.
     let cell = serialize_cell("name", "the silent storm");
     let movie_corpus: Vec<Vec<String>> = (0..200)
         .map(|i| {
             let words = rotom_datasets::words::MOVIE_WORDS;
-            serialize_cell("name", &format!("the {} {}", words[i % words.len()], words[(i * 7 + 3) % words.len()]))
+            serialize_cell(
+                "name",
+                &format!(
+                    "the {} {}",
+                    words[i % words.len()],
+                    words[(i * 7 + 3) % words.len()]
+                ),
+            )
         })
         .collect();
     let invda_edt = InvDa::train(&movie_corpus, InvDaConfig::default(), 2);
-    show("Error detection — movie name cell", &cell, &invda_edt, &mut rng);
+    show(
+        "Error detection — movie name cell",
+        &cell,
+        &invda_edt,
+        &mut rng,
+    );
 
     // Entity matching (Table 5): a paper title record.
-    let record = Record::new(vec![("title", "effective timestamping in relational databases")]);
+    let record = Record::new(vec![(
+        "title",
+        "effective timestamping in relational databases",
+    )]);
     let title = serialize_record(&record);
     let paper_corpus: Vec<Vec<String>> = (0..200)
         .map(|i| {

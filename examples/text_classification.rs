@@ -11,7 +11,12 @@ use rotom_augment::InvDa;
 use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
 
 fn main() {
-    let data_cfg = TextClsConfig { train_pool: 500, test: 300, unlabeled: 300, seed: 11 };
+    let data_cfg = TextClsConfig {
+        train_pool: 500,
+        test: 300,
+        unlabeled: 300,
+        seed: 11,
+    };
     let task = textcls::generate(TextClsFlavor::Snips, &data_cfg);
     println!("{} ({} intents)", task.name, task.num_classes);
 
@@ -22,14 +27,31 @@ fn main() {
     let base = prepare_base(&task, &cfg, 3);
     let invda = InvDa::train(&task.unlabeled, cfg.invda.clone(), 3);
 
-    println!("{:>8} {:>10} {:>10} {:>8}", "size", "Baseline", "Rotom", "delta");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "size", "Baseline", "Rotom", "delta"
+    );
     for size in [60usize, 120, 240] {
         let train = task.sample_train(size, 0);
         let base_r = run_method_with_base(
-            &task, &train, &train, Method::Baseline, &cfg, None, Some(&base), 0,
+            &task,
+            &train,
+            &train,
+            Method::Baseline,
+            &cfg,
+            None,
+            Some(&base),
+            0,
         );
         let rotom_r = run_method_with_base(
-            &task, &train, &train, Method::Rotom, &cfg, Some(&invda), Some(&base), 0,
+            &task,
+            &train,
+            &train,
+            Method::Rotom,
+            &cfg,
+            Some(&invda),
+            Some(&base),
+            0,
         );
         println!(
             "{:>8} {:>9.1}% {:>9.1}% {:>+7.1}",

@@ -18,12 +18,25 @@ fn tiny_cfg() -> RotomConfig {
 
 #[test]
 fn em_pipeline_end_to_end() {
-    let gen = EmConfig { num_entities: 40, train_pairs: 80, test_pairs: 40, ..Default::default() };
+    let gen = EmConfig {
+        num_entities: 40,
+        train_pairs: 80,
+        test_pairs: 40,
+        ..Default::default()
+    };
     let data = em::generate(EmFlavor::DblpAcm, &gen);
     let task = data.to_task();
     assert_eq!(task.kind, TaskKind::EntityMatching);
     let train = task.sample_train(40, 0);
-    let r = run_method(&task, &train, &train, Method::Baseline, &tiny_cfg(), None, 0);
+    let r = run_method(
+        &task,
+        &train,
+        &train,
+        Method::Baseline,
+        &tiny_cfg(),
+        None,
+        0,
+    );
     assert_eq!(r.dataset, "DBLP-ACM");
     assert!(r.accuracy > 0.0);
     assert!(r.train_seconds > 0.0);
@@ -31,7 +44,13 @@ fn em_pipeline_end_to_end() {
 
 #[test]
 fn edt_pipeline_end_to_end() {
-    let data = edt::generate(EdtFlavor::Hospital, &EdtConfig { rows: Some(60), ..Default::default() });
+    let data = edt::generate(
+        EdtFlavor::Hospital,
+        &EdtConfig {
+            rows: Some(60),
+            ..Default::default()
+        },
+    );
     let task = data.to_task();
     let train = task.sample_train_balanced(60, 0);
     // Both classes present after balancing.
@@ -43,14 +62,28 @@ fn edt_pipeline_end_to_end() {
 
 #[test]
 fn rotom_and_ssl_run_on_textcls() {
-    let data_cfg = TextClsConfig { train_pool: 60, test: 40, unlabeled: 60, seed: 3 };
+    let data_cfg = TextClsConfig {
+        train_pool: 60,
+        test: 40,
+        unlabeled: 60,
+        seed: 3,
+    };
     let task = textcls::generate(TextClsFlavor::Snips, &data_cfg);
     let train = task.sample_train(28, 0);
     let cfg = tiny_cfg();
     let base = prepare_base(&task, &cfg, 1);
     let invda = InvDa::train(&task.unlabeled, InvDaConfig::test_tiny(), 1);
     for method in [Method::Rotom, Method::RotomSsl] {
-        let r = run_method_with_base(&task, &train, &train, method, &cfg, Some(&invda), Some(&base), 0);
+        let r = run_method_with_base(
+            &task,
+            &train,
+            &train,
+            method,
+            &cfg,
+            Some(&invda),
+            Some(&base),
+            0,
+        );
         assert!((0.0..=1.0).contains(&r.accuracy), "{}", r.method);
     }
 }
@@ -59,13 +92,36 @@ fn rotom_and_ssl_run_on_textcls() {
 fn shared_base_reproduces_runs() {
     // Two runs from the same base + seed must be identical (determinism of
     // the whole pipeline).
-    let data_cfg = TextClsConfig { train_pool: 40, test: 30, unlabeled: 30, seed: 4 };
+    let data_cfg = TextClsConfig {
+        train_pool: 40,
+        test: 30,
+        unlabeled: 30,
+        seed: 4,
+    };
     let task = textcls::generate(TextClsFlavor::Sst2, &data_cfg);
     let train = task.sample_train(20, 0);
     let cfg = tiny_cfg();
     let base = prepare_base(&task, &cfg, 2);
-    let a = run_method_with_base(&task, &train, &train, Method::Baseline, &cfg, None, Some(&base), 5);
-    let b = run_method_with_base(&task, &train, &train, Method::Baseline, &cfg, None, Some(&base), 5);
+    let a = run_method_with_base(
+        &task,
+        &train,
+        &train,
+        Method::Baseline,
+        &cfg,
+        None,
+        Some(&base),
+        5,
+    );
+    let b = run_method_with_base(
+        &task,
+        &train,
+        &train,
+        Method::Baseline,
+        &cfg,
+        None,
+        Some(&base),
+        5,
+    );
     assert_eq!(a.accuracy, b.accuracy);
     assert_eq!(a.prf1, b.prf1);
 }
@@ -83,6 +139,14 @@ fn dirty_em_variant_flows_through() {
     assert!(data.name.ends_with("-dirty"));
     let task = data.to_task();
     let train = task.sample_train(30, 0);
-    let r = run_method(&task, &train, &train, Method::Baseline, &tiny_cfg(), None, 0);
+    let r = run_method(
+        &task,
+        &train,
+        &train,
+        Method::Baseline,
+        &tiny_cfg(),
+        None,
+        0,
+    );
     assert!((0.0..=1.0).contains(&r.prf1.f1));
 }

@@ -1,23 +1,35 @@
 //! Property and invariant tests over the dataset generators (the
 //! ground-truth consistency half of DESIGN.md's invariant list).
+//!
+//! Hand-rolled property loops over seeded random cases (no `proptest`; the
+//! workspace builds fully offline with zero external dependencies).
 
-use proptest::prelude::*;
 use rotom_datasets::edt::{self, EdtConfig, EdtFlavor};
 use rotom_datasets::em::{self, jaccard, EmConfig, EmFlavor};
 use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{split_seed, RngExt, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+const CASES: u64 = 8;
 
-    /// EM generators: sizes exact, matches lexically closer than
-    /// non-matches (the latent-entity invariant), across flavors and seeds.
-    #[test]
-    fn em_generator_invariants(flavor_idx in 0usize..5, seed in 0u64..50) {
-        let flavor = EmFlavor::ALL[flavor_idx];
-        let cfg = EmConfig { num_entities: 40, train_pairs: 80, test_pairs: 30, seed, ..Default::default() };
+/// EM generators: sizes exact, matches lexically closer than
+/// non-matches (the latent-entity invariant), across flavors and seeds.
+#[test]
+fn em_generator_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0x9e4_0001, case));
+        let flavor = EmFlavor::ALL[rng.random_range(0..5usize)];
+        let seed = rng.random_range(0..50u64);
+        let cfg = EmConfig {
+            num_entities: 40,
+            train_pairs: 80,
+            test_pairs: 30,
+            seed,
+            ..Default::default()
+        };
         let d = em::generate(flavor, &cfg);
-        prop_assert_eq!(d.train_pairs.len(), 80);
-        prop_assert_eq!(d.test_pairs.len(), 30);
+        assert_eq!(d.train_pairs.len(), 80, "case {case}");
+        assert_eq!(d.test_pairs.len(), 30, "case {case}");
         let avg = |m: bool| {
             let v: Vec<f32> = d
                 .train_pairs
@@ -27,43 +39,64 @@ proptest! {
                 .collect();
             v.iter().sum::<f32>() / v.len().max(1) as f32
         };
-        prop_assert!(avg(true) > avg(false), "{}: matches not closer", d.name);
+        assert!(
+            avg(true) > avg(false),
+            "case {case} {}: matches not closer",
+            d.name
+        );
     }
+}
 
-    /// EDT generators: the error mask matches the injected error count and
-    /// test rows never overlap, across flavors and seeds.
-    #[test]
-    fn edt_generator_invariants(flavor_idx in 0usize..5, seed in 0u64..50) {
-        let flavor = EdtFlavor::ALL[flavor_idx];
-        let cfg = EdtConfig { rows: Some(50), seed, ..Default::default() };
+/// EDT generators: the error mask matches the injected error count and
+/// test rows never overlap, across flavors and seeds.
+#[test]
+fn edt_generator_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0x9e4_0002, case));
+        let flavor = EdtFlavor::ALL[rng.random_range(0..5usize)];
+        let seed = rng.random_range(0..50u64);
+        let cfg = EdtConfig {
+            rows: Some(50),
+            seed,
+            ..Default::default()
+        };
         let d = edt::generate(flavor, &cfg);
         let expected = (50.0 * d.columns.len() as f32 * cfg.error_rate).round() as usize;
-        prop_assert_eq!(d.num_errors(), expected);
+        assert_eq!(d.num_errors(), expected, "case {case}");
         let mut rows = d.test_rows.clone();
         rows.sort_unstable();
         rows.dedup();
-        prop_assert_eq!(rows.len(), d.test_rows.len());
+        assert_eq!(rows.len(), d.test_rows.len(), "case {case}");
         // Kinds align with the mask everywhere.
         for r in 0..d.rows.len() {
             for c in 0..d.columns.len() {
-                prop_assert_eq!(d.mask[r][c], d.kinds[r][c].is_some());
+                assert_eq!(d.mask[r][c], d.kinds[r][c].is_some(), "case {case}");
             }
         }
     }
+}
 
-    /// TextCLS generators: labels in range, split sizes exact, sequences
-    /// non-empty.
-    #[test]
-    fn textcls_generator_invariants(flavor_idx in 0usize..8, seed in 0u64..50) {
-        let flavor = TextClsFlavor::ALL[flavor_idx];
-        let cfg = TextClsConfig { train_pool: 60, test: 24, unlabeled: 12, seed };
+/// TextCLS generators: labels in range, split sizes exact, sequences
+/// non-empty.
+#[test]
+fn textcls_generator_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0x9e4_0003, case));
+        let flavor = TextClsFlavor::ALL[rng.random_range(0..8usize)];
+        let seed = rng.random_range(0..50u64);
+        let cfg = TextClsConfig {
+            train_pool: 60,
+            test: 24,
+            unlabeled: 12,
+            seed,
+        };
         let d = textcls::generate(flavor, &cfg);
-        prop_assert_eq!(d.train_pool.len(), 60);
-        prop_assert_eq!(d.test.len(), 24);
-        prop_assert_eq!(d.unlabeled.len(), 12);
+        assert_eq!(d.train_pool.len(), 60, "case {case}");
+        assert_eq!(d.test.len(), 24, "case {case}");
+        assert_eq!(d.unlabeled.len(), 12, "case {case}");
         for e in d.train_pool.iter().chain(&d.test) {
-            prop_assert!(e.label < d.num_classes);
-            prop_assert!(!e.tokens.is_empty());
+            assert!(e.label < d.num_classes, "case {case}");
+            assert!(!e.tokens.is_empty(), "case {case}");
         }
     }
 }
@@ -71,10 +104,25 @@ proptest! {
 #[test]
 fn em_blocking_is_symmetric_in_threshold() {
     // Raising min_shared can only shrink the candidate set.
-    let cfg = EmConfig { num_entities: 30, train_pairs: 50, test_pairs: 10, ..Default::default() };
+    let cfg = EmConfig {
+        num_entities: 30,
+        train_pairs: 50,
+        test_pairs: 10,
+        ..Default::default()
+    };
     let d = em::generate(EmFlavor::AbtBuy, &cfg);
-    let left: Vec<_> = d.train_pairs.iter().take(20).map(|p| p.left.clone()).collect();
-    let right: Vec<_> = d.train_pairs.iter().take(20).map(|p| p.right.clone()).collect();
+    let left: Vec<_> = d
+        .train_pairs
+        .iter()
+        .take(20)
+        .map(|p| p.left.clone())
+        .collect();
+    let right: Vec<_> = d
+        .train_pairs
+        .iter()
+        .take(20)
+        .map(|p| p.right.clone())
+        .collect();
     let loose = em::block_candidates(&left, &right, 1);
     let strict = em::block_candidates(&left, &right, 3);
     assert!(strict.len() <= loose.len());
@@ -85,8 +133,16 @@ fn em_blocking_is_symmetric_in_threshold() {
 
 #[test]
 fn dirty_variants_differ_from_clean() {
-    let clean_cfg = EmConfig { num_entities: 30, train_pairs: 40, test_pairs: 10, ..Default::default() };
-    let dirty_cfg = EmConfig { dirty: true, ..clean_cfg.clone() };
+    let clean_cfg = EmConfig {
+        num_entities: 30,
+        train_pairs: 40,
+        test_pairs: 10,
+        ..Default::default()
+    };
+    let dirty_cfg = EmConfig {
+        dirty: true,
+        ..clean_cfg.clone()
+    };
     let clean = em::generate(EmFlavor::DblpAcm, &clean_cfg);
     let dirty = em::generate(EmFlavor::DblpAcm, &dirty_cfg);
     assert_eq!(clean.name, "DBLP-ACM");
@@ -95,7 +151,11 @@ fn dirty_variants_differ_from_clean() {
     // boundary) differs — but the overall label distribution is identical
     // (misplacement never changes labels).
     let positives = |d: &em::EmDataset| {
-        d.train_pairs.iter().chain(&d.test_pairs).filter(|p| p.is_match).count()
+        d.train_pairs
+            .iter()
+            .chain(&d.test_pairs)
+            .filter(|p| p.is_match)
+            .count()
     };
     assert_eq!(positives(&clean), positives(&dirty));
     // And at least one record has a blanked (moved-out) attribute.

@@ -11,24 +11,37 @@ use rotom_text::example::AugExample;
 
 #[test]
 fn algorithm2_with_tinylm_learns_through_poisoned_pool() {
-    let data_cfg = TextClsConfig { train_pool: 80, test: 60, unlabeled: 40, seed: 21 };
+    let data_cfg = TextClsConfig {
+        train_pool: 80,
+        test: 60,
+        unlabeled: 40,
+        seed: 21,
+    };
     let task = textcls::generate(TextClsFlavor::Sst2, &data_cfg);
     let train = task.sample_train(40, 0);
 
     let mut mc = ModelConfig::test_tiny();
     mc.max_len = 20;
     let corpus: Vec<Vec<String>> = task.unlabeled.clone();
-    let mut model = TinyLm::from_corpus(&corpus, 2, &mc, 2e-3, 0);
+    let mut model = TinyLm::from_corpus(&corpus, 2, &mc, 2e-3, 1);
     model.pretrain_mlm(&corpus, 8);
 
     // Pool: identity examples plus 25% label-corrupted copies.
     let mut pool: Vec<AugExample> = train.iter().map(AugExample::identity).collect();
     for e in train.iter().take(10) {
-        pool.push(AugExample { orig: e.tokens.clone(), aug: e.tokens.clone(), label: 1 - e.label });
+        pool.push(AugExample {
+            orig: e.tokens.clone(),
+            aug: e.tokens.clone(),
+            label: 1 - e.label,
+        });
     }
 
     let enc = mc.encoder(model.vocab().len());
-    let meta_cfg = MetaConfig { batch_size: 8, val_batch_size: 8, ..Default::default() };
+    let meta_cfg = MetaConfig {
+        batch_size: 8,
+        val_batch_size: 8,
+        ..Default::default()
+    };
     let mut trainer = MetaTrainer::new(2, model.vocab().clone(), enc, meta_cfg);
     let mut last_stats = None;
     for _ in 0..5 {

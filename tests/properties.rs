@@ -1,116 +1,155 @@
 //! Workspace-level property-based tests on the core invariants (DESIGN.md's
 //! invariant list), run through the public APIs of several crates at once.
+//!
+//! These are hand-rolled property loops (seeded RNG + many random cases)
+//! rather than `proptest` strategies: the build environment is fully offline,
+//! so the workspace carries no external dev-dependencies. Failures print the
+//! case seed, which reproduces the input deterministically.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rotom_augment::{apply, corrupt, DaContext, DaOp};
 use rotom_meta::{guess_label, sharpen_v1, sharpen_v2};
 use rotom_nn::{softmax_slice, ParamStore, Tape, Tensor};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::{split_seed, RngExt, SeedableRng};
 use rotom_text::serialize::{parse_structure, serialize_record, Record};
 use rotom_text::token::is_structural;
 use rotom_text::tokenizer::{detokenize, tokenize};
 use rotom_text::vocab::Vocab;
 
-/// Strategy: plausible word tokens.
-fn word() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}"
+const CASES: u64 = 64;
+
+/// Generator: a plausible lowercase word of 1–8 chars.
+fn word(rng: &mut StdRng) -> String {
+    let len = rng.random_range(1..=8usize);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+        .collect()
 }
 
-/// Strategy: a serialized record with 1–4 attributes.
-fn record() -> impl Strategy<Value = Record> {
-    prop::collection::vec((word(), prop::collection::vec(word(), 1..5)), 1..5).prop_map(|attrs| {
-        Record::new(
-            attrs
-                .into_iter()
-                .map(|(a, vs)| (a, vs.join(" ")))
-                .collect::<Vec<(String, String)>>(),
-        )
-    })
+fn words(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<String> {
+    let n = rng.random_range(lo..hi);
+    (0..n).map(|_| word(rng)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Generator: a serialized record with 1–4 attributes of 1–4 words each.
+fn record(rng: &mut StdRng) -> Record {
+    let attrs = rng.random_range(1..5usize);
+    Record::new(
+        (0..attrs)
+            .map(|_| (word(rng), words(rng, 1, 5).join(" ")))
+            .collect::<Vec<(String, String)>>(),
+    )
+}
 
-    /// No DA operator ever panics, and all preserve the [COL]/[VAL]
-    /// structure marker counts' consistency ([VAL] per [COL]).
-    #[test]
-    fn da_ops_preserve_structure(r in record(), op_idx in 0usize..9, seed in 0u64..1000) {
+/// No DA operator ever panics, and all preserve the [COL]/[VAL] structure
+/// marker counts' consistency ([VAL] per [COL]).
+#[test]
+fn da_ops_preserve_structure() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0001, case));
+        let r = record(&mut rng);
         let tokens = serialize_record(&r);
-        let op = DaOp::ALL[op_idx];
-        let mut rng = StdRng::seed_from_u64(seed);
+        let op = DaOp::ALL[rng.random_range(0..9usize)];
         let out = apply(op, &tokens, &DaContext::default(), &mut rng);
         let cols = out.iter().filter(|t| *t == "[COL]").count();
         let vals = out.iter().filter(|t| *t == "[VAL]").count();
-        prop_assert_eq!(cols, vals, "unbalanced markers after {}", op.name());
+        assert_eq!(
+            cols,
+            vals,
+            "case {case}: unbalanced markers after {}",
+            op.name()
+        );
         // Structure must still parse with value spans not covering markers.
         let s = parse_structure(&out);
         for (a, b) in s.value_spans {
             for t in &out[a..b] {
-                prop_assert!(!is_structural(t));
+                assert!(!is_structural(t), "case {case}");
             }
         }
     }
+}
 
-    /// Multi-op corruption never panics and returns well-formed sequences.
-    #[test]
-    fn corruption_pipeline_total(r in record(), n in 0usize..6, seed in 0u64..1000) {
+/// Multi-op corruption never panics and returns well-formed sequences.
+#[test]
+fn corruption_pipeline_total() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0002, case));
+        let r = record(&mut rng);
         let tokens = serialize_record(&r);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(0..6usize);
         let out = corrupt(&tokens, &DaOp::ALL, n, &DaContext::default(), &mut rng);
         let cols = out.iter().filter(|t| *t == "[COL]").count();
         let vals = out.iter().filter(|t| *t == "[VAL]").count();
-        prop_assert_eq!(cols, vals);
+        assert_eq!(cols, vals, "case {case}");
     }
+}
 
-    /// Tokenizer round-trips normalized text.
-    #[test]
-    fn tokenizer_roundtrip(words in prop::collection::vec(word(), 1..12)) {
-        let text = words.join(" ");
+/// Tokenizer round-trips normalized text.
+#[test]
+fn tokenizer_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0003, case));
+        let text = words(&mut rng, 1, 12).join(" ");
         let toks = tokenize(&text);
-        prop_assert_eq!(tokenize(&detokenize(&toks)), toks);
+        assert_eq!(tokenize(&detokenize(&toks)), toks, "case {case}");
     }
+}
 
-    /// Vocab encode/decode round-trips for in-vocabulary tokens, and
-    /// char-fallback covers arbitrary ASCII words without UNK.
-    #[test]
-    fn vocab_fallback_total(words in prop::collection::vec(word(), 1..10)) {
-        let seqs: Vec<Vec<String>> = vec![words.clone()];
+/// Vocab encode/decode round-trips for in-vocabulary tokens, and
+/// char-fallback covers arbitrary ASCII words without UNK.
+#[test]
+fn vocab_fallback_total() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0004, case));
+        let ws = words(&mut rng, 1, 10);
+        let seqs: Vec<Vec<String>> = vec![ws.clone()];
         let refs: Vec<&[String]> = seqs.iter().map(|s| s.as_slice()).collect();
         let v = Vocab::build(refs, 4096);
-        prop_assert_eq!(v.decode(&v.encode(&words)), words.clone());
+        assert_eq!(v.decode(&v.encode(&ws)), ws, "case {case}");
         let unk = v.special_id(rotom_text::token::UNK);
-        let novel: Vec<String> = words.iter().map(|w| format!("{w}x9")).collect();
-        prop_assert!(v.encode_fallback(&novel).iter().all(|&i| i != unk));
+        let novel: Vec<String> = ws.iter().map(|w| format!("{w}x9")).collect();
+        assert!(
+            v.encode_fallback(&novel).iter().all(|&i| i != unk),
+            "case {case}"
+        );
     }
+}
 
-    /// softmax output is a distribution; sharpen_v1 keeps it one and never
-    /// lowers the mode; sharpen_v2 is monotone in its threshold.
-    #[test]
-    fn sharpen_invariants(logits in prop::collection::vec(-5.0f32..5.0, 2..6), t in 0.1f32..1.0) {
+/// softmax output is a distribution; sharpen_v1 keeps it one and never
+/// lowers the mode; sharpen_v2 is monotone in its threshold.
+#[test]
+fn sharpen_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0005, case));
+        let n = rng.random_range(2..6usize);
+        let logits: Vec<f32> = (0..n).map(|_| rng.random_range(-5.0f32..5.0)).collect();
+        let t: f32 = rng.random_range(0.1f32..1.0);
         let p = softmax_slice(&logits);
-        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4, "case {case}");
         let s = sharpen_v1(&p, t);
-        prop_assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-3, "case {case}");
         let mode = rotom_nn::argmax(&p);
-        prop_assert!(s[mode] >= p[mode] - 1e-4);
+        assert!(s[mode] >= p[mode] - 1e-4, "case {case}");
         // v2 monotone: accepted at high threshold => accepted below.
         if sharpen_v2(&p, 0.9).is_some() {
-            prop_assert!(sharpen_v2(&p, 0.5).is_some());
+            assert!(sharpen_v2(&p, 0.5).is_some(), "case {case}");
         }
         // Combined guess is always a distribution.
         let g = guess_label(&p, t, 0.8);
-        prop_assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-3, "case {case}");
     }
+}
 
-    /// Autodiff: cross-entropy gradients match finite differences on random
-    /// single-layer problems.
-    #[test]
-    fn gradcheck_random_linear(
-        w0 in prop::collection::vec(-0.8f32..0.8, 6),
-        x0 in prop::collection::vec(-1.0f32..1.0, 2),
-        label in 0usize..3,
-    ) {
+/// Autodiff: cross-entropy gradients match finite differences on random
+/// single-layer problems.
+#[test]
+fn gradcheck_random_linear() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0006, case));
+        let w0: Vec<f32> = (0..6).map(|_| rng.random_range(-0.8f32..0.8)).collect();
+        let x0: Vec<f32> = (0..2).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let label = rng.random_range(0..3usize);
+
         let mut store = ParamStore::new();
         let w = store.push("w", Tensor::from_vec(w0.clone(), 2, 3));
         let mut target = vec![0.0f32; 3];
@@ -142,9 +181,12 @@ proptest! {
             let lm = run(&mut store, false);
             store.set_flat(&theta);
             let numeric = (lp - lm) / (2.0 * eps);
-            prop_assert!(
+            assert!(
                 (analytic[k] - numeric).abs() < 0.02 + 0.05 * numeric.abs(),
-                "grad mismatch at {}: {} vs {}", k, analytic[k], numeric
+                "case {case}: grad mismatch at {}: {} vs {}",
+                k,
+                analytic[k],
+                numeric
             );
         }
     }
