@@ -12,6 +12,27 @@ cargo build --release --offline --workspace
 echo "== cargo test --offline"
 cargo test -q --offline --workspace
 
+echo "== gradcheck (autodiff vs central differences, every layer)"
+cargo test -q --offline -p rotom-nn gradcheck
+cargo test -q --offline -p rotom-nn --test gradcheck_layers
+
+echo "== golden snapshots present"
+if ! ls tests/golden/*.txt >/dev/null 2>&1; then
+    echo "tests/golden/ has no snapshots; regenerate with" >&2
+    echo "  ROTOM_BLESS=1 cargo test --test golden" >&2
+    echo "and commit the files." >&2
+    exit 1
+fi
+
+# The golden suite must be invariant to worker count: the pool is sized once
+# per process (ROTOM_THREADS read at first use), so each count needs its own
+# process invocation.
+echo "== golden regression suite (ROTOM_THREADS=1)"
+ROTOM_THREADS=1 cargo test -q --offline --test golden
+
+echo "== golden regression suite (ROTOM_THREADS=8)"
+ROTOM_THREADS=8 cargo test -q --offline --test golden
+
 echo "== perfsmoke (writes BENCH_compute.json)"
 cargo run --release --offline -p rotom-bench --bin perfsmoke
 

@@ -152,6 +152,7 @@ pub fn run_hu(
 
     let start = Instant::now();
     let mut best = (f32::NEG_INFINITY, model.flat_params());
+    let mut val_curve = Vec::with_capacity(cfg.train.epochs);
     let mut prev_val = f32::INFINITY;
     for _ in 0..cfg.train.epochs {
         let mut order: Vec<usize> = (0..train.len()).collect();
@@ -227,6 +228,7 @@ pub fn run_hu(
         let reward = prev_val - val_loss; // improvement
         prev_val = val_loss;
         op.update(&used_candidates, reward);
+        val_curve.push(val_metric);
         if val_metric > best.0 {
             best = (val_metric, model.flat_params());
         }
@@ -242,6 +244,7 @@ pub fn run_hu(
         prf1: f1,
         train_seconds,
         train_size: train.len(),
+        val_curve,
     }
 }
 

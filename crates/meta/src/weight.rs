@@ -99,17 +99,25 @@ impl WeightModel {
         WeightBatch { tape, nodes, raw }
     }
 
-    /// Eq.-4 update. `c_plus`/`c_minus` are the per-example losses under the
-    /// probes `M±`; `eta` is the target optimizer's learning rate, `eps` the
-    /// probe scale. Descends the estimated `∇M_W(Lossval)`.
-    pub fn update_finite_difference(
+    /// Compute the Eq.-4 estimate of `∇M_W(Lossval)` for one batch and leave
+    /// it in the store's gradient buffers, also returning it as a flat vector
+    /// aligned with [`flat_params`](Self::flat_params). `c_plus`/`c_minus`
+    /// are the per-example losses under the probes `M±`; `eta` is the target
+    /// optimizer's learning rate, `eps` the probe scale.
+    ///
+    /// Exposed separately from [`update_finite_difference`] so tests can
+    /// compare the approximation against brute-force finite differences of
+    /// the true validation loss.
+    ///
+    /// [`update_finite_difference`]: Self::update_finite_difference
+    pub fn estimate_meta_grad(
         &mut self,
         batch: WeightBatch,
         c_plus: &[f32],
         c_minus: &[f32],
         eta: f32,
         eps: f32,
-    ) {
+    ) -> Vec<f32> {
         let WeightBatch {
             mut tape,
             nodes,
@@ -117,9 +125,6 @@ impl WeightModel {
         } = batch;
         assert_eq!(nodes.len(), c_plus.len());
         assert_eq!(nodes.len(), c_minus.len());
-        if nodes.is_empty() {
-            return;
-        }
         // Normalized weights w̃_i = w_i / Σw (in-graph so the gradient sees
         // the normalization), then
         //   objective = −η/(2ε) · Σ_i (c+_i − c−_i) · w̃_i · B
@@ -138,8 +143,38 @@ impl WeightModel {
         let _ = raw; // values already consumed by the caller
         self.store.zero_grad();
         tape.backward(objective, &mut self.store);
+        self.store.flat_grads()
+    }
+
+    /// Eq.-4 update. Estimates `∇M_W(Lossval)` via
+    /// [`estimate_meta_grad`](Self::estimate_meta_grad) and descends it
+    /// (clipped) with the model's Adam optimizer.
+    pub fn update_finite_difference(
+        &mut self,
+        batch: WeightBatch,
+        c_plus: &[f32],
+        c_minus: &[f32],
+        eta: f32,
+        eps: f32,
+    ) {
+        if batch.nodes.is_empty() {
+            return;
+        }
+        let _ = self.estimate_meta_grad(batch, c_plus, c_minus, eta, eps);
         self.store.clip_grad_norm(5.0);
         self.opt.step(&mut self.store);
+    }
+
+    /// Flat vector of all trainable `M_W` parameters (for inspection and
+    /// brute-force finite-difference tests).
+    pub fn flat_params(&self) -> Vec<f32> {
+        self.store.flat_values()
+    }
+
+    /// Overwrite all trainable `M_W` parameters from a flat vector produced
+    /// by [`flat_params`](Self::flat_params).
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        self.store.set_flat(flat);
     }
 
     /// Raw weight of a single example (diagnostic / inference use).

@@ -104,6 +104,8 @@ enum Op {
     SumAll(NodeId),
     /// Elementwise reciprocal `1 / x`.
     Recip(NodeId),
+    /// Elementwise square root (inputs must be positive).
+    Sqrt(NodeId),
 }
 
 struct Node {
@@ -510,6 +512,14 @@ impl Tape {
         self.push(Op::Recip(x), v)
     }
 
+    /// Elementwise square root (used for in-graph L2 norms, e.g. the
+    /// `‖p_M(x̂) − y‖₂` weighting term; inputs must be positive — the
+    /// derivative diverges at zero).
+    pub fn sqrt(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::sqrt);
+        self.push(Op::Sqrt(x), v)
+    }
+
     /// Mean cross-entropy over logit rows against (soft) target rows.
     ///
     /// `targets` is row-major `m x C` and each row should be a probability
@@ -828,6 +838,12 @@ impl Tape {
                 // d(1/x)/dx = -1/x², and 1/x is this node's cached value.
                 let y = self.nodes[i].value.clone();
                 let dx = grad.zip(&y, |g, inv| -g * inv * inv);
+                self.add_grad(*x, &dx);
+            }
+            Op::Sqrt(x) => {
+                // d√x/dx = 1/(2√x), and √x is this node's cached value.
+                let y = self.nodes[i].value.clone();
+                let dx = grad.zip(&y, |g, s| g * 0.5 / s);
                 self.add_grad(*x, &dx);
             }
             Op::CrossEntropy {

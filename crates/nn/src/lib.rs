@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod gradcheck;
 mod graph;
 mod init;
 pub mod kernels;

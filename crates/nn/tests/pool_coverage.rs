@@ -1,0 +1,95 @@
+//! Coverage properties of [`RotomPool::run_ranges`].
+//!
+//! `run_ranges` is the primitive under the unsafe row-split in the parallel
+//! matmul: its soundness argument *requires* that the emitted sub-ranges
+//! cover `0..n` exactly once with no overlap (overlap would alias `&mut`
+//! views; a gap would leave uninitialized output rows). These tests check
+//! that contract over adversarial `(n, granularity, workers)` combinations
+//! rather than trusting the arithmetic in `div_ceil` chains.
+
+use rotom_nn::RotomPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `run_ranges(n, g)` on a `workers`-wide pool and assert every index in
+/// `0..n` is visited exactly once, every emitted range is non-empty, and
+/// every range start is a multiple of `g` (the guarantee the matmul row
+/// split relies on to keep whole `MR`-row blocks per worker).
+fn assert_exact_cover(n: usize, g: usize, workers: usize) {
+    let pool = RotomPool::new(workers);
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let ranges = Mutex::new(Vec::new());
+    pool.run_ranges(n, g, |r| {
+        ranges.lock().unwrap().push((r.start, r.end));
+        for i in r {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(
+            h.load(Ordering::Relaxed),
+            1,
+            "index {i} hit wrong count (n={n} g={g} workers={workers})"
+        );
+    }
+    let eff_g = g.max(1);
+    for &(start, end) in ranges.lock().unwrap().iter() {
+        assert!(start < end, "empty range (n={n} g={g} workers={workers})");
+        assert_eq!(
+            start % eff_g,
+            0,
+            "range start {start} not on a granularity boundary \
+             (n={n} g={g} workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_small_combinations() {
+    // Every small n against granularities and worker counts around it —
+    // includes n < workers, granularity > n, granularity == n, and the
+    // zero-granularity clamp.
+    for n in 0..=24 {
+        for &g in &[0usize, 1, 2, 3, 4, 7, 16, 25] {
+            for &w in &[1usize, 2, 3, 8, 17] {
+                assert_exact_cover(n, g, w);
+            }
+        }
+    }
+}
+
+#[test]
+fn n_zero_emits_no_ranges() {
+    let pool = RotomPool::new(4);
+    let calls = AtomicUsize::new(0);
+    pool.run_ranges(0, 4, |_| {
+        calls.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn fewer_items_than_workers() {
+    // One unit of work, many workers: must degrade to a single inline call
+    // covering the whole range, not 17 empty dispatches.
+    let pool = RotomPool::new(17);
+    let ranges = Mutex::new(Vec::new());
+    pool.run_ranges(3, 4, |r| ranges.lock().unwrap().push((r.start, r.end)));
+    assert_eq!(*ranges.lock().unwrap(), vec![(0, 3)]);
+}
+
+#[test]
+fn adversarial_large_combinations() {
+    // Sizes where ceil-division remainders interact: prime n, granularity
+    // that doesn't divide n, worker counts that don't divide the unit count.
+    for &(n, g, w) in &[
+        (997, 4, 8),
+        (1000, 7, 8),
+        (1024, 16, 3),
+        (129, 64, 8),
+        (4, 4, 64),
+        (257, 1, 5),
+    ] {
+        assert_exact_cover(n, g, w);
+    }
+}

@@ -43,9 +43,12 @@ pub mod model;
 pub mod pipeline;
 
 pub use config::{ModelConfig, RotomConfig, TrainConfig};
-pub use metrics::{accuracy, macro_f1, mean_std, prf1, PrF1};
+pub use metrics::{accuracy, macro_f1, mean_std, prf1, MetricsSnapshot, PrF1};
 pub use model::TinyLm;
-pub use pipeline::{default_op, evaluate, run_method, Method, RunResult};
+pub use pipeline::{
+    default_op, evaluate, prepare_base, run_method, run_method_with_base, Method, PretrainedBase,
+    RunResult,
+};
 
 // Re-export the pieces users compose with.
 pub use rotom_augment::{DaContext, DaOp, InvDa, InvDaConfig};

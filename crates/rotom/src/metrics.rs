@@ -66,6 +66,97 @@ pub fn macro_f1(pred: &[usize], gold: &[usize], num_classes: usize) -> f32 {
         / num_classes as f32
 }
 
+/// An ordered list of named scalar metrics with a plain-text serialization,
+/// used by the golden-run regression suite (`tests/golden.rs`) to snapshot
+/// final run metrics and compare them against checked-in blessed values.
+///
+/// The format is one `key value` pair per line, values printed with six
+/// decimal places. Keys must match exactly (and in order) on comparison;
+/// values compare within an absolute tolerance so cross-machine FMA rounding
+/// differences in the kernels don't flip the suite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(key, value)` pairs in serialization order.
+    pub entries: Vec<(String, f32)>,
+}
+
+impl MetricsSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one named metric.
+    pub fn push(&mut self, key: impl Into<String>, value: f32) {
+        let key = key.into();
+        debug_assert!(
+            !key.contains(char::is_whitespace),
+            "snapshot keys must be whitespace-free: {key:?}"
+        );
+        self.entries.push((key, value));
+    }
+
+    /// Serialize as `key value` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(&format!("{k} {v:.6}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`to_text`](Self::to_text) format. Blank lines and `#`
+    /// comments are ignored.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut snap = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts
+                .next()
+                .ok_or_else(|| format!("line {}: empty", lineno + 1))?;
+            let value: f32 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing value", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing tokens", lineno + 1));
+            }
+            snap.push(key, value);
+        }
+        Ok(snap)
+    }
+
+    /// Compare against `expected`: keys must match exactly and in order,
+    /// values within `tol` absolute. Returns a list of human-readable
+    /// mismatch descriptions (empty = match).
+    pub fn diff(&self, expected: &MetricsSnapshot, tol: f32) -> Vec<String> {
+        let mut errors = Vec::new();
+        if self.entries.len() != expected.entries.len() {
+            errors.push(format!(
+                "entry count mismatch: got {}, expected {}",
+                self.entries.len(),
+                expected.entries.len()
+            ));
+        }
+        for (i, ((gk, gv), (ek, ev))) in self.entries.iter().zip(&expected.entries).enumerate() {
+            if gk != ek {
+                errors.push(format!("key {i}: got {gk:?}, expected {ek:?}"));
+            } else if (gv - ev).abs() > tol {
+                errors.push(format!(
+                    "{gk}: got {gv:.6}, expected {ev:.6} (|diff| {:.6} > tol {tol})",
+                    (gv - ev).abs()
+                ));
+            }
+        }
+        errors
+    }
+}
+
 /// Mean and (sample) standard deviation of a slice.
 pub fn mean_std(values: &[f32]) -> (f32, f32) {
     if values.is_empty() {
@@ -121,5 +212,41 @@ mod tests {
         let (m, s) = mean_std(&[1.0, 3.0]);
         assert_eq!(m, 2.0);
         assert!((s - 2f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = MetricsSnapshot::new();
+        s.push("f1", 0.8125);
+        s.push("curve_0", 0.5);
+        let text = s.to_text();
+        let parsed = MetricsSnapshot::parse(&text).unwrap();
+        assert!(parsed.diff(&s, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn snapshot_parse_skips_comments_and_blanks() {
+        let parsed = MetricsSnapshot::parse("# header\n\nacc 0.75\n").unwrap();
+        assert_eq!(parsed.entries, vec![("acc".to_string(), 0.75)]);
+    }
+
+    #[test]
+    fn snapshot_parse_rejects_garbage() {
+        assert!(MetricsSnapshot::parse("acc").is_err());
+        assert!(MetricsSnapshot::parse("acc zero").is_err());
+        assert!(MetricsSnapshot::parse("acc 0.5 extra").is_err());
+    }
+
+    #[test]
+    fn snapshot_diff_reports_mismatches() {
+        let mut a = MetricsSnapshot::new();
+        a.push("f1", 0.8);
+        let mut b = MetricsSnapshot::new();
+        b.push("f1", 0.9);
+        assert!(a.diff(&b, 0.05).len() == 1);
+        assert!(a.diff(&b, 0.2).is_empty());
+        let mut c = MetricsSnapshot::new();
+        c.push("acc", 0.8);
+        assert!(!a.diff(&c, 0.5).is_empty(), "key mismatch must be flagged");
     }
 }

@@ -82,6 +82,9 @@ pub struct RunResult {
     pub train_seconds: f32,
     /// Labeled examples used.
     pub train_size: usize,
+    /// Per-epoch validation metric (F1 or accuracy per task kind), in epoch
+    /// order — the "loss curve tail" snapshotted by the golden-run suite.
+    pub val_curve: Vec<f32>,
 }
 
 impl RunResult {
@@ -92,6 +95,23 @@ impl RunResult {
             TaskKind::TextClassification => self.accuracy,
             _ => self.prf1.f1,
         }
+    }
+
+    /// Deterministic metrics snapshot for golden-run comparison. Excludes
+    /// wall-clock time (non-deterministic) and includes the per-epoch
+    /// validation curve so trajectory changes are caught, not just final
+    /// metrics.
+    pub fn snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let mut snap = crate::metrics::MetricsSnapshot::new();
+        snap.push("accuracy", self.accuracy);
+        snap.push("precision", self.prf1.precision);
+        snap.push("recall", self.prf1.recall);
+        snap.push("f1", self.prf1.f1);
+        snap.push("train_size", self.train_size as f32);
+        for (i, v) in self.val_curve.iter().enumerate() {
+            snap.push(format!("val_curve_{i}"), *v);
+        }
+        snap
     }
 }
 
@@ -251,7 +271,7 @@ pub fn run_method_with_base(
     let mut model = base.instantiate(cfg, seed);
 
     let start = Instant::now();
-    match method {
+    let val_curve = match method {
         Method::Baseline => train_plain(&mut model, train, valid, task.kind, cfg, &mut rng),
         Method::MixDa => train_mixda(
             &mut model,
@@ -291,7 +311,7 @@ pub fn run_method_with_base(
             true,
             &mut rng,
         ),
-    }
+    };
     let train_seconds = start.elapsed().as_secs_f32();
 
     let (acc, f1) = evaluate(&model, &task.test);
@@ -302,6 +322,7 @@ pub fn run_method_with_base(
         prf1: f1,
         train_seconds,
         train_size: train.len(),
+        val_curve,
     }
 }
 
@@ -314,7 +335,8 @@ fn shuffled<'a>(items: &'a [Example], rng: &mut StdRng) -> Vec<&'a Example> {
     refs
 }
 
-/// Plain fine-tuning with per-epoch checkpoint selection.
+/// Plain fine-tuning with per-epoch checkpoint selection. Returns the
+/// per-epoch validation-metric curve.
 fn train_plain(
     model: &mut TinyLm,
     train: &[Example],
@@ -322,9 +344,10 @@ fn train_plain(
     kind: TaskKind,
     cfg: &RotomConfig,
     rng: &mut StdRng,
-) {
+) -> Vec<f32> {
     let k = model.num_classes();
     let mut best = (f32::NEG_INFINITY, model.snapshot());
+    let mut curve = Vec::with_capacity(cfg.train.epochs);
     for _ in 0..cfg.train.epochs {
         for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
             let items: Vec<WeightedItem> = chunk
@@ -335,11 +358,13 @@ fn train_plain(
             model.optimizer_step();
         }
         let m = valid_metric(model, valid, kind);
+        curve.push(m);
         if m > best.0 {
             best = (m, model.snapshot());
         }
     }
     model.restore(&best.1);
+    curve
 }
 
 enum MixSource<'a> {
@@ -358,11 +383,12 @@ fn train_mixda(
     cfg: &RotomConfig,
     source: MixSource<'_>,
     rng: &mut StdRng,
-) {
+) -> Vec<f32> {
     let op = default_op(kind);
     let da_ctx = DaContext::default();
     let workers = RotomPool::global();
     let mut best = (f32::NEG_INFINITY, model.snapshot());
+    let mut curve = Vec::with_capacity(cfg.train.epochs);
     for _ in 0..cfg.train.epochs {
         for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
             // Augment the whole chunk across the pool. One base seed drawn
@@ -383,11 +409,13 @@ fn train_mixda(
             model.step();
         }
         let m = valid_metric(model, valid, kind);
+        curve.push(m);
         if m > best.0 {
             best = (m, model.snapshot());
         }
     }
     model.restore(&best.1);
+    curve
 }
 
 /// Rotom / Rotom+SSL: Algorithm 2 over a pool combining the original
@@ -402,7 +430,7 @@ fn train_rotom(
     invda: &InvDa,
     ssl: bool,
     rng: &mut StdRng,
-) {
+) -> Vec<f32> {
     let op = default_op(task.kind);
     let da_ctx = DaContext::default();
     let mut meta_cfg = cfg.meta.clone();
@@ -422,6 +450,7 @@ fn train_rotom(
 
     let workers = RotomPool::global();
     let mut best = (f32::NEG_INFINITY, model.snapshot());
+    let mut curve = Vec::with_capacity(cfg.train.epochs);
     for _ in 0..cfg.train.epochs {
         // Per-epoch augmented pool: identity + one simple-DA variant + one
         // InvDA variant per training example. Both augmentation families fan
@@ -454,11 +483,13 @@ fn train_rotom(
         });
         trainer.train_epoch(model, &pool, valid, &unlabeled_aug);
         let m = valid_metric(model, valid, task.kind);
+        curve.push(m);
         if m > best.0 {
             best = (m, model.snapshot());
         }
     }
     model.restore(&best.1);
+    curve
 }
 
 #[cfg(test)]

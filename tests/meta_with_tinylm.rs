@@ -53,5 +53,13 @@ fn algorithm2_with_tinylm_learns_through_poisoned_pool() {
     assert!((0.0..=1.0).contains(&stats.keep_rate));
 
     let (acc, _) = evaluate(&model, &task.test);
-    assert!(acc > 0.6, "accuracy {acc} too low after meta-training");
+    // Observed accuracy at these fixed seeds is 0.7167 (43/60 test
+    // examples). The 0.60 floor leaves a 7-example margin so benign numeric
+    // drift (kernel rounding, optimizer tweaks) doesn't flip the test at a
+    // seed boundary, while a collapse toward the ~0.5 majority predictor
+    // still fails loudly.
+    assert!(
+        acc > 0.60,
+        "accuracy {acc} too low after meta-training (expected ≈0.72 at these seeds)"
+    );
 }
