@@ -36,4 +36,12 @@ ROTOM_THREADS=8 cargo test -q --offline --test golden
 echo "== perfsmoke (writes BENCH_compute.json)"
 cargo run --release --offline -p rotom-bench --bin perfsmoke
 
+echo "== alloc budget (steady-state train step, ROTOM_THREADS pinned inside)"
+cargo test -q --release --offline --test alloc_budget
+
+# Regenerates BENCH_train.json and exits non-zero if steps/sec at any
+# thread count drops more than 20% below the previously checked-in numbers.
+echo "== trainbench perfsmoke (writes BENCH_train.json, gates steps/sec)"
+cargo run --release --offline -p rotom-bench --bin trainbench -- --check
+
 echo "CI OK"

@@ -16,7 +16,8 @@
 use crate::corrupt::corruption_pairs;
 use crate::ops::{DaContext, DaOp};
 use rotom_nn::{
-    Adam, FwdCtx, ParamStore, Tape, TransformerConfig, TransformerDecoder, TransformerEncoder,
+    recycle_tape, take_pooled_tape, Adam, FwdCtx, ParamStore, TransformerConfig,
+    TransformerDecoder, TransformerEncoder,
 };
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
@@ -208,7 +209,7 @@ impl InvDa {
     ) -> f32 {
         let bos = self.vocab.special_id(BOS);
         let eos = self.vocab.special_id(EOS);
-        let mut tape = Tape::new();
+        let mut tape = take_pooled_tape();
         let mut losses = Vec::with_capacity(pairs.len());
         for (input, target) in pairs {
             let in_ids = self.clamp(self.vocab.encode(input));
@@ -231,6 +232,7 @@ impl InvDa {
         let value = tape.value(loss).item();
         self.store.zero_grad();
         tape.backward(loss, &mut self.store);
+        recycle_tape(tape);
         self.store.clip_grad_norm(5.0);
         opt.step(&mut self.store);
         value
@@ -258,7 +260,7 @@ impl InvDa {
         let pad = self.vocab.special_id(PAD);
         let unk = self.vocab.special_id(UNK);
 
-        let mut tape = Tape::new();
+        let mut tape = take_pooled_tape();
         let mut ctx = FwdCtx::eval(&self.store);
         let memory = self.encoder.forward(&mut tape, &in_ids, &mut ctx);
 
@@ -278,6 +280,7 @@ impl InvDa {
                 break;
             }
         }
+        recycle_tape(tape);
         out_ids
             .into_iter()
             .skip(1)
@@ -299,7 +302,7 @@ impl InvDa {
         let pad = self.vocab.special_id(PAD);
         let unk = self.vocab.special_id(UNK);
 
-        let mut tape = Tape::new();
+        let mut tape = take_pooled_tape();
         let mut ctx = FwdCtx::eval(&self.store);
         let memory = self.encoder.forward(&mut tape, &in_ids, &mut ctx);
 
@@ -362,6 +365,7 @@ impl InvDa {
             candidates.truncate(beam_width);
             beams = candidates;
         }
+        recycle_tape(tape);
         beams
             .into_iter()
             .map(|b| {

@@ -12,7 +12,8 @@ use rotom::metrics::PrF1;
 use rotom::ModelConfig;
 use rotom_datasets::em::{EmDataset, LabeledPair};
 use rotom_nn::{
-    Adam, Embedding, FwdCtx, Gru, Linear, NodeId, ParamStore, Tape, TransformerEncoder,
+    recycle_tape, take_pooled_tape, with_pooled_tape, Adam, Embedding, FwdCtx, Gru, Linear, NodeId,
+    ParamStore, Tape, TransformerEncoder,
 };
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
@@ -136,7 +137,7 @@ impl DeepMatcher {
                 idx.swap(i, j);
             }
             for chunk in idx.chunks(self.cfg.batch_size) {
-                let mut tape = Tape::new();
+                let mut tape = take_pooled_tape();
                 let mut losses = Vec::with_capacity(chunk.len());
                 for &pi in chunk {
                     let pair = &data.train_pairs[pi];
@@ -151,6 +152,7 @@ impl DeepMatcher {
                 let loss = tape.mean_nodes(&losses);
                 self.store.zero_grad();
                 tape.backward(loss, &mut self.store);
+                recycle_tape(tape);
                 self.store.clip_grad_norm(5.0);
                 opt.step(&mut self.store);
             }
@@ -204,10 +206,11 @@ impl DeepMatcher {
 
     /// Predict match (true) / no-match for a pair.
     pub fn predict(&self, pair: &LabeledPair) -> bool {
-        let mut tape = Tape::new();
-        let logits = self.pair_logits(&mut tape, pair);
-        let row = tape.value(logits).row_slice(0);
-        row[1] > row[0]
+        with_pooled_tape(|tape| {
+            let logits = self.pair_logits(tape, pair);
+            let row = tape.value(logits).row_slice(0);
+            row[1] > row[0]
+        })
     }
 
     /// Positive-class F1 on the dataset's test pairs.

@@ -13,7 +13,7 @@
 //! estimator (Eq. 3): the log-probability of the realized keep decisions is
 //! scaled by the (constant) validation loss.
 
-use rotom_nn::{Adam, Initializer, ParamId, ParamStore, Tape, Tensor};
+use rotom_nn::{recycle_tape, take_pooled_tape, Adam, Initializer, ParamId, ParamStore, Tensor};
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
 
@@ -107,7 +107,7 @@ impl FilterModel {
         if kept_features.is_empty() {
             return;
         }
-        let mut tape = Tape::new();
+        let mut tape = take_pooled_tape();
         let wn = tape.param(self.w, &self.store);
         let bn = tape.param(self.b, &self.store);
         let mut log_probs = Vec::with_capacity(kept_features.len());
@@ -123,6 +123,7 @@ impl FilterModel {
         let objective = tape.scale(total, loss_val);
         self.store.zero_grad();
         tape.backward(objective, &mut self.store);
+        recycle_tape(tape);
         self.opt.step(&mut self.store);
     }
 

@@ -286,10 +286,10 @@ impl MetaTrainer {
             let weight_batch = if self.cfg.ablation.disable_weighting {
                 None
             } else {
-                let weight_inputs: Vec<(Vec<String>, f32)> = items
+                let weight_inputs: Vec<(&[String], f32)> = items
                     .iter()
                     .zip(&l2_terms)
-                    .map(|(it, &l2)| (it.tokens.clone(), l2))
+                    .map(|(it, &l2)| (it.tokens.as_slice(), l2))
                     .collect();
                 let batch = self.weight.forward_batch(&weight_inputs);
                 let normalized = batch.normalized();

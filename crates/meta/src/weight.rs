@@ -23,7 +23,8 @@
 //! one backward pass through `M_W`.
 
 use rotom_nn::{
-    Adam, FwdCtx, Linear, NodeId, ParamStore, Tape, TransformerConfig, TransformerEncoder,
+    recycle_tape, take_pooled_tape, Adam, FwdCtx, Linear, NodeId, ParamStore, Tape,
+    TransformerConfig, TransformerEncoder,
 };
 use rotom_rng::rngs::StdRng;
 use rotom_rng::SeedableRng;
@@ -78,10 +79,11 @@ impl WeightModel {
     }
 
     /// Forward the weighting model over a batch of `(x̂ tokens, l2_term)`
-    /// pairs, returning the live batch for a later
+    /// pairs (tokens borrowed — batch assembly need not clone them),
+    /// returning the live batch for a later
     /// [`update_finite_difference`](Self::update_finite_difference).
-    pub fn forward_batch(&self, items: &[(Vec<String>, f32)]) -> WeightBatch {
-        let mut tape = Tape::new();
+    pub fn forward_batch(&self, items: &[(&[String], f32)]) -> WeightBatch {
+        let mut tape = take_pooled_tape();
         let mut nodes = Vec::with_capacity(items.len());
         let mut raw = Vec::with_capacity(items.len());
         for (tokens, l2) in items {
@@ -143,6 +145,7 @@ impl WeightModel {
         let _ = raw; // values already consumed by the caller
         self.store.zero_grad();
         tape.backward(objective, &mut self.store);
+        recycle_tape(tape);
         self.store.flat_grads()
     }
 
@@ -158,6 +161,7 @@ impl WeightModel {
         eps: f32,
     ) {
         if batch.nodes.is_empty() {
+            recycle_tape(batch.tape);
             return;
         }
         let _ = self.estimate_meta_grad(batch, c_plus, c_minus, eta, eps);
@@ -179,7 +183,10 @@ impl WeightModel {
 
     /// Raw weight of a single example (diagnostic / inference use).
     pub fn weight_of(&self, tokens: &[String], l2: f32) -> f32 {
-        self.forward_batch(&[(tokens.to_vec(), l2)]).raw[0]
+        let batch = self.forward_batch(&[(tokens, l2)]);
+        let w = batch.raw[0];
+        recycle_tape(batch.tape);
+        w
     }
 
     fn encode(&self, tokens: &[String]) -> Vec<usize> {
@@ -205,6 +212,10 @@ pub fn l2_distance(p: &[f32], y: &[f32]) -> f32 {
 mod tests {
     use super::*;
     use rotom_text::tokenize;
+
+    fn refs(items: &[(Vec<String>, f32)]) -> Vec<(&[String], f32)> {
+        items.iter().map(|(t, l2)| (t.as_slice(), *l2)).collect()
+    }
 
     fn toy_model() -> WeightModel {
         let seqs: Vec<Vec<String>> =
@@ -239,7 +250,7 @@ mod tests {
             (tokenize("bad sound"), 0.9),
             (tokenize("fine story"), 0.4),
         ];
-        let batch = m.forward_batch(&items);
+        let batch = m.forward_batch(&refs(&items));
         let norm = batch.normalized();
         let mean: f32 = norm.iter().sum::<f32>() / norm.len() as f32;
         assert!((mean - 1.0).abs() < 1e-5);
@@ -261,12 +272,12 @@ mod tests {
         let mut m = toy_model();
         let items: Vec<(Vec<String>, f32)> =
             vec![(tokenize("good plot"), 0.0), (tokenize("bad sound"), 0.0)];
-        let before = m.forward_batch(&items).normalized();
+        let before = m.forward_batch(&refs(&items)).normalized();
         for _ in 0..30 {
-            let batch = m.forward_batch(&items);
+            let batch = m.forward_batch(&refs(&items));
             m.update_finite_difference(batch, &[1.0, 0.2], &[0.2, 0.2], 0.1, 0.01);
         }
-        let after = m.forward_batch(&items).normalized();
+        let after = m.forward_batch(&refs(&items)).normalized();
         assert!(
             after[0] - after[1] > before[0] - before[1],
             "example 0 should gain relative weight: {before:?} -> {after:?}"

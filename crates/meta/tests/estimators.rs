@@ -130,7 +130,9 @@ fn meta_objective(
     eta: f32,
 ) -> f32 {
     wm.set_flat_params(theta);
-    let weights = wm.forward_batch(items).normalized();
+    let item_refs: Vec<(&[String], f32)> =
+        items.iter().map(|(t, l2)| (t.as_slice(), *l2)).collect();
+    let weights = wm.forward_batch(&item_refs).normalized();
     let g = weighted_loss_grad(m0, train, &weights);
     let m1: Vec<f32> = m0.iter().zip(&g).map(|(p, gi)| p - eta * gi).collect();
     mean_val_loss(&m1, val)
@@ -145,7 +147,9 @@ fn darts_estimate_tracks_exact_meta_gradient() {
     let theta0 = wm.flat_params();
 
     // --- Eq.-4 estimate, mirroring trainer.rs phase 2 exactly ---
-    let batch = wm.forward_batch(&items);
+    let item_refs: Vec<(&[String], f32)> =
+        items.iter().map(|(t, l2)| (t.as_slice(), *l2)).collect();
+    let batch = wm.forward_batch(&item_refs);
     let weights = batch.normalized();
     let g = weighted_loss_grad(&m0, &train, &weights);
     let m1: Vec<f32> = m0.iter().zip(&g).map(|(p, gi)| p - eta * gi).collect();

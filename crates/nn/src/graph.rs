@@ -3,17 +3,45 @@
 //! A [`Tape`] records a DAG of tensor operations as it is built; nodes are
 //! appended in topological order, so a single reverse sweep computes all
 //! gradients. Parameters live outside the tape in a
-//! [`ParamStore`](crate::params::ParamStore): `param` nodes clone the current
-//! value at construction time (so finite-difference probes that mutate the
-//! store cannot corrupt an in-flight graph) and `backward` accumulates
-//! gradients back into the store.
+//! [`ParamStore`](crate::params::ParamStore): `param` nodes snapshot the
+//! current value at construction time (so finite-difference probes that
+//! mutate the store cannot corrupt an in-flight graph) and `backward`
+//! accumulates gradients back into the store.
+//!
+//! # Memory plane
+//!
+//! Training replays the same graph shapes every step, so the tape recycles
+//! its own memory instead of round-tripping through the allocator:
+//!
+//! * Every node value, gradient, and heavy op payload is drawn from a
+//!   per-tape [`BufArena`] — a free list keyed by element count. After
+//!   [`Tape::reset`] returns those buffers, the next identically-shaped
+//!   graph allocates nothing.
+//! * Whole tapes are recycled through a global pool
+//!   ([`take_pooled_tape`] / [`recycle_tape`] / [`with_pooled_tape`]), so
+//!   hot loops that build one tape per batch reuse warm arenas across
+//!   batches and across pool workers.
+//! * `param` nodes capture the store's pack slot ([`ParamStore::packs`])
+//!   alongside the value snapshot; forward matmuls and the `dA = dC·Bᵀ`
+//!   backward contraction fill and reuse packed panels lazily, paying pack
+//!   cost at most once per parameter generation — and only for GEMMs that
+//!   actually dispatch to the tiled path.
+//! * Backward accumulates in place: op rules write into arena buffers and
+//!   donate them to the consumer via `add_grad_owned` instead of the old
+//!   clone-then-add pattern.
+//!
+//! All of this is bit-transparent: dispatch thresholds and accumulation
+//! orders are unchanged, so results are identical to the allocating paths.
 //!
 //! The op set is deliberately small — exactly what a Transformer
 //! encoder/decoder, the Rotom filtering/weighting models, and the baseline
 //! RNNs need.
 
-use crate::params::{ParamId, ParamStore};
+use crate::kernels;
+use crate::params::{ParamId, ParamPacks, ParamStore};
+use crate::pool::RotomPool;
 use crate::tensor::Tensor;
+use std::sync::{Arc, Mutex};
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,15 +50,23 @@ pub struct NodeId(usize);
 /// Additive attention mask: `0.0` for visible positions, `-1e9` for hidden.
 pub type AttnMask = Tensor;
 
-// Some op payloads (softmax mask, layer-norm eps) are only read during the
-// forward computation that creates the node; they are kept in the enum for
+// Some op payloads (layer-norm eps) are only read during the forward
+// computation that creates the node; they are kept in the enum for
 // debuggability and future introspection.
 #[allow(dead_code)]
 enum Op {
     /// Leaf holding a constant (input) value.
     Input,
-    /// Leaf holding a snapshot of a parameter value.
-    Param(ParamId),
+    /// Leaf holding a snapshot of a parameter value, plus the store's pack
+    /// slot for that snapshot's generation (direct panels for forward
+    /// `A·B`, transposed for the backward `dC·Bᵀ` contraction). The `Arc`
+    /// pins the slot the snapshot was taken from, so a later store update
+    /// cannot invalidate it under an in-flight graph; panels fill lazily,
+    /// only when a GEMM against this leaf takes the tiled path.
+    Param {
+        id: ParamId,
+        packs: Arc<ParamPacks>,
+    },
     /// Row-gather from an embedding table parameter.
     Embedding {
         table: ParamId,
@@ -50,11 +86,17 @@ enum Op {
     Scale(NodeId, f32),
     AddConst(NodeId, f32),
     Relu(NodeId),
-    Gelu(NodeId),
+    /// GELU (tanh approximation); `t` caches the forward `tanh` values so
+    /// the backward rule skips the libm call (bit-identical reuse).
+    Gelu {
+        a: NodeId,
+        t: Vec<f32>,
+    },
     Tanh(NodeId),
     Sigmoid(NodeId),
-    /// Row-wise softmax with an optional additive mask.
-    Softmax(NodeId, Option<AttnMask>),
+    /// Row-wise softmax (the additive mask, if any, is folded into the
+    /// forward value and not needed by the backward rule).
+    Softmax(NodeId),
     /// Row-wise log-softmax.
     LogSoftmax(NodeId),
     /// Row-wise layer normalization; `gamma`/`beta` are `1 x n` nodes.
@@ -97,7 +139,7 @@ enum Op {
         logits: NodeId,
         /// Row-major `m x C` soft target distribution.
         targets: Vec<f32>,
-        /// Cached softmax of logits.
+        /// Cached softmax of logits (reused by the backward rule).
         probs: Vec<f32>,
     },
     /// Sum of all elements: `m x n -> 1 x 1`.
@@ -114,17 +156,137 @@ struct Node {
     grad: Option<Tensor>,
 }
 
-/// A gradient tape. Create one per forward pass (typically per batch).
+/// Retained-floats cap per tape arena (32 MB). A training tape for the
+/// models in this workspace retains a few hundred KB; the cap only guards
+/// against pathological one-off graphs pinning memory forever.
+const ARENA_CAP_FLOATS: usize = 8 << 20;
+
+/// Free-list of `f32` buffers keyed by exact element count. `take_*` pops a
+/// recycled buffer or allocates; `put` returns one for reuse. After one
+/// warm-up pass over a graph shape, steady-state traffic is allocation-free.
+///
+/// Buckets live in a small vector scanned linearly: a training graph has a
+/// few dozen distinct buffer sizes, and `take`/`put` sit on the per-node hot
+/// path where a hashed lookup (SipHash on a `usize`) costs more than the
+/// scan. Freshly used sizes move to the front so steady-state lookups hit
+/// within the first few entries.
+#[derive(Default)]
+struct BufArena {
+    free: Vec<(usize, Vec<Vec<f32>>)>,
+    retained: usize,
+}
+
+impl BufArena {
+    /// Index of the bucket for `len`, moved one slot toward the front per
+    /// hit so hot sizes bubble up.
+    fn bucket(&mut self, len: usize) -> Option<usize> {
+        let i = self.free.iter().position(|(l, _)| *l == len)?;
+        if i > 0 {
+            self.free.swap(i - 1, i);
+            Some(i - 1)
+        } else {
+            Some(i)
+        }
+    }
+
+    /// A buffer of exactly `len` floats with arbitrary contents. Callers
+    /// must fully overwrite it.
+    fn take_dirty(&mut self, len: usize) -> Vec<f32> {
+        if let Some(i) = self.bucket(len) {
+            if let Some(buf) = self.free[i].1.pop() {
+                self.retained -= len;
+                return buf;
+            }
+        }
+        vec![0.0; len]
+    }
+
+    /// A zero-filled buffer of exactly `len` floats.
+    fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_dirty(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Return a buffer for reuse (dropped silently past the retention cap).
+    fn put(&mut self, buf: Vec<f32>) {
+        let len = buf.len();
+        if len == 0 || self.retained + len > ARENA_CAP_FLOATS {
+            return;
+        }
+        self.retained += len;
+        match self.bucket(len) {
+            Some(i) => self.free[i].1.push(buf),
+            None => self.free.push((len, vec![buf])),
+        }
+    }
+}
+
+/// A gradient tape. Create one per forward pass (typically per batch) — or
+/// better, reuse one via [`with_pooled_tape`] so its arena stays warm.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    arena: BufArena,
+    /// Recycled `Vec<usize>` payloads (embedding indices).
+    ids_pool: Vec<Vec<usize>>,
+    /// Recycled `Vec<NodeId>` payloads (concat/sum fan-ins).
+    nids_pool: Vec<Vec<NodeId>>,
+    /// Recycled layer-norm (mean, inv_std) caches.
+    ln_pool: Vec<Vec<(f32, f32)>>,
 }
+
+/// Small-vec pools keep at most this many spares each.
+const SMALL_POOL_CAP: usize = 64;
 
 impl Tape {
     /// Create an empty tape.
     pub fn new() -> Self {
         Self {
             nodes: Vec::with_capacity(256),
+            ..Self::default()
+        }
+    }
+
+    /// Clear all nodes while retaining their buffers in the tape's arena, so
+    /// the next graph of the same shapes allocates nothing. Node handles from
+    /// before the reset must not be reused.
+    pub fn reset(&mut self) {
+        // Disjoint-field borrows: the drain holds `self.nodes`, recycling
+        // touches only `self.arena` / the small pools.
+        for node in self.nodes.drain(..) {
+            let Node { op, value, grad } = node;
+            self.arena.put(value.into_vec());
+            if let Some(g) = grad {
+                self.arena.put(g.into_vec());
+            }
+            match op {
+                Op::Embedding { mut indices, .. } => {
+                    if self.ids_pool.len() < SMALL_POOL_CAP {
+                        indices.clear();
+                        self.ids_pool.push(indices);
+                    }
+                }
+                Op::Dropout { mask, .. } => self.arena.put(mask),
+                Op::Gelu { t, .. } => self.arena.put(t),
+                Op::LayerNorm { mut cache, .. } => {
+                    if self.ln_pool.len() < SMALL_POOL_CAP {
+                        cache.clear();
+                        self.ln_pool.push(cache);
+                    }
+                }
+                Op::CrossEntropy { targets, probs, .. } => {
+                    self.arena.put(targets);
+                    self.arena.put(probs);
+                }
+                Op::ConcatCols(mut v) | Op::ConcatRows(mut v) | Op::SumNodes(mut v) => {
+                    if self.nids_pool.len() < SMALL_POOL_CAP {
+                        v.clear();
+                        self.nids_pool.push(v);
+                    }
+                }
+                _ => {}
+            }
         }
     }
 
@@ -161,6 +323,44 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    #[inline]
+    fn shape(&self, id: NodeId) -> (usize, usize) {
+        let v = &self.nodes[id.0].value;
+        (v.rows(), v.cols())
+    }
+
+    /// Elementwise map of a node's value into an arena tensor.
+    fn map_into(&mut self, a: NodeId, f: impl Fn(f32) -> f32) -> Tensor {
+        let (r, c) = self.shape(a);
+        let mut out = self.arena.take_dirty(r * c);
+        for (o, &x) in out.iter_mut().zip(self.nodes[a.0].value.data()) {
+            *o = f(x);
+        }
+        Tensor::from_vec(out, r, c)
+    }
+
+    /// Elementwise zip of two equal-shaped node values into an arena tensor.
+    fn zip_into(&mut self, a: NodeId, b: NodeId, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let (r, c) = self.shape(a);
+        assert_eq!((r, c), self.shape(b), "zip shape mismatch");
+        let mut out = self.arena.take_dirty(r * c);
+        for ((o, &x), &y) in out
+            .iter_mut()
+            .zip(self.nodes[a.0].value.data())
+            .zip(self.nodes[b.0].value.data())
+        {
+            *o = f(x, y);
+        }
+        Tensor::from_vec(out, r, c)
+    }
+
+    /// Recycled `Vec<NodeId>` holding a copy of `parts`.
+    fn nid_list(&mut self, parts: &[NodeId]) -> Vec<NodeId> {
+        let mut v = self.nids_pool.pop().unwrap_or_default();
+        v.extend_from_slice(parts);
+        v
+    }
+
     // ------------------------------------------------------------------
     // Leaves
     // ------------------------------------------------------------------
@@ -170,9 +370,19 @@ impl Tape {
         self.push(Op::Input, value)
     }
 
-    /// Parameter leaf: snapshots the current value from the store.
+    /// Parameter leaf: snapshots the current value from the store, along
+    /// with the store's pack slot for this generation (used by
+    /// [`matmul`](Self::matmul) and the matmul backward rules). Cloning the
+    /// slot is a refcount bump — no panels are built here.
     pub fn param(&mut self, id: ParamId, store: &ParamStore) -> NodeId {
-        self.push(Op::Param(id), store.value(id).clone())
+        let (r, c) = {
+            let v = store.value(id);
+            (v.rows(), v.cols())
+        };
+        let mut buf = self.arena.take_dirty(r * c);
+        buf.copy_from_slice(store.value(id).data());
+        let packs = store.packs(id);
+        self.push(Op::Param { id, packs }, Tensor::from_vec(buf, r, c))
     }
 
     /// Embedding lookup: gathers `indices` rows of the table parameter into
@@ -180,15 +390,17 @@ impl Tape {
     pub fn embedding(&mut self, table: ParamId, store: &ParamStore, indices: &[usize]) -> NodeId {
         let t = store.value(table);
         let d = t.cols();
-        let mut out = Vec::with_capacity(indices.len() * d);
-        for &i in indices {
-            out.extend_from_slice(t.row_slice(i));
+        let mut out = self.arena.take_dirty(indices.len() * d);
+        for (r, &i) in indices.iter().enumerate() {
+            out[r * d..(r + 1) * d].copy_from_slice(t.row_slice(i));
         }
+        let mut idx = self.ids_pool.pop().unwrap_or_default();
+        idx.extend_from_slice(indices);
         let value = Tensor::from_vec(out, indices.len(), d);
         self.push(
             Op::Embedding {
                 table,
-                indices: indices.to_vec(),
+                indices: idx,
             },
             value,
         )
@@ -198,77 +410,121 @@ impl Tape {
     // Arithmetic
     // ------------------------------------------------------------------
 
-    /// `a * b` (matrix product).
+    /// `a * b` (matrix product). When `b` is a parameter node and the shape
+    /// dispatches to the tiled path, runs on the generation's cached panels
+    /// (bit-identical to packing on the fly).
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(Op::Matmul(a, b), v)
+        let (m, k) = self.shape(a);
+        let (k2, n) = self.shape(b);
+        assert_eq!(k, k2, "matmul shape mismatch: {m}x{k} * {k2}x{n}");
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let av = self.nodes[a.0].value.data();
+            let bn = &self.nodes[b.0];
+            let bv = bn.value.data();
+            let pool = RotomPool::global();
+            let pk = match &bn.op {
+                Op::Param { packs, .. } if m * k * n >= kernels::SMALL_FLOPS => {
+                    packs.direct(&bn.value)
+                }
+                _ => None,
+            };
+            if let Some(pk) = pk {
+                kernels::matmul_prepacked_into(av, bv, pk, m, k, n, pool, &mut out);
+            } else {
+                kernels::matmul_into(av, bv, m, k, n, pool, &mut out);
+            }
+        }
+        self.push(Op::Matmul(a, b), Tensor::from_vec(out, m, n))
     }
 
     /// `a * b^T` without materializing the transpose.
     pub fn matmul_tb(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul_transpose_b(self.value(b));
-        self.push(Op::MatmulTb(a, b), v)
+        let (m, k) = self.shape(a);
+        let (n, k2) = self.shape(b);
+        assert_eq!(k, k2, "matmul_tb shape mismatch: {m}x{k} * ({n}x{k2})^T");
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let av = self.nodes[a.0].value.data();
+            let bv = self.nodes[b.0].value.data();
+            kernels::matmul_transpose_b_into(av, bv, m, k, n, RotomPool::global(), &mut out);
+        }
+        self.push(Op::MatmulTb(a, b), Tensor::from_vec(out, m, n))
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let v = self.zip_into(a, b, |x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let v = self.zip_into(a, b, |x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Elementwise `a ⊙ b`.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let v = self.zip_into(a, b, |x, y| x * y);
         self.push(Op::Mul(a, b), v)
     }
 
     /// Add a `1 x n` row vector node to every row of an `m x n` node.
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
-        let m = self.value(a);
-        let r = self.value(row);
-        assert_eq!(r.rows(), 1, "add_row expects a 1 x n row vector");
-        assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
-        let mut out = m.clone();
-        for i in 0..out.rows() {
-            let dst = out.row_slice_mut(i);
-            for (d, &s) in dst.iter_mut().zip(r.data()) {
-                *d += s;
+        let (m, n) = self.shape(a);
+        let (rr, rc) = self.shape(row);
+        assert_eq!(rr, 1, "add_row expects a 1 x n row vector");
+        assert_eq!(n, rc, "add_row width mismatch");
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let av = self.nodes[a.0].value.data();
+            let rv = self.nodes[row.0].value.data();
+            for i in 0..m {
+                for ((o, &x), &s) in out[i * n..(i + 1) * n]
+                    .iter_mut()
+                    .zip(&av[i * n..(i + 1) * n])
+                    .zip(rv)
+                {
+                    *o = x + s;
+                }
             }
         }
-        self.push(Op::AddRow(a, row), out)
+        self.push(Op::AddRow(a, row), Tensor::from_vec(out, m, n))
     }
 
     /// Multiply every row of an `m x n` node by a `1 x n` row vector node.
     pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
-        let m = self.value(a);
-        let r = self.value(row);
-        assert_eq!(r.rows(), 1, "mul_row expects a 1 x n row vector");
-        assert_eq!(m.cols(), r.cols(), "mul_row width mismatch");
-        let mut out = m.clone();
-        for i in 0..out.rows() {
-            let dst = out.row_slice_mut(i);
-            for (d, &s) in dst.iter_mut().zip(r.data()) {
-                *d *= s;
+        let (m, n) = self.shape(a);
+        let (rr, rc) = self.shape(row);
+        assert_eq!(rr, 1, "mul_row expects a 1 x n row vector");
+        assert_eq!(n, rc, "mul_row width mismatch");
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let av = self.nodes[a.0].value.data();
+            let rv = self.nodes[row.0].value.data();
+            for i in 0..m {
+                for ((o, &x), &s) in out[i * n..(i + 1) * n]
+                    .iter_mut()
+                    .zip(&av[i * n..(i + 1) * n])
+                    .zip(rv)
+                {
+                    *o = x * s;
+                }
             }
         }
-        self.push(Op::MulRow(a, row), out)
+        self.push(Op::MulRow(a, row), Tensor::from_vec(out, m, n))
     }
 
     /// `a * c` for a compile-time constant `c`.
     pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
-        let v = self.value(a).map(|x| x * c);
+        let v = self.map_into(a, |x| x * c);
         self.push(Op::Scale(a, c), v)
     }
 
     /// `a + c` elementwise for a constant `c`.
     pub fn add_const(&mut self, a: NodeId, c: f32) -> NodeId {
-        let v = self.value(a).map(|x| x + c);
+        let v = self.map_into(a, |x| x + c);
         self.push(Op::AddConst(a, c), v)
     }
 
@@ -278,25 +534,38 @@ impl Tape {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = self.map_into(a, |x| x.max(0.0));
         self.push(Op::Relu(a), v)
     }
 
-    /// GELU (tanh approximation).
+    /// GELU (tanh approximation). The forward `tanh` values are cached on
+    /// the node for the backward rule — the expensive libm call is paid
+    /// once, and reusing the identical value keeps gradients bit-identical
+    /// to recomputation.
     pub fn gelu(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(gelu_fwd);
-        self.push(Op::Gelu(a), v)
+        let (m, n) = self.shape(a);
+        let mut t = self.arena.take_dirty(m * n);
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let av = self.nodes[a.0].value.data();
+            for ((o, tt), &x) in out.iter_mut().zip(t.iter_mut()).zip(av) {
+                let th = gelu_tanh(x);
+                *tt = th;
+                *o = 0.5 * x * (1.0 + th);
+            }
+        }
+        self.push(Op::Gelu { a, t }, Tensor::from_vec(out, m, n))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(f32::tanh);
+        let v = self.map_into(a, f32::tanh);
         self.push(Op::Tanh(a), v)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.map_into(a, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(Op::Sigmoid(a), v)
     }
 
@@ -306,63 +575,66 @@ impl Tape {
     }
 
     /// Row-wise softmax with an optional additive mask (same shape as `a`).
-    pub fn masked_softmax(&mut self, a: NodeId, mask: Option<AttnMask>) -> NodeId {
-        let x = self.value(a);
-        if let Some(m) = &mask {
-            assert_eq!(
-                (m.rows(), m.cols()),
-                (x.rows(), x.cols()),
-                "mask shape mismatch"
-            );
+    pub fn masked_softmax(&mut self, a: NodeId, mask: Option<&AttnMask>) -> NodeId {
+        let (m, n) = self.shape(a);
+        if let Some(mk) = mask {
+            assert_eq!((mk.rows(), mk.cols()), (m, n), "mask shape mismatch");
         }
-        let mut out = Tensor::zeros(x.rows(), x.cols());
-        for i in 0..x.rows() {
-            let row = x.row_slice(i);
-            let mrow = mask.as_ref().map(|m| m.row_slice(i));
-            softmax_row(row, mrow, out.row_slice_mut(i));
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let x = &self.nodes[a.0].value;
+            for i in 0..m {
+                let mrow = mask.map(|mk| mk.row_slice(i));
+                softmax_row(x.row_slice(i), mrow, &mut out[i * n..(i + 1) * n]);
+            }
         }
-        self.push(Op::Softmax(a, mask), out)
+        self.push(Op::Softmax(a), Tensor::from_vec(out, m, n))
     }
 
     /// Row-wise log-softmax.
     pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
-        let x = self.value(a);
-        let mut out = Tensor::zeros(x.rows(), x.cols());
-        for i in 0..x.rows() {
-            let row = x.row_slice(i);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-            for (o, &v) in out.row_slice_mut(i).iter_mut().zip(row) {
-                *o = v - lse;
+        let (m, n) = self.shape(a);
+        let mut out = self.arena.take_dirty(m * n);
+        {
+            let x = &self.nodes[a.0].value;
+            for i in 0..m {
+                let row = x.row_slice(i);
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+                for (o, &v) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
+                    *o = v - lse;
+                }
             }
         }
-        self.push(Op::LogSoftmax(a), out)
+        self.push(Op::LogSoftmax(a), Tensor::from_vec(out, m, n))
     }
 
     /// Row-wise layer normalization with learned `gamma`/`beta` row nodes.
     pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
-        let xv = self.value(x);
-        let g = self.value(gamma);
-        let b = self.value(beta);
-        assert_eq!(g.rows(), 1);
-        assert_eq!(b.rows(), 1);
-        assert_eq!(g.cols(), xv.cols());
-        let n = xv.cols() as f32;
-        let mut out = Tensor::zeros(xv.rows(), xv.cols());
-        let mut cache = Vec::with_capacity(xv.rows());
-        for i in 0..xv.rows() {
-            let row = xv.row_slice(i);
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
-            let inv_std = 1.0 / (var + eps).sqrt();
-            cache.push((mean, inv_std));
-            for ((o, &v), (&gg, &bb)) in out
-                .row_slice_mut(i)
-                .iter_mut()
-                .zip(row)
-                .zip(g.data().iter().zip(b.data()))
-            {
-                *o = (v - mean) * inv_std * gg + bb;
+        let (m, nc) = self.shape(x);
+        assert_eq!(self.shape(gamma), (1, nc));
+        assert_eq!(self.shape(beta), (1, nc));
+        let n = nc as f32;
+        let mut out = self.arena.take_dirty(m * nc);
+        let mut cache = self.ln_pool.pop().unwrap_or_default();
+        {
+            let xv = &self.nodes[x.0].value;
+            let g = self.nodes[gamma.0].value.data();
+            let b = self.nodes[beta.0].value.data();
+            cache.reserve(m);
+            for i in 0..m {
+                let row = xv.row_slice(i);
+                let mean = row.iter().sum::<f32>() / n;
+                let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+                let inv_std = 1.0 / (var + eps).sqrt();
+                cache.push((mean, inv_std));
+                for ((o, &v), (&gg, &bb)) in out[i * nc..(i + 1) * nc]
+                    .iter_mut()
+                    .zip(row)
+                    .zip(g.iter().zip(b))
+                {
+                    *o = (v - mean) * inv_std * gg + bb;
+                }
             }
         }
         self.push(
@@ -373,7 +645,7 @@ impl Tape {
                 eps,
                 cache,
             },
-            out,
+            Tensor::from_vec(out, m, nc),
         )
     }
 
@@ -383,15 +655,18 @@ impl Tape {
         match mask_bits {
             None => x,
             Some(bits) => {
-                let xv = self.value(x);
-                assert_eq!(bits.len(), xv.len(), "dropout mask length mismatch");
+                let (m, n) = self.shape(x);
+                assert_eq!(bits.len(), m * n, "dropout mask length mismatch");
                 let keep = 1.0 - p;
-                let mask: Vec<f32> = bits
-                    .iter()
-                    .map(|&b| if b { 1.0 / keep } else { 0.0 })
-                    .collect();
-                let data: Vec<f32> = xv.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
-                let value = Tensor::from_vec(data, xv.rows(), xv.cols());
+                let mut mask = self.arena.take_dirty(m * n);
+                for (o, &b) in mask.iter_mut().zip(&bits) {
+                    *o = if b { 1.0 / keep } else { 0.0 };
+                }
+                let mut data = self.arena.take_dirty(m * n);
+                for ((o, &v), &mv) in data.iter_mut().zip(self.nodes[x.0].value.data()).zip(&mask) {
+                    *o = v * mv;
+                }
+                let value = Tensor::from_vec(data, m, n);
                 self.push(Op::Dropout { x, mask }, value)
             }
         }
@@ -404,85 +679,97 @@ impl Tape {
     /// Concatenate nodes along columns (all must share the row count).
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty());
-        let rows = self.value(parts[0]).rows();
-        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
-        let mut out = Tensor::zeros(rows, total);
+        let rows = self.shape(parts[0]).0;
+        let total: usize = parts.iter().map(|&p| self.shape(p).1).sum();
+        let mut out = self.arena.take_dirty(rows * total);
         let mut off = 0;
         for &p in parts {
-            let v = self.value(p);
+            let v = &self.nodes[p.0].value;
             assert_eq!(v.rows(), rows, "concat_cols row mismatch");
+            let w = v.cols();
             for r in 0..rows {
-                out.row_slice_mut(r)[off..off + v.cols()].copy_from_slice(v.row_slice(r));
+                out[r * total + off..r * total + off + w].copy_from_slice(v.row_slice(r));
             }
-            off += v.cols();
+            off += w;
         }
-        self.push(Op::ConcatCols(parts.to_vec()), out)
+        let op = Op::ConcatCols(self.nid_list(parts));
+        self.push(op, Tensor::from_vec(out, rows, total))
     }
 
     /// Concatenate nodes along rows (all must share the column count).
     pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty());
-        let cols = self.value(parts[0]).cols();
-        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
-        let mut data = Vec::with_capacity(total * cols);
+        let cols = self.shape(parts[0]).1;
+        let total: usize = parts.iter().map(|&p| self.shape(p).0).sum();
+        let mut out = self.arena.take_dirty(total * cols);
+        let mut off = 0;
         for &p in parts {
-            let v = self.value(p);
+            let v = &self.nodes[p.0].value;
             assert_eq!(v.cols(), cols, "concat_rows col mismatch");
-            data.extend_from_slice(v.data());
+            out[off..off + v.len()].copy_from_slice(v.data());
+            off += v.len();
         }
-        self.push(
-            Op::ConcatRows(parts.to_vec()),
-            Tensor::from_vec(data, total, cols),
-        )
+        let op = Op::ConcatRows(self.nid_list(parts));
+        self.push(op, Tensor::from_vec(out, total, cols))
     }
 
     /// Take columns `start..start+len`.
     pub fn slice_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
-        let v = self.value(x);
-        assert!(start + len <= v.cols(), "slice_cols out of bounds");
-        let mut out = Tensor::zeros(v.rows(), len);
-        for r in 0..v.rows() {
-            out.row_slice_mut(r)
-                .copy_from_slice(&v.row_slice(r)[start..start + len]);
+        let (m, n) = self.shape(x);
+        assert!(start + len <= n, "slice_cols out of bounds");
+        let mut out = self.arena.take_dirty(m * len);
+        {
+            let v = &self.nodes[x.0].value;
+            for r in 0..m {
+                out[r * len..(r + 1) * len].copy_from_slice(&v.row_slice(r)[start..start + len]);
+            }
         }
-        self.push(Op::SliceCols { x, start, len }, out)
+        self.push(
+            Op::SliceCols { x, start, len },
+            Tensor::from_vec(out, m, len),
+        )
     }
 
     /// Take rows `start..start+len`.
     pub fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
-        let v = self.value(x);
-        assert!(start + len <= v.rows(), "slice_rows out of bounds");
-        let mut data = Vec::with_capacity(len * v.cols());
-        for r in start..start + len {
-            data.extend_from_slice(v.row_slice(r));
-        }
+        let (m, n) = self.shape(x);
+        assert!(start + len <= m, "slice_rows out of bounds");
+        let mut out = self.arena.take_dirty(len * n);
+        out.copy_from_slice(&self.nodes[x.0].value.data()[start * n..(start + len) * n]);
         self.push(
             Op::SliceRows { x, start, len },
-            Tensor::from_vec(data, len, v.cols()),
+            Tensor::from_vec(out, len, n),
         )
     }
 
     /// Mean over rows: `m x n -> 1 x n`.
     pub fn mean_rows(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x);
-        let m = v.rows() as f32;
-        let mut out = vec![0.0f32; v.cols()];
-        for r in 0..v.rows() {
-            for (o, &s) in out.iter_mut().zip(v.row_slice(r)) {
-                *o += s / m;
+        let (rows, n) = self.shape(x);
+        let m = rows as f32;
+        let mut out = self.arena.take_zeroed(n);
+        {
+            let v = &self.nodes[x.0].value;
+            for r in 0..rows {
+                for (o, &s) in out.iter_mut().zip(v.row_slice(r)) {
+                    *o += s / m;
+                }
             }
         }
-        self.push(Op::MeanRows(x), Tensor::row(out))
+        self.push(Op::MeanRows(x), Tensor::from_vec(out, 1, n))
     }
 
     /// Elementwise sum of equal-shaped nodes.
     pub fn sum_nodes(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty());
-        let mut out = self.value(parts[0]).clone();
+        let (m, n) = self.shape(parts[0]);
+        let mut out = self.arena.take_dirty(m * n);
+        out.copy_from_slice(self.nodes[parts[0].0].value.data());
+        let mut acc = Tensor::from_vec(out, m, n);
         for &p in &parts[1..] {
-            out.axpy(1.0, self.value(p));
+            acc.add_assign_from(&self.nodes[p.0].value);
         }
-        self.push(Op::SumNodes(parts.to_vec()), out)
+        let op = Op::SumNodes(self.nid_list(parts));
+        self.push(op, acc)
     }
 
     /// Mean of equal-shaped nodes (convenience over sum + scale).
@@ -495,20 +782,22 @@ impl Tape {
     pub fn mul_scalar(&mut self, x: NodeId, s: NodeId) -> NodeId {
         assert_eq!(self.value(s).len(), 1, "mul_scalar expects 1x1 scalar node");
         let sv = self.value(s).item();
-        let v = self.value(x).map(|a| a * sv);
+        let v = self.map_into(x, |a| a * sv);
         self.push(Op::MulScalar { x, s }, v)
     }
 
     /// Sum of all elements as a `1x1` node.
     pub fn sum_all(&mut self, x: NodeId) -> NodeId {
         let s = self.value(x).sum();
-        self.push(Op::SumAll(x), Tensor::scalar(s))
+        let mut buf = self.arena.take_dirty(1);
+        buf[0] = s;
+        self.push(Op::SumAll(x), Tensor::from_vec(buf, 1, 1))
     }
 
     /// Elementwise reciprocal `1 / x` (used for in-graph weight
     /// normalization; inputs must be nonzero).
     pub fn recip(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(|a| 1.0 / a);
+        let v = self.map_into(x, |a| 1.0 / a);
         self.push(Op::Recip(x), v)
     }
 
@@ -516,40 +805,46 @@ impl Tape {
     /// `‖p_M(x̂) − y‖₂` weighting term; inputs must be positive — the
     /// derivative diverges at zero).
     pub fn sqrt(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(f32::sqrt);
+        let v = self.map_into(x, f32::sqrt);
         self.push(Op::Sqrt(x), v)
     }
 
     /// Mean cross-entropy over logit rows against (soft) target rows.
     ///
     /// `targets` is row-major `m x C` and each row should be a probability
-    /// distribution (one-hot for hard labels).
+    /// distribution (one-hot for hard labels). The row softmax is computed
+    /// once: its (max, sum) statistics give the log-sum-exp for the loss and
+    /// the cached probabilities feed the backward rule.
     pub fn cross_entropy(&mut self, logits: NodeId, targets: &[f32]) -> NodeId {
-        let lv = self.value(logits);
-        let (m, c) = (lv.rows(), lv.cols());
+        let (m, c) = self.shape(logits);
         assert_eq!(targets.len(), m * c, "target shape mismatch");
-        let mut probs = vec![0.0f32; m * c];
+        let mut probs = self.arena.take_dirty(m * c);
         let mut loss = 0.0f64;
-        for i in 0..m {
-            let row = lv.row_slice(i);
-            softmax_row(row, None, &mut probs[i * c..(i + 1) * c]);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-            for j in 0..c {
-                let t = targets[i * c + j];
-                if t != 0.0 {
-                    loss -= (t * (row[j] - lse)) as f64;
+        {
+            let lv = &self.nodes[logits.0].value;
+            for i in 0..m {
+                let row = lv.row_slice(i);
+                let (max, sum) = softmax_row(row, None, &mut probs[i * c..(i + 1) * c]);
+                let lse = sum.ln() + max;
+                for j in 0..c {
+                    let t = targets[i * c + j];
+                    if t != 0.0 {
+                        loss -= (t * (row[j] - lse)) as f64;
+                    }
                 }
             }
         }
-        let value = Tensor::scalar((loss / m as f64) as f32);
+        let mut tbuf = self.arena.take_dirty(m * c);
+        tbuf.copy_from_slice(targets);
+        let mut vbuf = self.arena.take_dirty(1);
+        vbuf[0] = (loss / m as f64) as f32;
         self.push(
             Op::CrossEntropy {
                 logits,
-                targets: targets.to_vec(),
+                targets: tbuf,
                 probs,
             },
-            value,
+            Tensor::from_vec(vbuf, 1, 1),
         )
     }
 
@@ -562,7 +857,9 @@ impl Tape {
     /// store, so call [`ParamStore::zero_grad`] first for a fresh pass.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
         assert_eq!(self.value(loss).len(), 1, "backward target must be scalar");
-        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        let mut seed = self.arena.take_dirty(1);
+        seed[0] = 1.0;
+        self.nodes[loss.0].grad = Some(Tensor::from_vec(seed, 1, 1));
         for i in (0..=loss.0).rev() {
             let grad = match self.nodes[i].grad.take() {
                 Some(g) => g,
@@ -574,22 +871,40 @@ impl Tape {
         }
     }
 
+    /// `grad(id) += delta`, copying `delta` into an arena buffer when the
+    /// node has no gradient yet.
     fn add_grad(&mut self, id: NodeId, delta: &Tensor) {
-        let node = &mut self.nodes[id.0];
-        match &mut node.grad {
-            Some(g) => g.axpy(1.0, delta),
-            None => node.grad = Some(delta.clone()),
+        if let Some(g) = &mut self.nodes[id.0].grad {
+            g.add_assign_from(delta);
+            return;
         }
+        let mut buf = self.arena.take_dirty(delta.len());
+        buf.copy_from_slice(delta.data());
+        self.nodes[id.0].grad = Some(Tensor::from_vec(buf, delta.rows(), delta.cols()));
+    }
+
+    /// `grad(id) += delta`, donating `delta`'s buffer: it becomes the
+    /// gradient when none exists yet, otherwise it is accumulated and
+    /// recycled into the arena.
+    fn add_grad_owned(&mut self, id: NodeId, delta: Tensor) {
+        let node = &mut self.nodes[id.0];
+        if let Some(g) = &mut node.grad {
+            g.add_assign_from(&delta);
+        } else {
+            node.grad = Some(delta);
+            return;
+        }
+        self.arena.put(delta.into_vec());
     }
 
     fn accumulate(&mut self, i: usize, grad: &Tensor, store: &mut ParamStore) {
         // Take op temporarily to appease the borrow checker; values of other
-        // nodes are read through `self.value`.
+        // nodes are read through `self.nodes[..]`.
         let op = std::mem::replace(&mut self.nodes[i].op, Op::Input);
         match &op {
             Op::Input => {}
-            Op::Param(pid) => {
-                store.grad_mut(*pid).axpy(1.0, grad);
+            Op::Param { id, .. } => {
+                store.grad_mut(*id).add_assign_from(grad);
             }
             Op::Embedding { table, indices } => {
                 let g = store.grad_mut(*table);
@@ -601,18 +916,69 @@ impl Tape {
                 }
             }
             Op::Matmul(a, b) => {
-                // dA = dC * B^T ; dB = A^T * dC
-                let da = grad.matmul_transpose_b(self.value(*b));
-                let db = self.value(*a).matmul_transpose_a(grad);
-                self.add_grad(*a, &da);
-                self.add_grad(*b, &db);
+                // dA = dC * B^T ; dB = A^T * dC — both transpose-free, and
+                // dA runs on the prepacked transposed panels when B is a
+                // parameter.
+                let (m, n) = (grad.rows(), grad.cols());
+                let k = self.nodes[a.0].value.cols();
+                let mut da = self.arena.take_dirty(m * k);
+                let mut db = self.arena.take_dirty(k * n);
+                {
+                    let av = self.nodes[a.0].value.data();
+                    let bn = &self.nodes[b.0];
+                    let bv = bn.value.data();
+                    let pool = RotomPool::global();
+                    let pt = match &bn.op {
+                        Op::Param { packs, .. } if m * n * k >= kernels::SMALL_FLOPS => {
+                            packs.transposed(&bn.value)
+                        }
+                        _ => None,
+                    };
+                    if let Some(pt) = pt {
+                        kernels::matmul_transpose_b_prepacked_into(
+                            grad.data(),
+                            bv,
+                            pt,
+                            m,
+                            n,
+                            k,
+                            pool,
+                            &mut da,
+                        );
+                    } else {
+                        kernels::matmul_transpose_b_into(grad.data(), bv, m, n, k, pool, &mut da);
+                    }
+                    kernels::matmul_transpose_a_into(av, grad.data(), m, k, n, pool, &mut db);
+                }
+                self.add_grad_owned(*a, Tensor::from_vec(da, m, k));
+                self.add_grad_owned(*b, Tensor::from_vec(db, k, n));
             }
             Op::MatmulTb(a, b) => {
                 // C = A * B^T ; dA = dC * B ; dB = dC^T * A
-                let da = grad.matmul(self.value(*b));
-                let db = grad.matmul_transpose_a(self.value(*a));
-                self.add_grad(*a, &da);
-                self.add_grad(*b, &db);
+                let (m, n) = (grad.rows(), grad.cols());
+                let k = self.nodes[a.0].value.cols();
+                let mut da = self.arena.take_dirty(m * k);
+                let mut db = self.arena.take_dirty(n * k);
+                {
+                    let av = self.nodes[a.0].value.data();
+                    let bn = &self.nodes[b.0];
+                    let bv = bn.value.data();
+                    let pool = RotomPool::global();
+                    let pk = match &bn.op {
+                        Op::Param { packs, .. } if m * n * k >= kernels::SMALL_FLOPS => {
+                            packs.direct(&bn.value)
+                        }
+                        _ => None,
+                    };
+                    if let Some(pk) = pk {
+                        kernels::matmul_prepacked_into(grad.data(), bv, pk, m, n, k, pool, &mut da);
+                    } else {
+                        kernels::matmul_into(grad.data(), bv, m, n, k, pool, &mut da);
+                    }
+                    kernels::matmul_transpose_a_into(grad.data(), av, m, n, k, pool, &mut db);
+                }
+                self.add_grad_owned(*a, Tensor::from_vec(da, m, k));
+                self.add_grad_owned(*b, Tensor::from_vec(db, n, k));
             }
             Op::Add(a, b) => {
                 self.add_grad(*a, grad);
@@ -620,96 +986,134 @@ impl Tape {
             }
             Op::Sub(a, b) => {
                 self.add_grad(*a, grad);
-                let neg = grad.map(|v| -v);
-                self.add_grad(*b, &neg);
+                let mut neg = self.arena.take_dirty(grad.len());
+                for (o, &g) in neg.iter_mut().zip(grad.data()) {
+                    *o = -g;
+                }
+                self.add_grad_owned(*b, Tensor::from_vec(neg, grad.rows(), grad.cols()));
             }
             Op::Mul(a, b) => {
-                let da = grad.zip(self.value(*b), |g, bv| g * bv);
-                let db = grad.zip(self.value(*a), |g, av| g * av);
-                self.add_grad(*a, &da);
-                self.add_grad(*b, &db);
+                let (m, n) = (grad.rows(), grad.cols());
+                let mut da = self.arena.take_dirty(m * n);
+                let mut db = self.arena.take_dirty(m * n);
+                {
+                    let av = self.nodes[a.0].value.data();
+                    let bv = self.nodes[b.0].value.data();
+                    for ((o, &g), &y) in da.iter_mut().zip(grad.data()).zip(bv) {
+                        *o = g * y;
+                    }
+                    for ((o, &g), &x) in db.iter_mut().zip(grad.data()).zip(av) {
+                        *o = g * x;
+                    }
+                }
+                self.add_grad_owned(*a, Tensor::from_vec(da, m, n));
+                self.add_grad_owned(*b, Tensor::from_vec(db, m, n));
             }
             Op::AddRow(a, row) => {
                 self.add_grad(*a, grad);
-                let mut rg = vec![0.0f32; grad.cols()];
+                let n = grad.cols();
+                let mut rg = self.arena.take_zeroed(n);
                 for r in 0..grad.rows() {
                     for (o, &g) in rg.iter_mut().zip(grad.row_slice(r)) {
                         *o += g;
                     }
                 }
-                self.add_grad(*row, &Tensor::row(rg));
+                self.add_grad_owned(*row, Tensor::from_vec(rg, 1, n));
             }
             Op::MulRow(a, row) => {
-                let rv = self.value(*row).clone();
-                let av = self.value(*a).clone();
-                let mut da = grad.clone();
-                for r in 0..da.rows() {
-                    for (d, &s) in da.row_slice_mut(r).iter_mut().zip(rv.data()) {
-                        *d *= s;
+                let (m, n) = (grad.rows(), grad.cols());
+                let mut da = self.arena.take_dirty(m * n);
+                let mut rg = self.arena.take_zeroed(n);
+                {
+                    let rv = self.nodes[row.0].value.data();
+                    let av = &self.nodes[a.0].value;
+                    for r in 0..m {
+                        for ((d, &g), &s) in da[r * n..(r + 1) * n]
+                            .iter_mut()
+                            .zip(grad.row_slice(r))
+                            .zip(rv)
+                        {
+                            *d = g * s;
+                        }
+                        for ((o, &g), &a_) in
+                            rg.iter_mut().zip(grad.row_slice(r)).zip(av.row_slice(r))
+                        {
+                            *o += g * a_;
+                        }
                     }
                 }
-                self.add_grad(*a, &da);
-                let mut rg = vec![0.0f32; grad.cols()];
-                for r in 0..grad.rows() {
-                    for ((o, &g), &a_) in rg.iter_mut().zip(grad.row_slice(r)).zip(av.row_slice(r))
-                    {
-                        *o += g * a_;
-                    }
-                }
-                self.add_grad(*row, &Tensor::row(rg));
+                self.add_grad_owned(*a, Tensor::from_vec(da, m, n));
+                self.add_grad_owned(*row, Tensor::from_vec(rg, 1, n));
             }
             Op::Scale(a, c) => {
-                let da = grad.map(|g| g * c);
-                self.add_grad(*a, &da);
+                let c = *c;
+                let mut da = self.arena.take_dirty(grad.len());
+                for (o, &g) in da.iter_mut().zip(grad.data()) {
+                    *o = g * c;
+                }
+                self.add_grad_owned(*a, Tensor::from_vec(da, grad.rows(), grad.cols()));
             }
             Op::AddConst(a, _) => {
                 self.add_grad(*a, grad);
             }
             Op::Relu(a) => {
-                let da = grad.zip(self.value(*a), |g, x| if x > 0.0 { g } else { 0.0 });
-                self.add_grad(*a, &da);
+                let da = self.bwd_zip(grad, a, |g, x| if x > 0.0 { g } else { 0.0 });
+                self.add_grad_owned(*a, da);
             }
-            Op::Gelu(a) => {
-                let da = grad.zip(self.value(*a), |g, x| g * gelu_bwd(x));
-                self.add_grad(*a, &da);
-            }
-            Op::Tanh(a) => {
-                let y = &self.nodes[i].value;
-                let da = grad.zip(y, |g, t| g * (1.0 - t * t));
-                self.add_grad(*a, &da);
-            }
-            Op::Sigmoid(a) => {
-                let y = &self.nodes[i].value;
-                let da = grad.zip(y, |g, s| g * s * (1.0 - s));
-                self.add_grad(*a, &da);
-            }
-            Op::Softmax(a, _) => {
-                // dX_j = y_j * (g_j - Σ_k g_k y_k), row-wise.
-                let y = self.nodes[i].value.clone();
-                let mut da = Tensor::zeros(y.rows(), y.cols());
-                for r in 0..y.rows() {
-                    let yr = y.row_slice(r);
-                    let gr = grad.row_slice(r);
-                    let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
-                    for ((d, &yv), &gv) in da.row_slice_mut(r).iter_mut().zip(yr).zip(gr) {
-                        *d = yv * (gv - dot);
+            Op::Gelu { a, t } => {
+                // Reuses the forward-pass tanh cache `t`: the derivative
+                // sees the identical tanh bits it would recompute.
+                let mut da = self.arena.take_dirty(grad.len());
+                {
+                    let av = self.nodes[a.0].value.data();
+                    for (((d, &g), &x), &th) in da.iter_mut().zip(grad.data()).zip(av).zip(t.iter())
+                    {
+                        *d = g * gelu_bwd_cached(x, th);
                     }
                 }
-                self.add_grad(*a, &da);
+                self.add_grad_owned(*a, Tensor::from_vec(da, grad.rows(), grad.cols()));
+            }
+            Op::Tanh(a) => {
+                let da = self.bwd_zip_out(grad, i, |g, t| g * (1.0 - t * t));
+                self.add_grad_owned(*a, da);
+            }
+            Op::Sigmoid(a) => {
+                let da = self.bwd_zip_out(grad, i, |g, s| g * s * (1.0 - s));
+                self.add_grad_owned(*a, da);
+            }
+            Op::Softmax(a) => {
+                // dX_j = y_j * (g_j - Σ_k g_k y_k), row-wise.
+                let (m, n) = (grad.rows(), grad.cols());
+                let mut da = self.arena.take_dirty(m * n);
+                {
+                    let y = &self.nodes[i].value;
+                    for r in 0..m {
+                        let yr = y.row_slice(r);
+                        let gr = grad.row_slice(r);
+                        let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                        for ((d, &yv), &gv) in da[r * n..(r + 1) * n].iter_mut().zip(yr).zip(gr) {
+                            *d = yv * (gv - dot);
+                        }
+                    }
+                }
+                self.add_grad_owned(*a, Tensor::from_vec(da, m, n));
             }
             Op::LogSoftmax(a) => {
                 // dX_j = g_j - softmax_j * Σ_k g_k, row-wise.
-                let y = self.nodes[i].value.clone();
-                let mut da = Tensor::zeros(y.rows(), y.cols());
-                for r in 0..y.rows() {
-                    let yr = y.row_slice(r);
-                    let gr = grad.row_slice(r);
-                    let gsum: f32 = gr.iter().sum();
-                    for ((d, &yv), &gv) in da.row_slice_mut(r).iter_mut().zip(yr).zip(gr) {
-                        *d = gv - yv.exp() * gsum;
+                let (m, n) = (grad.rows(), grad.cols());
+                let mut da = self.arena.take_dirty(m * n);
+                {
+                    let y = &self.nodes[i].value;
+                    for r in 0..m {
+                        let yr = y.row_slice(r);
+                        let gr = grad.row_slice(r);
+                        let gsum: f32 = gr.iter().sum();
+                        for ((d, &yv), &gv) in da[r * n..(r + 1) * n].iter_mut().zip(yr).zip(gr) {
+                            *d = gv - yv.exp() * gsum;
+                        }
                     }
                 }
-                self.add_grad(*a, &da);
+                self.add_grad_owned(*a, Tensor::from_vec(da, m, n));
             }
             Op::LayerNorm {
                 x,
@@ -718,98 +1122,97 @@ impl Tape {
                 eps: _,
                 cache,
             } => {
-                let xv = self.value(*x).clone();
-                let gv = self.value(*gamma).clone();
-                let n = xv.cols() as f32;
-                let mut dx = Tensor::zeros(xv.rows(), xv.cols());
-                let mut dgamma = vec![0.0f32; xv.cols()];
-                let mut dbeta = vec![0.0f32; xv.cols()];
-                for r in 0..xv.rows() {
-                    let (mean, inv_std) = cache[r];
-                    let xr = xv.row_slice(r);
-                    let gr = grad.row_slice(r);
-                    // xhat_j = (x_j - mean) * inv_std
-                    // dxhat_j = g_j * gamma_j
-                    let mut sum_dxhat = 0.0f32;
-                    let mut sum_dxhat_xhat = 0.0f32;
-                    for j in 0..xr.len() {
-                        let xhat = (xr[j] - mean) * inv_std;
-                        let dxhat = gr[j] * gv.data()[j];
-                        sum_dxhat += dxhat;
-                        sum_dxhat_xhat += dxhat * xhat;
-                        dgamma[j] += gr[j] * xhat;
-                        dbeta[j] += gr[j];
-                    }
-                    for j in 0..xr.len() {
-                        let xhat = (xr[j] - mean) * inv_std;
-                        let dxhat = gr[j] * gv.data()[j];
-                        dx.row_slice_mut(r)[j] =
-                            inv_std * (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+                let (m, nc) = (grad.rows(), grad.cols());
+                let n = nc as f32;
+                let mut dx = self.arena.take_dirty(m * nc);
+                let mut dgamma = self.arena.take_zeroed(nc);
+                let mut dbeta = self.arena.take_zeroed(nc);
+                {
+                    let xv = &self.nodes[x.0].value;
+                    let gv = self.nodes[gamma.0].value.data();
+                    for r in 0..m {
+                        let (mean, inv_std) = cache[r];
+                        let xr = xv.row_slice(r);
+                        let gr = grad.row_slice(r);
+                        // xhat_j = (x_j - mean) * inv_std
+                        // dxhat_j = g_j * gamma_j
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..xr.len() {
+                            let xhat = (xr[j] - mean) * inv_std;
+                            let dxhat = gr[j] * gv[j];
+                            sum_dxhat += dxhat;
+                            sum_dxhat_xhat += dxhat * xhat;
+                            dgamma[j] += gr[j] * xhat;
+                            dbeta[j] += gr[j];
+                        }
+                        for j in 0..xr.len() {
+                            let xhat = (xr[j] - mean) * inv_std;
+                            let dxhat = gr[j] * gv[j];
+                            dx[r * nc + j] =
+                                inv_std * (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+                        }
                     }
                 }
-                self.add_grad(*x, &dx);
-                self.add_grad(*gamma, &Tensor::row(dgamma));
-                self.add_grad(*beta, &Tensor::row(dbeta));
+                self.add_grad_owned(*x, Tensor::from_vec(dx, m, nc));
+                self.add_grad_owned(*gamma, Tensor::from_vec(dgamma, 1, nc));
+                self.add_grad_owned(*beta, Tensor::from_vec(dbeta, 1, nc));
             }
             Op::Dropout { x, mask } => {
-                let data: Vec<f32> = grad.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
-                let da = Tensor::from_vec(data, grad.rows(), grad.cols());
-                self.add_grad(*x, &da);
+                let mut da = self.arena.take_dirty(grad.len());
+                for ((o, &g), &mv) in da.iter_mut().zip(grad.data()).zip(mask) {
+                    *o = g * mv;
+                }
+                self.add_grad_owned(*x, Tensor::from_vec(da, grad.rows(), grad.cols()));
             }
             Op::ConcatCols(parts) => {
                 let mut off = 0;
+                let rows = grad.rows();
                 for &p in parts {
-                    let w = self.value(p).cols();
-                    let rows = grad.rows();
-                    let mut dp = Tensor::zeros(rows, w);
+                    let w = self.nodes[p.0].value.cols();
+                    let mut dp = self.arena.take_dirty(rows * w);
                     for r in 0..rows {
-                        dp.row_slice_mut(r)
-                            .copy_from_slice(&grad.row_slice(r)[off..off + w]);
+                        dp[r * w..(r + 1) * w].copy_from_slice(&grad.row_slice(r)[off..off + w]);
                     }
-                    self.add_grad(p, &dp);
+                    self.add_grad_owned(p, Tensor::from_vec(dp, rows, w));
                     off += w;
                 }
             }
             Op::ConcatRows(parts) => {
                 let mut off = 0;
+                let cols = grad.cols();
                 for &p in parts {
-                    let h = self.value(p).rows();
-                    let cols = grad.cols();
-                    let mut data = Vec::with_capacity(h * cols);
-                    for r in off..off + h {
-                        data.extend_from_slice(grad.row_slice(r));
-                    }
-                    self.add_grad(p, &Tensor::from_vec(data, h, cols));
+                    let h = self.nodes[p.0].value.rows();
+                    let mut dp = self.arena.take_dirty(h * cols);
+                    dp.copy_from_slice(&grad.data()[off * cols..(off + h) * cols]);
+                    self.add_grad_owned(p, Tensor::from_vec(dp, h, cols));
                     off += h;
                 }
             }
             Op::SliceCols { x, start, len } => {
-                let v = self.value(*x);
-                let mut dx = Tensor::zeros(v.rows(), v.cols());
-                for r in 0..v.rows() {
-                    dx.row_slice_mut(r)[*start..start + len].copy_from_slice(grad.row_slice(r));
+                let (m, n) = self.shape(*x);
+                let mut dx = self.arena.take_zeroed(m * n);
+                for r in 0..m {
+                    dx[r * n + start..r * n + start + len].copy_from_slice(grad.row_slice(r));
                 }
-                self.add_grad(*x, &dx);
+                self.add_grad_owned(*x, Tensor::from_vec(dx, m, n));
             }
             Op::SliceRows { x, start, len } => {
-                let v = self.value(*x);
-                let mut dx = Tensor::zeros(v.rows(), v.cols());
-                for r in 0..*len {
-                    dx.row_slice_mut(start + r)
-                        .copy_from_slice(grad.row_slice(r));
-                }
-                self.add_grad(*x, &dx);
+                let (m, n) = self.shape(*x);
+                let mut dx = self.arena.take_zeroed(m * n);
+                dx[start * n..(start + len) * n].copy_from_slice(grad.data());
+                self.add_grad_owned(*x, Tensor::from_vec(dx, m, n));
             }
             Op::MeanRows(x) => {
-                let v = self.value(*x);
-                let m = v.rows() as f32;
-                let mut dx = Tensor::zeros(v.rows(), v.cols());
-                for r in 0..v.rows() {
-                    for (d, &g) in dx.row_slice_mut(r).iter_mut().zip(grad.data()) {
+                let (rows, n) = self.shape(*x);
+                let m = rows as f32;
+                let mut dx = self.arena.take_dirty(rows * n);
+                for r in 0..rows {
+                    for (d, &g) in dx[r * n..(r + 1) * n].iter_mut().zip(grad.data()) {
                         *d = g / m;
                     }
                 }
-                self.add_grad(*x, &dx);
+                self.add_grad_owned(*x, Tensor::from_vec(dx, rows, n));
             }
             Op::SumNodes(parts) => {
                 for &p in parts {
@@ -817,34 +1220,38 @@ impl Tape {
                 }
             }
             Op::MulScalar { x, s } => {
-                let sv = self.value(*s).item();
-                let dx = grad.map(|g| g * sv);
-                self.add_grad(*x, &dx);
+                let sv = self.nodes[s.0].value.item();
+                let mut dx = self.arena.take_dirty(grad.len());
+                for (o, &g) in dx.iter_mut().zip(grad.data()) {
+                    *o = g * sv;
+                }
+                self.add_grad_owned(*x, Tensor::from_vec(dx, grad.rows(), grad.cols()));
                 let ds: f32 = grad
                     .data()
                     .iter()
-                    .zip(self.value(*x).data())
+                    .zip(self.nodes[x.0].value.data())
                     .map(|(&g, &xv)| g * xv)
                     .sum();
-                self.add_grad(*s, &Tensor::scalar(ds));
+                let mut dsb = self.arena.take_dirty(1);
+                dsb[0] = ds;
+                self.add_grad_owned(*s, Tensor::from_vec(dsb, 1, 1));
             }
             Op::SumAll(x) => {
                 let g = grad.item();
-                let v = self.value(*x);
-                let dx = Tensor::full(v.rows(), v.cols(), g);
-                self.add_grad(*x, &dx);
+                let (m, n) = self.shape(*x);
+                let mut dx = self.arena.take_dirty(m * n);
+                dx.fill(g);
+                self.add_grad_owned(*x, Tensor::from_vec(dx, m, n));
             }
             Op::Recip(x) => {
                 // d(1/x)/dx = -1/x², and 1/x is this node's cached value.
-                let y = self.nodes[i].value.clone();
-                let dx = grad.zip(&y, |g, inv| -g * inv * inv);
-                self.add_grad(*x, &dx);
+                let dx = self.bwd_zip_out(grad, i, |g, inv| -g * inv * inv);
+                self.add_grad_owned(*x, dx);
             }
             Op::Sqrt(x) => {
                 // d√x/dx = 1/(2√x), and √x is this node's cached value.
-                let y = self.nodes[i].value.clone();
-                let dx = grad.zip(&y, |g, s| g * 0.5 / s);
-                self.add_grad(*x, &dx);
+                let dx = self.bwd_zip_out(grad, i, |g, s| g * 0.5 / s);
+                self.add_grad_owned(*x, dx);
             }
             Op::CrossEntropy {
                 logits,
@@ -852,22 +1259,84 @@ impl Tape {
                 probs,
             } => {
                 let g = grad.item();
-                let lv = self.value(*logits);
-                let (m, c) = (lv.rows(), lv.cols());
+                let (m, c) = self.shape(*logits);
                 let scale = g / m as f32;
-                let data: Vec<f32> = probs
-                    .iter()
-                    .zip(targets)
-                    .map(|(&p, &t)| (p - t) * scale)
-                    .collect();
-                self.add_grad(*logits, &Tensor::from_vec(data, m, c));
+                let mut dl = self.arena.take_dirty(m * c);
+                for ((o, &p), &t) in dl.iter_mut().zip(probs.iter()).zip(targets.iter()) {
+                    *o = (p - t) * scale;
+                }
+                self.add_grad_owned(*logits, Tensor::from_vec(dl, m, c));
             }
         }
         self.nodes[i].op = op;
     }
+
+    /// `f(grad, input_value)` elementwise into an arena tensor.
+    fn bwd_zip(&mut self, grad: &Tensor, a: &NodeId, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let mut out = self.arena.take_dirty(grad.len());
+        for ((o, &g), &x) in out
+            .iter_mut()
+            .zip(grad.data())
+            .zip(self.nodes[a.0].value.data())
+        {
+            *o = f(g, x);
+        }
+        Tensor::from_vec(out, grad.rows(), grad.cols())
+    }
+
+    /// `f(grad, output_value_of_node_i)` elementwise into an arena tensor.
+    fn bwd_zip_out(&mut self, grad: &Tensor, i: usize, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let mut out = self.arena.take_dirty(grad.len());
+        for ((o, &g), &y) in out
+            .iter_mut()
+            .zip(grad.data())
+            .zip(self.nodes[i].value.data())
+        {
+            *o = f(g, y);
+        }
+        Tensor::from_vec(out, grad.rows(), grad.cols())
+    }
 }
 
-fn softmax_row(row: &[f32], mask: Option<&[f32]>, out: &mut [f32]) {
+// ---------------------------------------------------------------------------
+// Global tape pool
+// ---------------------------------------------------------------------------
+
+/// Spare reset tapes kept globally (bounded so transient fan-outs cannot pin
+/// unbounded arena memory).
+const MAX_POOLED_TAPES: usize = 16;
+
+static TAPE_POOL: Mutex<Vec<Tape>> = Mutex::new(Vec::new());
+
+/// Take a tape from the global reuse pool (or a fresh one). Pair with
+/// [`recycle_tape`]; prefer [`with_pooled_tape`] when the tape does not need
+/// to outlive a scope.
+pub fn take_pooled_tape() -> Tape {
+    TAPE_POOL.lock().unwrap().pop().unwrap_or_default()
+}
+
+/// Reset `tape` (retaining its buffers) and return it to the global pool.
+pub fn recycle_tape(mut tape: Tape) {
+    tape.reset();
+    let mut pool = TAPE_POOL.lock().unwrap();
+    if pool.len() < MAX_POOLED_TAPES {
+        pool.push(tape);
+    }
+}
+
+/// Run `f` with a tape from the global pool, recycling it afterwards. The
+/// warm arena makes repeated same-shape graphs allocation-free; results are
+/// bit-identical to using a fresh [`Tape::new`].
+pub fn with_pooled_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    let mut tape = take_pooled_tape();
+    let out = f(&mut tape);
+    recycle_tape(tape);
+    out
+}
+
+/// Row softmax into `out`; returns the `(max, sum)` statistics so callers
+/// (cross-entropy) can derive the log-sum-exp without a second pass.
+fn softmax_row(row: &[f32], mask: Option<&[f32]>, out: &mut [f32]) -> (f32, f32) {
     let mut max = f32::NEG_INFINITY;
     for (j, &v) in row.iter().enumerate() {
         let m = mask.map_or(0.0, |mm| mm[j]);
@@ -884,17 +1353,20 @@ fn softmax_row(row: &[f32], mask: Option<&[f32]>, out: &mut [f32]) {
     for o in out.iter_mut() {
         *o *= inv;
     }
+    (max, sum)
 }
 
-fn gelu_fwd(x: f32) -> f32 {
+/// The `tanh` factor of the GELU tanh approximation — computed once in the
+/// forward pass, cached on the node, and reused by the backward rule.
+fn gelu_tanh(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+    (C * (x + 0.044_715 * x * x * x)).tanh()
 }
 
-fn gelu_bwd(x: f32) -> f32 {
+/// GELU derivative given the cached `t = gelu_tanh(x)`. With the identical
+/// `t` bits, this equals recomputing the tanh from scratch.
+fn gelu_bwd_cached(x: f32, t: f32) -> f32 {
     const C: f32 = 0.797_884_6;
-    let inner = C * (x + 0.044_715 * x * x * x);
-    let t = inner.tanh();
     let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044_715 * x * x);
     0.5 * (1.0 + t) + 0.5 * x * dt
 }
@@ -949,7 +1421,7 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.input(Tensor::from_vec(vec![1.0, 2.0, 3.0], 1, 3));
         let mask = Tensor::from_vec(vec![0.0, -1e9, 0.0], 1, 3);
-        let s = tape.masked_softmax(x, Some(mask));
+        let s = tape.masked_softmax(x, Some(&mask));
         assert!(tape.value(s).at(0, 1) < 1e-6);
         let sum: f32 = tape.value(s).row_slice(0).iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);
@@ -1110,6 +1582,28 @@ mod tests {
         });
     }
 
+    /// Pins the cross-entropy backward rule to the softmax probabilities
+    /// cached by the single-pass forward (soft targets exercise every prob).
+    #[test]
+    fn gradcheck_cross_entropy_soft_targets() {
+        gradcheck_param(3, 4, |t, w| {
+            let x = t.input(Tensor::from_vec(
+                vec![
+                    0.4, -0.6, 1.1, 0.2, -0.9, 0.7, 0.3, -0.2, 0.8, -1.0, 0.5, 0.6,
+                ],
+                3,
+                4,
+            ));
+            let logits = t.mul(x, w);
+            t.cross_entropy(
+                logits,
+                &[
+                    0.7, 0.1, 0.1, 0.1, 0.25, 0.25, 0.25, 0.25, 0.0, 0.0, 0.5, 0.5,
+                ],
+            )
+        });
+    }
+
     #[test]
     fn gradcheck_sub_mul_chain() {
         gradcheck_param(1, 3, |t, w| {
@@ -1187,5 +1681,53 @@ mod tests {
         tape.backward(loss, &mut store);
         // Row 0 gathered twice -> grad 2, row 1 once -> grad 1.
         assert_eq!(store.grad(table).data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    /// A reused (reset) tape must reproduce a fresh tape's loss and
+    /// gradients bit-for-bit — the arena is an allocation strategy, not a
+    /// numerics change.
+    #[test]
+    fn reused_tape_is_bit_identical_to_fresh() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut store = ParamStore::new();
+        let w1 = store.alloc("w1", 8, 16, Initializer::Uniform(0.5), &mut rng);
+        let w2 = store.alloc("w2", 16, 4, Initializer::Uniform(0.5), &mut rng);
+        let xin: Vec<f32> = (0..48).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect();
+        let targets = {
+            let mut t = vec![0.0f32; 6 * 4];
+            for r in 0..6 {
+                t[r * 4 + r % 4] = 1.0;
+            }
+            t
+        };
+        let run = |tape: &mut Tape, store: &mut ParamStore| -> (f32, Vec<f32>) {
+            let x = tape.input(Tensor::from_vec(xin.clone(), 6, 8));
+            let w1n = tape.param(w1, store);
+            let w2n = tape.param(w2, store);
+            let h = tape.matmul(x, w1n);
+            let h = tape.relu(h);
+            let logits = tape.matmul(h, w2n);
+            let loss = tape.cross_entropy(logits, &targets);
+            let lv = tape.value(loss).item();
+            store.zero_grad();
+            tape.backward(loss, store);
+            (lv, store.flat_grads())
+        };
+        let mut fresh = Tape::new();
+        let (l0, g0) = run(&mut fresh, &mut store);
+        let mut reused = Tape::new();
+        for _ in 0..3 {
+            let (l1, g1) = run(&mut reused, &mut store);
+            assert_eq!(l0.to_bits(), l1.to_bits(), "loss drifted across reuse");
+            assert_eq!(g0, g1, "gradients drifted across reuse");
+            let nodes_before = reused.len();
+            reused.reset();
+            assert!(reused.is_empty());
+            assert!(nodes_before > 0);
+        }
+        // And through the global pool helpers.
+        let (l2, g2) = with_pooled_tape(|t| run(t, &mut store));
+        assert_eq!(l0.to_bits(), l2.to_bits());
+        assert_eq!(g0, g2);
     }
 }

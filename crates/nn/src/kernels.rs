@@ -20,9 +20,13 @@
 //! swept down all row blocks while it sits in L1 (without the pack, large
 //! `n` re-streams the strided strip from L2 for every row block).
 //!
-//! Transposed variants materialize the (cheap, `O(n·k)`) blocked transpose
-//! and reuse the single tiled core, so all three variants share one code
-//! path and one accumulation order.
+//! The core is generic over how the right-hand operand is stored ([`BSrc`]):
+//! row-major, **transposed** (panels are packed straight from the strided
+//! columns of the stored matrix, so `A·Bᵀ` and `Aᵀ·G` never materialize a
+//! transpose), or **prepacked** ([`PackedB`] — the panels were built earlier
+//! and are reused across calls; parameter matrices cache them across a whole
+//! optimizer step, see `params.rs`). Panel contents are identical across the
+//! three sources, so the choice never changes results.
 //!
 //! # SIMD dispatch
 //!
@@ -35,23 +39,31 @@
 //! # Determinism
 //!
 //! Every kernel — naive reference, serial tiled, parallel tiled at any
-//! worker count — accumulates each output element with a **single
-//! accumulator in strictly increasing `k` order**. Tiling only reorders
-//! *which elements* are computed when, never the summation order *within* an
-//! element, and the parallel path splits work on `MR`-row boundaries with
-//! each row block computed by the same serial code. Serial and parallel
-//! tiled results are therefore bit-identical at every `ROTOM_THREADS`
-//! setting; tests assert this. The naive reference shares the summation
-//! order but may differ from the tiled path in final rounding when the FMA
-//! variant is active (fused multiply-add rounds once per step), which is
-//! why cross-kernel tests compare within 1e-4 while cross-thread-count
-//! tests compare bits.
+//! worker count, cold-packed or prepacked — accumulates each output element
+//! with a **single accumulator in strictly increasing `k` order**. Tiling
+//! only reorders *which elements* are computed when, never the summation
+//! order *within* an element, and the parallel path splits work on `MR`-row
+//! boundaries with each row block computed by the same serial code. Serial
+//! and parallel tiled results are therefore bit-identical at every
+//! `ROTOM_THREADS` setting; tests assert this. The naive reference shares
+//! the summation order but may differ from the tiled path in final rounding
+//! when the FMA variant is active (fused multiply-add rounds once per step),
+//! which is why cross-kernel tests compare within 1e-4 while
+//! cross-thread-count and cross-storage tests compare bits.
 //!
 //! Shapes below [`SMALL_FLOPS`] multiply-adds skip tiling (tiny meta-model
 //! updates would pay more in tile-edge handling than they save), and shapes
 //! below [`PAR_MIN_FLOPS`] skip the thread fan-out.
+//!
+//! # Allocation
+//!
+//! The `*_into` variants write into caller-provided buffers (the tape arena
+//! feeds them recycled ones), and all transient pack/transpose scratch comes
+//! from a small thread-local pool, so a steady-state GEMM performs no heap
+//! allocation.
 
 use crate::pool::RotomPool;
+use std::cell::RefCell;
 
 /// Rows of `C` per register tile.
 pub const MR: usize = 4;
@@ -63,13 +75,62 @@ pub const SMALL_FLOPS: usize = 32 * 32 * 32;
 /// Below this many multiply-adds, never fan out across threads.
 pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 
+// ---------------------------------------------------------------------------
+// Thread-local scratch pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Recycled pack/transpose scratch buffers. Worker threads are scoped
+    /// (they die at the end of each pool call), so cross-call reuse happens
+    /// on long-lived threads — in particular the main thread, where every
+    /// serial-path kernel runs.
+    static SCRATCH: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a scratch buffer of `len` zero-initialized elements from the
+/// thread-local pool (every byte is overwritten by the pack loops before
+/// use; the zero fill just keeps the buffer initialization safe).
+fn take_scratch(len: usize) -> Vec<f32> {
+    let mut v = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    v.clear();
+    v.resize(len, 0.0);
+    v
+}
+
+/// Return a scratch buffer to the thread-local pool (capped for hygiene).
+fn put_scratch(v: Vec<f32>) {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.len() < 8 {
+            s.push(v);
+        }
+    });
+}
+
 /// Reference kernel: the seed's naive i-k-j loop (single accumulator per
 /// element, increasing `k`), kept as the ground truth for property tests and
 /// the benchmark baseline.
 pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_naive_into(a, b, m, k, n, &mut out);
+    out
+}
+
+/// [`matmul_naive`] writing into a caller buffer (fully overwritten).
+fn matmul_naive_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    let mut out = vec![0.0f32; m * n];
+    debug_assert_eq!(out.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        for i in 0..m {
+            let o_row = &mut out[i * n..(i + 1) * n];
+            // In-bounds: row `i` of `a` spans `cnt·stride = k` elements.
+            unsafe { avx::row_accum(a.as_ptr().add(i * k), 1, k, b.as_ptr(), n, o_row) };
+        }
+        return;
+    }
+    out.fill(0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let o_row = &mut out[i * n..(i + 1) * n];
@@ -83,7 +144,6 @@ pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f
             }
         }
     }
-    out
 }
 
 /// Blocked out-of-place transpose: `src` is `rows×cols`, the result is
@@ -105,6 +165,169 @@ pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
     }
     out
 }
+
+// ---------------------------------------------------------------------------
+// Packed panels
+// ---------------------------------------------------------------------------
+
+/// The full `NR`-wide strips of a GEMM right-hand operand, packed into
+/// contiguous `k×NR` panels — the exact buffers the tiled core builds on the
+/// fly, captured so they can be reused across calls. Ragged trailing columns
+/// (`n % NR`) are not stored; edge tiles read the raw operand.
+///
+/// Parameter matrices cache a `PackedB` (plus one of their transpose) across
+/// matmul calls and across the three per-step passes of the meta-training
+/// loop; `params.rs` invalidates the cache whenever a value mutates, so
+/// packing cost is paid once per optimizer step instead of once per matmul.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack a row-major `k×n` operand.
+    pub fn pack_row_major(b: &[f32], k: usize, n: usize) -> Self {
+        debug_assert_eq!(b.len(), k * n);
+        let full_cols = n - n % NR;
+        let mut panels = vec![0.0f32; k * full_cols];
+        let mut off = 0;
+        let mut j0 = 0;
+        while j0 < full_cols {
+            for p in 0..k {
+                panels[off + p * NR..off + (p + 1) * NR]
+                    .copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+            }
+            off += k * NR;
+            j0 += NR;
+        }
+        Self { k, n, panels }
+    }
+
+    /// Pack the *transpose* of an `n×k` row-major matrix, i.e. the logical
+    /// operand is `srcᵀ` (`k×n`). Panels are packed straight from the
+    /// strided columns, with contents bit-identical to
+    /// `pack_row_major(transpose(src))`.
+    pub fn pack_transposed(src: &[f32], k: usize, n: usize) -> Self {
+        debug_assert_eq!(src.len(), k * n);
+        let full_cols = n - n % NR;
+        let mut panels = vec![0.0f32; k * full_cols];
+        let mut off = 0;
+        let mut j0 = 0;
+        while j0 < full_cols {
+            for c in 0..NR {
+                let col = &src[(j0 + c) * k..(j0 + c + 1) * k];
+                for (p, &v) in col.iter().enumerate() {
+                    panels[off + p * NR + c] = v;
+                }
+            }
+            off += k * NR;
+            j0 += NR;
+        }
+        Self { k, n, panels }
+    }
+
+    /// Logical `(k, n)` shape of the packed operand.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Retained panel bytes (diagnostics).
+    pub fn bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The stored panel for full strip `j0` (`j0 % NR == 0`,
+    /// `j0 + NR <= n`).
+    #[inline]
+    fn strip(&self, j0: usize) -> &[f32] {
+        &self.panels[(j0 / NR) * self.k * NR..][..self.k * NR]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B-operand abstraction
+// ---------------------------------------------------------------------------
+
+/// How the tiled core reads its logical `k×n` right-hand operand. Panel
+/// contents and edge element values are identical across implementations, so
+/// swapping sources never changes results (the determinism tests pin this).
+trait BSrc: Sync {
+    /// The packed `k×NR` panel for full strip `j0`. `scratch` is a `k×NR`
+    /// buffer the implementation may pack into (prepacked sources return
+    /// their stored panel instead).
+    fn panel<'a>(&'a self, j0: usize, k: usize, scratch: &'a mut [f32]) -> &'a [f32];
+    /// Element `(p, j)` of the logical operand (edge tiles only).
+    fn at(&self, p: usize, j: usize) -> f32;
+}
+
+/// Row-major `k×n` storage.
+struct BRowMajor<'b> {
+    b: &'b [f32],
+    n: usize,
+}
+
+impl BSrc for BRowMajor<'_> {
+    #[inline]
+    fn panel<'a>(&'a self, j0: usize, k: usize, scratch: &'a mut [f32]) -> &'a [f32] {
+        for p in 0..k {
+            scratch[p * NR..(p + 1) * NR]
+                .copy_from_slice(&self.b[p * self.n + j0..p * self.n + j0 + NR]);
+        }
+        scratch
+    }
+    #[inline]
+    fn at(&self, p: usize, j: usize) -> f32 {
+        self.b[p * self.n + j]
+    }
+}
+
+/// Transposed storage: the logical operand is `bᵀ` where `b` is row-major
+/// `n×k`. Panels stream the stored columns directly — no materialized
+/// transpose.
+struct BTransposed<'b> {
+    b: &'b [f32],
+    k: usize,
+}
+
+impl BSrc for BTransposed<'_> {
+    #[inline]
+    fn panel<'a>(&'a self, j0: usize, k: usize, scratch: &'a mut [f32]) -> &'a [f32] {
+        for c in 0..NR {
+            let col = &self.b[(j0 + c) * self.k..(j0 + c) * self.k + k];
+            for (p, &v) in col.iter().enumerate() {
+                scratch[p * NR + c] = v;
+            }
+        }
+        scratch
+    }
+    #[inline]
+    fn at(&self, p: usize, j: usize) -> f32 {
+        self.b[j * self.k + p]
+    }
+}
+
+/// Prepacked panels with a fallback source for edge tiles.
+struct BPacked<'b, E: BSrc> {
+    pk: &'b PackedB,
+    edge: E,
+}
+
+impl<E: BSrc> BSrc for BPacked<'_, E> {
+    #[inline]
+    fn panel<'a>(&'a self, j0: usize, _k: usize, _scratch: &'a mut [f32]) -> &'a [f32] {
+        self.pk.strip(j0)
+    }
+    #[inline]
+    fn at(&self, p: usize, j: usize) -> f32 {
+        self.edge.at(p, j)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernels
+// ---------------------------------------------------------------------------
 
 /// Full `MR×NR` register tile over the whole `k` extent.
 ///
@@ -184,13 +407,114 @@ mod fma {
     }
 }
 
+/// Plain-AVX helper for the naive kernels, selected at runtime on x86-64.
+///
+/// This vectorizes *elementwise* work only: each output scalar still sees
+/// exactly one `mul` rounding and one `add` rounding per `k` step, in the
+/// same order as the scalar loop (no FMA contraction, no reassociation), so
+/// results are bit-identical to the scalar code — unlike the tiled core's
+/// FMA micro-kernel, it is safe to enable without moving any dispatch
+/// threshold.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use core::arch::x86_64::*;
+
+    /// Whether the running CPU supports AVX. Detected once (process-global,
+    /// like [`super::fma::available`]).
+    #[inline]
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::is_x86_feature_detected!("avx"))
+    }
+
+    /// One output row of a saxpy-form product, the row held in registers
+    /// across the whole reduction:
+    /// `o_row[j] = Σ_p a(p) · b[p·n + j]` with `a(p) = avs[p·stride]`.
+    ///
+    /// Every output scalar keeps the increasing-`p` single-accumulator
+    /// order with *separate* mul and add roundings (no FMA contraction —
+    /// only the `avx` feature is enabled) and the same `a(p) == 0.0` skip
+    /// as the scalar loop, so results are bit-identical; the registers
+    /// merely remove the per-`p` load/store round-trip of the output row.
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`], `avs` must be readable at
+    /// `p·stride` for `p < cnt`, and `b` at `p·n + j` for `j < n`.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn row_accum(
+        avs: *const f32,
+        stride: usize,
+        cnt: usize,
+        b: *const f32,
+        n: usize,
+        o_row: &mut [f32],
+    ) {
+        debug_assert_eq!(o_row.len(), n);
+        let mut j = 0usize;
+        // Four independent 8-lane accumulators per pass: enough chains to
+        // hide the vaddps latency while staying within 16 ymm registers.
+        while j + 32 <= n {
+            let mut v0 = _mm256_setzero_ps();
+            let mut v1 = _mm256_setzero_ps();
+            let mut v2 = _mm256_setzero_ps();
+            let mut v3 = _mm256_setzero_ps();
+            for p in 0..cnt {
+                let av = *avs.add(p * stride);
+                if av == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(av);
+                let bp = b.add(p * n + j);
+                v0 = _mm256_add_ps(v0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+                v1 = _mm256_add_ps(v1, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(8))));
+                v2 = _mm256_add_ps(v2, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(16))));
+                v3 = _mm256_add_ps(v3, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(24))));
+            }
+            let op = o_row.as_mut_ptr().add(j);
+            _mm256_storeu_ps(op, v0);
+            _mm256_storeu_ps(op.add(8), v1);
+            _mm256_storeu_ps(op.add(16), v2);
+            _mm256_storeu_ps(op.add(24), v3);
+            j += 32;
+        }
+        while j + 8 <= n {
+            let mut v = _mm256_setzero_ps();
+            for p in 0..cnt {
+                let av = *avs.add(p * stride);
+                if av == 0.0 {
+                    continue;
+                }
+                let vb = _mm256_loadu_ps(b.add(p * n + j));
+                v = _mm256_add_ps(v, _mm256_mul_ps(_mm256_set1_ps(av), vb));
+            }
+            _mm256_storeu_ps(o_row.as_mut_ptr().add(j), v);
+            j += 8;
+        }
+        while j < n {
+            let mut s = 0.0f32;
+            for p in 0..cnt {
+                let av = *avs.add(p * stride);
+                if av == 0.0 {
+                    continue;
+                }
+                s += av * *b.add(p * n + j);
+            }
+            *o_row.get_unchecked_mut(j) = s;
+            j += 1;
+        }
+    }
+}
+
 /// Edge tile: `mr ≤ MR` rows by `nr ≤ NR` columns. Same accumulation order
-/// as [`micro_full`], scalar-indexed for the ragged bounds.
+/// as [`micro_full`] (per-element single accumulator, `p` increasing),
+/// scalar-indexed for the ragged bounds, reading the raw operand through
+/// [`BSrc::at`].
 #[inline]
-fn micro_edge(
+fn micro_edge<B: BSrc>(
     a_block: &[f32],
     k: usize,
-    b: &[f32],
+    bsrc: &B,
     n: usize,
     i0: usize,
     j0: usize,
@@ -200,11 +524,10 @@ fn micro_edge(
 ) {
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..k {
-        let b_row = &b[p * n + j0..p * n + j0 + nr];
         for r in 0..mr {
             let av = a_block[(i0 + r) * k + p];
-            for (c, &bv) in b_row.iter().enumerate() {
-                acc[r][c] += av * bv;
+            for c in 0..nr {
+                acc[r][c] += av * bsrc.at(p, j0 + c);
             }
         }
     }
@@ -213,22 +536,28 @@ fn micro_edge(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tiled core and dispatch
+// ---------------------------------------------------------------------------
+
 /// Tiled kernel over a contiguous block of `rows` output rows.
 ///
 /// `a_block` is the matching `rows×k` slice of `A`; `out_block` the
-/// `rows×n` destination. This is the unit the parallel path dispatches per
-/// worker, so serial and parallel runs execute identical code per row.
+/// `rows×n` destination (fully overwritten). This is the unit the parallel
+/// path dispatches per worker, so serial and parallel runs execute identical
+/// code per row.
 ///
 /// Loop order is tile-column outer: each `NR`-wide strip of `B` is packed
-/// into a contiguous `k×NR` panel once, then swept down all `MR`-row blocks
-/// while the panel sits in L1. Without the pack, large `n` re-streams the
-/// strided strip from L2 for every row block (`B` gets re-read `rows/MR`
-/// times), which caps the kernel well below FMA throughput.
-fn matmul_block_tiled(
+/// into a contiguous `k×NR` panel once (or fetched prepacked), then swept
+/// down all `MR`-row blocks while the panel sits in L1. Without the pack,
+/// large `n` re-streams the strided strip from L2 for every row block (`B`
+/// gets re-read `rows/MR` times), which caps the kernel well below FMA
+/// throughput.
+fn matmul_block_tiled<B: BSrc>(
     a_block: &[f32],
     rows: usize,
     k: usize,
-    b: &[f32],
+    bsrc: &B,
     n: usize,
     out_block: &mut [f32],
 ) {
@@ -236,12 +565,10 @@ fn matmul_block_tiled(
     let full_cols = n - n % NR;
     #[cfg(target_arch = "x86_64")]
     let use_fma = fma::available();
-    let mut panel = vec![0.0f32; k * NR];
+    let mut scratch = take_scratch(k * NR);
     let mut j0 = 0;
     while j0 < full_cols {
-        for p in 0..k {
-            panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
-        }
+        let panel = bsrc.panel(j0, k, &mut scratch);
         let mut i0 = 0;
         while i0 < full_rows {
             let (a0, rest) = a_block[i0 * k..].split_at(k);
@@ -257,47 +584,50 @@ fn matmul_block_tiled(
             if use_fma {
                 // SAFETY: `available()` checked; the panel is `k×NR` and
                 // every out row is `n ≥ j0 + NR` long.
-                unsafe { fma::micro_full([a0, a1, a2, a3], &panel, j0, &mut out_rows) };
+                unsafe { fma::micro_full([a0, a1, a2, a3], panel, j0, &mut out_rows) };
                 i0 += MR;
                 continue;
             }
-            micro_full([a0, a1, a2, a3], &panel, j0, &mut out_rows);
+            micro_full([a0, a1, a2, a3], panel, j0, &mut out_rows);
             i0 += MR;
         }
         j0 += NR;
     }
-    // Edges share the scalar kernel and read `b` directly: the ragged
-    // column strip (j ≥ full_cols, all rows) and the ragged row block
+    put_scratch(scratch);
+    // Edges share the scalar kernel and read the operand directly: the
+    // ragged column strip (j ≥ full_cols, all rows) and the ragged row block
     // (i ≥ full_rows, full-width columns).
     for i0 in (0..rows).step_by(MR) {
         let mr = (rows - i0).min(MR);
         let mut j0 = if i0 < full_rows { full_cols } else { 0 };
         while j0 < n {
             let nr = (n - j0).min(NR);
-            micro_edge(a_block, k, b, n, i0, j0, mr, nr, out_block);
+            micro_edge(a_block, k, bsrc, n, i0, j0, mr, nr, out_block);
             j0 += nr;
         }
     }
 }
 
-/// `C = A·B` with an explicit pool (`A`: `m×k`, `B`: `k×n`).
-pub fn matmul_with_pool(
+/// A raw pointer blessed for cross-thread sharing; see the soundness note at
+/// its use sites in [`tiled_dispatch`] and [`matmul_transpose_a_into`].
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Serial-or-parallel dispatch of the tiled core over `m` output rows.
+/// Caller has already ruled out the sub-[`SMALL_FLOPS`] naive path.
+fn tiled_dispatch<B: BSrc>(
     a: &[f32],
-    b: &[f32],
+    bsrc: &B,
     m: usize,
     k: usize,
     n: usize,
     pool: &RotomPool,
-) -> Vec<f32> {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
+    out: &mut [f32],
+) {
     let flops = m * k * n;
-    if flops < SMALL_FLOPS {
-        return matmul_naive(a, b, m, k, n);
-    }
-    let mut out = vec![0.0f32; m * n];
     if flops < PAR_MIN_FLOPS || pool.threads() <= 1 || m < 2 * MR {
-        matmul_block_tiled(a, m, k, b, n, &mut out);
+        matmul_block_tiled(a, m, k, bsrc, n, out);
     } else {
         // Split on MR-row boundaries so every worker runs full tiles with
         // the exact code (and summation order) the serial path uses.
@@ -314,17 +644,81 @@ pub fn matmul_with_pool(
             let out_block = unsafe {
                 std::slice::from_raw_parts_mut(out_base.0.add(range.start * n), rows * n)
             };
-            matmul_block_tiled(a_block, rows, k, b, n, out_block);
+            matmul_block_tiled(a_block, rows, k, bsrc, n, out_block);
         });
     }
-    out
 }
 
-/// A raw pointer blessed for cross-thread sharing; see the soundness note at
-/// its single use site in [`matmul_with_pool`].
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+// ---------------------------------------------------------------------------
+// Public GEMM entry points
+// ---------------------------------------------------------------------------
+
+/// `C = A·B` into a caller buffer (`A`: `m×k`, `B`: `k×n`, `out`: `m×n`,
+/// fully overwritten).
+pub fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m * k * n < SMALL_FLOPS {
+        matmul_naive_into(a, b, m, k, n, out);
+        return;
+    }
+    tiled_dispatch(a, &BRowMajor { b, n }, m, k, n, pool, out);
+}
+
+/// `C = A·B` with prepacked panels for `B` (`pk` must be the pack of `b`).
+/// Dispatch thresholds match [`matmul_into`] exactly, and panel contents are
+/// bit-identical to a cold pack, so results never depend on cache state.
+pub fn matmul_prepacked_into(
+    a: &[f32],
+    b: &[f32],
+    pk: &PackedB,
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(pk.shape(), (k, n));
+    if m * k * n < SMALL_FLOPS {
+        matmul_naive_into(a, b, m, k, n, out);
+        return;
+    }
+    tiled_dispatch(
+        a,
+        &BPacked {
+            pk,
+            edge: BRowMajor { b, n },
+        },
+        m,
+        k,
+        n,
+        pool,
+        out,
+    );
+}
+
+/// `C = A·B` with an explicit pool (`A`: `m×k`, `B`: `k×n`).
+pub fn matmul_with_pool(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a, b, m, k, n, pool, &mut out);
+    out
+}
 
 /// `C = A·B` on the global pool.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -334,29 +728,156 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 /// Naive reference for `A·Bᵀ` (`A`: `m×k`, `B`: `n×k`): per-element dot
 /// product, increasing `k`.
 pub fn matmul_transpose_b_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_transpose_b_naive_into(a, b, m, k, n, &mut out);
+    out
+}
+
+fn matmul_transpose_b_naive_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
+    debug_assert_eq!(out.len(), m * n);
+    // Each output scalar is one dot product accumulated in increasing `k`
+    // with a single accumulator — a serial FP dependency chain. Running four
+    // output columns (and two rows) concurrently keeps their chains
+    // independent, so the per-scalar operation sequence — and hence every
+    // result bit — is unchanged while the add-latency bubbles overlap.
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut s = [0.0f32; 8];
+            for p in 0..k {
+                let (x0, x1) = (a0[p], a1[p]);
+                let (y0, y1, y2, y3) = (b0[p], b1[p], b2[p], b3[p]);
+                s[0] += x0 * y0;
+                s[1] += x0 * y1;
+                s[2] += x0 * y2;
+                s[3] += x0 * y3;
+                s[4] += x1 * y0;
+                s[5] += x1 * y1;
+                s[6] += x1 * y2;
+                s[7] += x1 * y3;
+            }
+            out[i * n + j..i * n + j + 4].copy_from_slice(&s[..4]);
+            out[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&s[4..]);
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let (mut s0, mut s1) = (0.0f32, 0.0f32);
+            for p in 0..k {
+                let bv = b_row[p];
+                s0 += a0[p] * bv;
+                s1 += a1[p] * bv;
+            }
+            out[i * n + j] = s0;
+            out[(i + 1) * n + j] = s1;
+            j += 1;
+        }
+        i += 2;
+    }
+    if i < m {
         let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut s = [0.0f32; 4];
+            for p in 0..k {
+                let av = a_row[p];
+                s[0] += av * b0[p];
+                s[1] += av * b1[p];
+                s[2] += av * b2[p];
+                s[3] += av * b3[p];
+            }
+            out[i * n + j..i * n + j + 4].copy_from_slice(&s);
+            j += 4;
+        }
+        while j < n {
             let b_row = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&av, &bv) in a_row.iter().zip(b_row) {
                 acc += av * bv;
             }
             out[i * n + j] = acc;
+            j += 1;
         }
     }
-    out
+}
+
+/// `C = A·Bᵀ` into a caller buffer (`A`: `m×k`, `B`: `n×k`, `out`: `m×n`,
+/// fully overwritten).
+///
+/// Large shapes stream `B`'s stored columns straight into packed panels
+/// (transpose-free; contents bit-identical to packing a materialized
+/// transpose); small shapes use the dot form directly. Both paths share the
+/// increasing-`k` single-accumulator order, so the choice never changes
+/// results.
+pub fn matmul_transpose_b_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+    out: &mut [f32],
+) {
+    if m * k * n < SMALL_FLOPS {
+        matmul_transpose_b_naive_into(a, b, m, k, n, out);
+        return;
+    }
+    tiled_dispatch(a, &BTransposed { b, k }, m, k, n, pool, out);
+}
+
+/// `C = A·Bᵀ` with prepacked panels of `bᵀ` (`pk` must be
+/// [`PackedB::pack_transposed`] of `b`). Dispatch matches
+/// [`matmul_transpose_b_into`] exactly.
+pub fn matmul_transpose_b_prepacked_into(
+    a: &[f32],
+    b: &[f32],
+    pk: &PackedB,
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(pk.shape(), (k, n));
+    if m * k * n < SMALL_FLOPS {
+        matmul_transpose_b_naive_into(a, b, m, k, n, out);
+        return;
+    }
+    tiled_dispatch(
+        a,
+        &BPacked {
+            pk,
+            edge: BTransposed { b, k },
+        },
+        m,
+        k,
+        n,
+        pool,
+        out,
+    );
 }
 
 /// `C = A·Bᵀ` with an explicit pool (`A`: `m×k`, `B`: `n×k`).
-///
-/// Large shapes transpose `B` once and reuse the tiled core (the transpose
-/// is `O(n·k)` against the product's `O(m·n·k)`); small shapes use the dot
-/// form directly. Both paths share the increasing-`k` single-accumulator
-/// order, so the choice never changes results.
 pub fn matmul_transpose_b_with_pool(
     a: &[f32],
     b: &[f32],
@@ -365,11 +886,9 @@ pub fn matmul_transpose_b_with_pool(
     n: usize,
     pool: &RotomPool,
 ) -> Vec<f32> {
-    if m * k * n < SMALL_FLOPS {
-        return matmul_transpose_b_naive(a, b, m, k, n);
-    }
-    let bt = transpose(b, n, k);
-    matmul_with_pool(a, &bt, m, k, n, pool)
+    let mut out = vec![0.0f32; m * n];
+    matmul_transpose_b_into(a, b, m, k, n, pool, &mut out);
+    out
 }
 
 /// `C = A·Bᵀ` on the global pool.
@@ -377,23 +896,39 @@ pub fn matmul_transpose_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) ->
     matmul_transpose_b_with_pool(a, b, m, k, n, RotomPool::global())
 }
 
-/// `C = Aᵀ·G` with an explicit pool (`A`: `m×k`, `G`: `m×n`, `C`: `k×n`).
+/// `C = Aᵀ·G` into a caller buffer (`A`: `m×k`, `G`: `m×n`, `out`: `k×n`,
+/// fully overwritten).
 ///
 /// This is the weight-gradient contraction (`dW = Xᵀ·dY`) in every matmul
-/// backward. Accumulation runs over `m` in increasing order on both paths.
-pub fn matmul_transpose_a_with_pool(
+/// backward. Large shapes transpose `A` in `TA_CHUNK`-row slices into
+/// thread-local scratch *inside* each worker's row range (the former global
+/// `O(m·k)` transpose allocation is gone and the copy parallelizes with the
+/// compute); accumulation runs over `m` in increasing order on every path.
+pub fn matmul_transpose_a_into(
     a: &[f32],
     g: &[f32],
     m: usize,
     k: usize,
     n: usize,
     pool: &RotomPool,
-) -> Vec<f32> {
+    out: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(g.len(), m * n);
-    if m * k * n < SMALL_FLOPS {
+    debug_assert_eq!(out.len(), k * n);
+    let flops = m * k * n;
+    if flops < SMALL_FLOPS {
         // Direct q-i-j form: out[q][j] += a[i][q] * g[i][j], i increasing.
-        let mut out = vec![0.0f32; k * n];
+        #[cfg(target_arch = "x86_64")]
+        if avx::available() {
+            for q in 0..k {
+                let o_row = &mut out[q * n..(q + 1) * n];
+                // In-bounds: column `q` of `a` is read at `q + i·k < m·k`.
+                unsafe { avx::row_accum(a.as_ptr().add(q), k, m, g.as_ptr(), n, o_row) };
+            }
+            return;
+        }
+        out.fill(0.0);
         for q in 0..k {
             let o_row = &mut out[q * n..(q + 1) * n];
             for i in 0..m {
@@ -407,10 +942,79 @@ pub fn matmul_transpose_a_with_pool(
                 }
             }
         }
-        return out;
+        return;
     }
-    let at = transpose(a, m, k);
-    matmul_with_pool(&at, g, k, m, n, pool)
+    if flops < PAR_MIN_FLOPS || pool.threads() <= 1 || k < 2 * MR {
+        transpose_a_block(a, g, m, k, n, 0, k, out);
+    } else {
+        // Same fan-out shape as `tiled_dispatch` (output rows = rows of Aᵀ),
+        // same soundness argument for the raw-pointer split.
+        let out_base = SendPtr(out.as_mut_ptr());
+        let out_base = &out_base;
+        pool.run_ranges(k, MR, move |range| {
+            let rows = range.end - range.start;
+            let out_block = unsafe {
+                std::slice::from_raw_parts_mut(out_base.0.add(range.start * n), rows * n)
+            };
+            transpose_a_block(a, g, m, k, n, range.start, range.end, out_block);
+        });
+    }
+}
+
+/// Rows per fused-transpose slice of [`matmul_transpose_a_into`]'s large
+/// path: bounds the scratch to `64×m` floats.
+const TA_CHUNK: usize = 64;
+
+/// Compute output rows `q0..q1` of `C = Aᵀ·G` by transposing `TA_CHUNK`-row
+/// slices of `Aᵀ` into scratch and running the tiled core on each. Row `q`
+/// of `C` depends only on column `q` of `A` and the shared `G` panels, so
+/// slicing never changes values — each slice is bit-identical to the same
+/// rows of a whole-matrix `transpose(A)` followed by the tiled core.
+fn transpose_a_block(
+    a: &[f32],
+    g: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    q0: usize,
+    q1: usize,
+    out_block: &mut [f32],
+) {
+    let gsrc = BRowMajor { b: g, n };
+    let mut scratch = take_scratch((q1 - q0).min(TA_CHUNK) * m);
+    let mut q = q0;
+    while q < q1 {
+        let rows = (q1 - q).min(TA_CHUNK);
+        // Blocked slice transpose: scratch[r][i] = a[i][q + r].
+        const TB: usize = 32;
+        for i0 in (0..m).step_by(TB) {
+            let i1 = (i0 + TB).min(m);
+            for r in 0..rows {
+                let qq = q + r;
+                for i in i0..i1 {
+                    scratch[r * m + i] = a[i * k + qq];
+                }
+            }
+        }
+        let dst = &mut out_block[(q - q0) * n..(q - q0 + rows) * n];
+        matmul_block_tiled(&scratch[..rows * m], rows, m, &gsrc, n, dst);
+        q += rows;
+    }
+    put_scratch(scratch);
+}
+
+/// `C = Aᵀ·G` with an explicit pool (`A`: `m×k`, `G`: `m×n`, `C`: `k×n`).
+pub fn matmul_transpose_a_with_pool(
+    a: &[f32],
+    g: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; k * n];
+    matmul_transpose_a_into(a, g, m, k, n, pool, &mut out);
+    out
 }
 
 /// `C = Aᵀ·G` on the global pool.
@@ -519,6 +1123,62 @@ mod tests {
             let fast = matmul_transpose_a_with_pool(&a, &g, m, k, n, &RotomPool::new(2));
             let explicit = matmul_with_pool(&transpose(&a, m, k), &g, k, m, n, &RotomPool::new(2));
             assert_close(&fast, &explicit, 1e-4, &format!("matmul_ta {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn transpose_a_fused_slices_are_bit_identical_above_small() {
+        // Above SMALL_FLOPS both paths run the same tiled core, so the fused
+        // slice transpose must be bit-identical to the materialized one —
+        // including shapes where k straddles TA_CHUNK.
+        for &(m, k, n) in &[(40, 40, 40), (96, 80, 96), (33, 130, 48), (64, 64, 64)] {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e7, (m * k * n) as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let g = random_matrix(&mut rng, m, n);
+            for threads in [1, 2, 8] {
+                let pool = RotomPool::new(threads);
+                let fast = matmul_transpose_a_with_pool(&a, &g, m, k, n, &pool);
+                let explicit = matmul_with_pool(&transpose(&a, m, k), &g, k, m, n, &pool);
+                assert_eq!(fast, explicit, "ta {m}x{k}x{n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_cold_pack_bitwise() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e8, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let pk = PackedB::pack_row_major(&b, k, n);
+            for threads in [1, 2, 8] {
+                let pool = RotomPool::new(threads);
+                let cold = matmul_with_pool(&a, &b, m, k, n, &pool);
+                let mut warm = vec![0.0f32; m * n];
+                matmul_prepacked_into(&a, &b, &pk, m, k, n, &pool, &mut warm);
+                assert_eq!(cold, warm, "prepacked {m}x{k}x{n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_transposed_matches_cold_bitwise() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4e9, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, n, k);
+            let pk = PackedB::pack_transposed(&b, k, n);
+            // Panel contents must match packing the materialized transpose.
+            let bt = transpose(&b, n, k);
+            let pk_ref = PackedB::pack_row_major(&bt, k, n);
+            assert_eq!(pk.panels, pk_ref.panels, "pack_transposed {k}x{n}");
+            for threads in [1, 2, 8] {
+                let pool = RotomPool::new(threads);
+                let cold = matmul_transpose_b_with_pool(&a, &b, m, k, n, &pool);
+                let mut warm = vec![0.0f32; m * n];
+                matmul_transpose_b_prepacked_into(&a, &b, &pk, m, k, n, &pool, &mut warm);
+                assert_eq!(cold, warm, "tb prepacked {m}x{k}x{n} threads={threads}");
+            }
         }
     }
 

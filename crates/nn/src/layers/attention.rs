@@ -62,7 +62,7 @@ impl MultiHeadAttention {
             let vs = tape.slice_cols(v, h * dk, dk);
             let scores = tape.matmul_tb(qs, ks);
             let scores = tape.scale(scores, scale);
-            let attn = tape.masked_softmax(scores, mask.cloned());
+            let attn = tape.masked_softmax(scores, mask);
             head_outputs.push(tape.matmul(attn, vs));
         }
         let concat = tape.concat_cols(&head_outputs);

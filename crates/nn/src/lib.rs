@@ -53,14 +53,14 @@ pub mod pool;
 pub mod schedule;
 mod tensor;
 
-pub use graph::{AttnMask, NodeId, Tape};
+pub use graph::{recycle_tape, take_pooled_tape, with_pooled_tape, AttnMask, NodeId, Tape};
 pub use init::Initializer;
 pub use layers::{
     causal_mask, DecoderLayer, Embedding, EncoderLayer, FeedForward, FwdCtx, Gru, LayerNorm,
     Linear, MultiHeadAttention, TransformerConfig, TransformerDecoder, TransformerEncoder,
 };
 pub use optim::{Adam, Sgd};
-pub use params::{ParamId, ParamStore};
+pub use params::{ParamId, ParamPacks, ParamStore};
 pub use pool::RotomPool;
 pub use schedule::{LrSchedule, LrStepper};
 pub use tensor::Tensor;

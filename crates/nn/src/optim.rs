@@ -38,16 +38,15 @@ impl Sgd {
             if !store.is_trainable(id) {
                 continue;
             }
-            let grad = store.grad(id).clone();
             if self.momentum > 0.0 {
                 let v = &mut self.velocity[k];
-                for (vv, &g) in v.data_mut().iter_mut().zip(grad.data()) {
+                for (vv, &g) in v.data_mut().iter_mut().zip(store.grad(id).data()) {
                     *vv = self.momentum * *vv + g;
                 }
-                let v = self.velocity[k].clone();
-                store.value_mut(id).axpy(-self.lr, &v);
+                store.value_mut(id).axpy(-self.lr, &self.velocity[k]);
             } else {
-                store.value_mut(id).axpy(-self.lr, &grad);
+                let (value, grad) = store.value_grad_mut(id);
+                value.axpy(-self.lr, grad);
             }
         }
     }
@@ -124,17 +123,18 @@ impl Adam {
             if !store.is_trainable(id) {
                 continue;
             }
-            let grad = store.grad(id).clone();
-            let m = &mut self.m[k];
-            let v = &mut self.v[k];
-            for ((mm, vv), &g) in m.data_mut().iter_mut().zip(v.data_mut()).zip(grad.data()) {
-                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
-                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            {
+                let grad = store.grad(id);
+                let m = &mut self.m[k];
+                let v = &mut self.v[k];
+                for ((mm, vv), &g) in m.data_mut().iter_mut().zip(v.data_mut()).zip(grad.data()) {
+                    *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                    *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                }
             }
             let lr = self.lr;
             let (eps, wd) = (self.eps, self.weight_decay);
-            let m = self.m[k].clone();
-            let v = self.v[k].clone();
+            let (m, v) = (&self.m[k], &self.v[k]);
             let value = store.value_mut(id);
             for ((val, &mm), &vv) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let mhat = mm / bc1;

@@ -7,12 +7,69 @@
 //! walks rather than per-layer bookkeeping.
 
 use crate::init::Initializer;
+use crate::kernels::{PackedB, NR};
 use crate::tensor::Tensor;
 use rotom_rng::rngs::StdRng;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
+
+/// Lazily packed GEMM panels of one parameter *generation*.
+///
+/// The store hands out the current generation's slot via
+/// [`ParamStore::packs`]; every value mutation swaps in a fresh slot, so a
+/// tape that cloned the `Arc` at node-creation time keeps panels consistent
+/// with its own value snapshot while the store moves on. Panels fill on
+/// first use — a GEMM that dispatches to the naive kernel (below
+/// [`SMALL_FLOPS`](crate::kernels::SMALL_FLOPS)) never pays for packing.
+/// That laziness is what makes the cache affordable in the meta-training
+/// loop, where every parameter is invalidated about five times per step
+/// (virtual step, two probes, restore, optimizer): only the few matrices
+/// whose GEMMs actually cross the tiled threshold get re-packed, at most
+/// once per generation each.
+///
+/// Panel *presence* never changes results — the prepacked kernels are
+/// bit-identical to cold packing and share the naive fall-back dispatch.
+#[derive(Default)]
+pub struct ParamPacks {
+    direct: OnceLock<PackedB>,
+    transposed: OnceLock<PackedB>,
+}
+
+impl ParamPacks {
+    /// Panels of `value` as the direct `B` operand of `A·B`, built on first
+    /// use. `value` must be the snapshot this slot's generation was taken
+    /// from (concurrent fills then race benignly: every caller packs
+    /// identical bytes). `None` for shapes the tiled path cannot read
+    /// (fewer than 2 rows or [`NR`] columns).
+    pub fn direct(&self, value: &Tensor) -> Option<&PackedB> {
+        let (rows, cols) = (value.rows(), value.cols());
+        if rows < 2 || cols < NR {
+            return None;
+        }
+        Some(
+            self.direct
+                .get_or_init(|| PackedB::pack_row_major(value.data(), rows, cols)),
+        )
+    }
+
+    /// Panels of `value`'s *transpose* (the `Bᵀ` operand of the
+    /// `dA = dC·Bᵀ` backward contraction), built on first use. Same snapshot
+    /// contract as [`direct`](Self::direct). `None` when the transpose has
+    /// no full strip (fewer than [`NR`] rows).
+    pub fn transposed(&self, value: &Tensor) -> Option<&PackedB> {
+        let (rows, cols) = (value.rows(), value.cols());
+        if cols < 2 || rows < NR {
+            return None;
+        }
+        Some(
+            self.transposed
+                .get_or_init(|| PackedB::pack_transposed(value.data(), cols, rows)),
+        )
+    }
+}
 
 struct ParamEntry {
     name: String,
@@ -20,6 +77,25 @@ struct ParamEntry {
     grad: Tensor,
     /// Frozen parameters are skipped by optimizers and flat updates.
     trainable: bool,
+    /// Bumped on every value mutation; pairs with the pack cache so packing
+    /// cost is paid at most once per generation, not once per matmul.
+    generation: u64,
+    /// Current generation's pack slot, shared with tapes via `Arc` (fills
+    /// happen through `&self` because parameter reads run concurrently
+    /// across pool workers during forward fan-out).
+    packs: Arc<ParamPacks>,
+}
+
+impl ParamEntry {
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        // Reuse the slot allocation when no tape still holds it; otherwise
+        // detach a fresh slot and let the tapes keep the old generation's.
+        match Arc::get_mut(&mut self.packs) {
+            Some(p) => *p = ParamPacks::default(),
+            None => self.packs = Arc::new(ParamPacks::default()),
+        }
+    }
 }
 
 /// A flat store of named parameters with matching gradient buffers.
@@ -55,6 +131,8 @@ impl ParamStore {
             value,
             grad,
             trainable: true,
+            generation: 0,
+            packs: Arc::new(ParamPacks::default()),
         });
         ParamId(self.entries.len() - 1)
     }
@@ -79,9 +157,36 @@ impl ParamStore {
         &self.entries[id.0].value
     }
 
-    /// Mutably borrow a parameter value.
+    /// Mutably borrow a parameter value. Invalidates the packed-panel cache
+    /// and bumps the generation counter (the borrow may mutate).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
-        &mut self.entries[id.0].value
+        let e = &mut self.entries[id.0];
+        e.invalidate();
+        &mut e.value
+    }
+
+    /// Split mutable/shared borrow of a parameter's value and gradient (the
+    /// optimizer update loop: `value -= f(grad)` without cloning either).
+    /// Invalidates the pack cache like [`value_mut`](Self::value_mut).
+    pub fn value_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let e = &mut self.entries[id.0];
+        e.invalidate();
+        (&mut e.value, &e.grad)
+    }
+
+    /// Mutation generation of a parameter: bumped every time the value is
+    /// (potentially) written. Packs and other value-derived caches are valid
+    /// exactly as long as the generation is unchanged.
+    pub fn generation(&self, id: ParamId) -> u64 {
+        self.entries[id.0].generation
+    }
+
+    /// The current generation's pack slot for a parameter. Tapes clone the
+    /// `Arc` when they snapshot the value, then fill panels lazily through
+    /// [`ParamPacks::direct`]/[`ParamPacks::transposed`] only when a GEMM
+    /// actually dispatches to the tiled path.
+    pub fn packs(&self, id: ParamId) -> Arc<ParamPacks> {
+        Arc::clone(&self.entries[id.0].packs)
     }
 
     /// Borrow a parameter gradient.
@@ -119,12 +224,21 @@ impl ParamStore {
     /// Concatenate all trainable parameter values into one vector.
     pub fn flat_values(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_scalars());
+        self.flat_values_into(&mut out);
+        out
+    }
+
+    /// [`flat_values`](Self::flat_values) into a caller buffer: clears and
+    /// refills `out` in place, so a checkpoint buffer reused across epochs
+    /// allocates only on first use (or growth).
+    pub fn flat_values_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.num_scalars());
         for e in &self.entries {
             if e.trainable {
                 out.extend_from_slice(e.value.data());
             }
         }
-        out
     }
 
     /// Concatenate all trainable parameter gradients into one vector.
@@ -147,6 +261,7 @@ impl ParamStore {
                 continue;
             }
             let n = e.value.len();
+            e.invalidate();
             e.value
                 .data_mut()
                 .copy_from_slice(&flat[offset..offset + n]);
@@ -164,6 +279,7 @@ impl ParamStore {
                 continue;
             }
             let n = e.value.len();
+            e.invalidate();
             for (v, &d) in e
                 .value
                 .data_mut()

@@ -68,6 +68,10 @@ impl RotomPool {
     /// Compute `f(i)` for every `i in 0..n` and return the results in index
     /// order. Items are split into contiguous per-worker chunks; with one
     /// worker (or one item) this runs inline with no threads spawned.
+    ///
+    /// Workers collect their chunk locally and the chunks are concatenated
+    /// in spawn order — one pass, no `Option` slot array — so the result is
+    /// identical to the serial `(0..n).map(f)` regardless of worker count.
     pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -78,21 +82,21 @@ impl RotomPool {
             return (0..n).map(f).collect();
         }
         let chunk = n.div_ceil(workers);
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut out: Vec<T> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
-            for (ci, slots) in out.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    let base = ci * chunk;
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        *slot = Some(f(base + j));
-                    }
-                });
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|base| {
+                    let f = &f;
+                    let end = (base + chunk).min(n);
+                    scope.spawn(move || (base..end).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("pool worker panicked"));
             }
         });
-        out.into_iter()
-            .map(|slot| slot.expect("worker filled every slot"))
-            .collect()
+        out
     }
 
     /// Split the index range `0..n` into at most `threads` contiguous

@@ -248,6 +248,21 @@ impl Tensor {
         }
     }
 
+    /// In-place `self += other` — the gradient-accumulation primitive of the
+    /// backward pass. Bit-identical to `axpy(1.0, other)` (`1.0 * b` rounds
+    /// to `b` exactly) without paying for the multiply; elementwise adds
+    /// carry no cross-element dependency, so the loop auto-vectorizes.
+    pub fn add_assign_from(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign_from shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()

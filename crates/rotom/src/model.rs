@@ -13,7 +13,10 @@
 use crate::config::ModelConfig;
 use rotom_augment::mixda::sample_lambda;
 use rotom_meta::{MetaTarget, WeightedItem};
-use rotom_nn::{Adam, Embedding, FwdCtx, Linear, NodeId, ParamStore, Tape, TransformerEncoder};
+use rotom_nn::{
+    recycle_tape, take_pooled_tape, with_pooled_tape, Adam, Embedding, FwdCtx, Linear, NodeId,
+    ParamStore, Tape, TransformerEncoder,
+};
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::token::{CLS, MASK};
@@ -169,7 +172,7 @@ impl TinyLm {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(batch_size) {
-                let mut tape = Tape::new();
+                let mut tape = take_pooled_tape();
                 let mut losses = Vec::new();
                 for &ci in chunk {
                     let (ids, _segs, _dups) = self.encode_input(&corpus[ci]);
@@ -209,6 +212,7 @@ impl TinyLm {
                     losses.push(tape.cross_entropy(logits, &one_hot));
                 }
                 if losses.is_empty() {
+                    recycle_tape(tape);
                     continue;
                 }
                 let loss = tape.mean_nodes(&losses);
@@ -216,6 +220,7 @@ impl TinyLm {
                 batches += 1;
                 self.store.zero_grad();
                 tape.backward(loss, &mut self.store);
+                recycle_tape(tape);
                 self.store.clip_grad_norm(5.0);
                 opt.step(&mut self.store);
             }
@@ -253,7 +258,7 @@ impl TinyLm {
                 order.swap(i, j);
             }
             for chunk in order.chunks(batch_size) {
-                let mut tape = Tape::new();
+                let mut tape = take_pooled_tape();
                 let mut losses = Vec::with_capacity(chunk.len());
                 for &ri in chunk {
                     let left = &records[ri];
@@ -318,6 +323,7 @@ impl TinyLm {
                 self.pretrain_losses.push(tape.value(loss).item());
                 self.store.zero_grad();
                 tape.backward(loss, &mut self.store);
+                recycle_tape(tape);
                 self.store.clip_grad_norm(5.0);
                 opt.step(&mut self.store);
             }
@@ -357,7 +363,7 @@ impl TinyLm {
         alpha: f32,
         rng: &mut StdRng,
     ) -> f32 {
-        let mut tape = Tape::new();
+        let mut tape = take_pooled_tape();
         let mut losses = Vec::with_capacity(pairs.len());
         let dropout = self.cfg.dropout;
         for (orig, aug, label) in pairs {
@@ -380,6 +386,7 @@ impl TinyLm {
         let value = tape.value(loss).item();
         self.store.zero_grad();
         tape.backward(loss, &mut self.store);
+        recycle_tape(tape);
         self.store.clip_grad_norm(5.0);
         value
     }
@@ -415,6 +422,13 @@ impl TinyLm {
         self.store.flat_values()
     }
 
+    /// [`snapshot`](Self::snapshot) into a reusable buffer — the epoch loops
+    /// overwrite one best-checkpoint buffer in place instead of allocating
+    /// `O(|params|)` on every improvement.
+    pub fn snapshot_into(&self, out: &mut Vec<f32>) {
+        self.store.flat_values_into(out);
+    }
+
     /// Restore a parameter snapshot.
     pub fn restore(&mut self, snap: &[f32]) {
         self.store.set_flat(snap);
@@ -427,11 +441,12 @@ impl MetaTarget for TinyLm {
     }
 
     fn predict_proba(&self, tokens: &[String]) -> Vec<f32> {
-        let mut tape = Tape::new();
-        let mut ctx = FwdCtx::eval(&self.store);
-        let cls = self.cls_node(&mut tape, tokens, &mut ctx);
-        let logits = self.head.forward(&mut tape, cls, &self.store);
-        rotom_nn::softmax_slice(tape.value(logits).row_slice(0))
+        with_pooled_tape(|tape| {
+            let mut ctx = FwdCtx::eval(&self.store);
+            let cls = self.cls_node(tape, tokens, &mut ctx);
+            let logits = self.head.forward(tape, cls, &self.store);
+            rotom_nn::softmax_slice(tape.value(logits).row_slice(0))
+        })
     }
 
     fn weighted_loss_backward(
@@ -441,7 +456,7 @@ impl MetaTarget for TinyLm {
         rng: &mut StdRng,
     ) -> f32 {
         assert!(!items.is_empty());
-        let mut tape = Tape::new();
+        let mut tape = take_pooled_tape();
         let mut losses = Vec::with_capacity(items.len());
         let dropout = if train { self.cfg.dropout } else { 0.0 };
         for item in items {
@@ -461,21 +476,24 @@ impl MetaTarget for TinyLm {
         let value = tape.value(loss).item();
         self.store.zero_grad();
         tape.backward(loss, &mut self.store);
+        recycle_tape(tape);
         self.store.clip_grad_norm(5.0);
         value
     }
 
     fn per_example_losses(&self, items: &[WeightedItem]) -> Vec<f32> {
         // Forward-only and per-example independent: fan out across the pool.
-        // Each worker builds its own tape; results return in input order.
+        // Each worker draws a pooled tape (warm arenas survive the scoped
+        // workers because the pool is global); results return in input order.
         rotom_nn::RotomPool::global().map(items.len(), |i| {
             let item = &items[i];
-            let mut tape = Tape::new();
-            let mut ctx = FwdCtx::eval(&self.store);
-            let cls = self.cls_node(&mut tape, &item.tokens, &mut ctx);
-            let logits = self.head.forward(&mut tape, cls, &self.store);
-            let ce = tape.cross_entropy(logits, &item.target);
-            tape.value(ce).item()
+            with_pooled_tape(|tape| {
+                let mut ctx = FwdCtx::eval(&self.store);
+                let cls = self.cls_node(tape, &item.tokens, &mut ctx);
+                let logits = self.head.forward(tape, cls, &self.store);
+                let ce = tape.cross_entropy(logits, &item.target);
+                tape.value(ce).item()
+            })
         })
     }
 

@@ -360,7 +360,8 @@ fn train_plain(
         let m = valid_metric(model, valid, kind);
         curve.push(m);
         if m > best.0 {
-            best = (m, model.snapshot());
+            best.0 = m;
+            model.snapshot_into(&mut best.1);
         }
     }
     model.restore(&best.1);
@@ -411,7 +412,8 @@ fn train_mixda(
         let m = valid_metric(model, valid, kind);
         curve.push(m);
         if m > best.0 {
-            best = (m, model.snapshot());
+            best.0 = m;
+            model.snapshot_into(&mut best.1);
         }
     }
     model.restore(&best.1);
@@ -485,7 +487,8 @@ fn train_rotom(
         let m = valid_metric(model, valid, task.kind);
         curve.push(m);
         if m > best.0 {
-            best = (m, model.snapshot());
+            best.0 = m;
+            model.snapshot_into(&mut best.1);
         }
     }
     model.restore(&best.1);
