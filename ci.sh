@@ -33,6 +33,15 @@ ROTOM_THREADS=1 cargo test -q --offline --test golden
 echo "== golden regression suite (ROTOM_THREADS=8)"
 ROTOM_THREADS=8 cargo test -q --offline --test golden
 
+# Fault-injection suite: kill@step resume-equivalence, NaN rollback +
+# graceful degradation, torn-checkpoint detection. Like the golden suite it
+# must hold at any worker count, and the pool is sized once per process.
+echo "== fault-injection suite (ROTOM_THREADS=1)"
+ROTOM_THREADS=1 cargo test -q --offline --test fault_injection
+
+echo "== fault-injection suite (ROTOM_THREADS=8)"
+ROTOM_THREADS=8 cargo test -q --offline --test fault_injection
+
 echo "== perfsmoke (writes BENCH_compute.json)"
 cargo run --release --offline -p rotom-bench --bin perfsmoke
 

@@ -27,6 +27,87 @@ pub fn write_row(fields: &[&str]) -> String {
         .join(",")
 }
 
+/// Error raised by [`parse_table`], carrying the 1-based physical line
+/// number of the offending row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number where the malformed row starts.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse a whole CSV table produced by the exporters: a header row followed
+/// by data rows of exactly the header's width.
+///
+/// Unlike looping [`parse_row`] over `text.lines()`, this handles quoted
+/// fields spanning physical lines and *rejects* malformed input with the
+/// offending line number: unterminated quotes, ragged (short) rows, and
+/// over-long rows all error instead of silently reading `""` for missing
+/// cells or dropping extras.
+pub fn parse_table(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), CsvError> {
+    let mut header: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((i, first)) = lines.next() {
+        let start = i + 1;
+        // A row whose quoted field contains '\n' spans physical lines:
+        // extend the record until the quoting balances.
+        let mut record = first.to_string();
+        let mut parsed = parse_row(&record);
+        while parsed.is_none() {
+            match lines.next() {
+                Some((_, next)) => {
+                    record.push('\n');
+                    record.push_str(next);
+                    parsed = parse_row(&record);
+                }
+                None => {
+                    return Err(CsvError {
+                        line: start,
+                        msg: "unterminated quoted field".to_string(),
+                    })
+                }
+            }
+        }
+        let row = parsed.expect("loop exits only once parsed");
+        match &header {
+            None => header = Some(row),
+            Some(h) => {
+                if row.len() != h.len() {
+                    let kind = if row.len() < h.len() {
+                        "ragged row"
+                    } else {
+                        "over-long row"
+                    };
+                    return Err(CsvError {
+                        line: start,
+                        msg: format!(
+                            "{kind}: {} fields where the header has {}",
+                            row.len(),
+                            h.len()
+                        ),
+                    });
+                }
+                rows.push(row);
+            }
+        }
+    }
+    let header = header.ok_or(CsvError {
+        line: 1,
+        msg: "empty input: missing header row".to_string(),
+    })?;
+    Ok((header, rows))
+}
+
 /// Parse one CSV row produced by [`write_row`]. Returns `None` on malformed
 /// quoting.
 pub fn parse_row(line: &str) -> Option<Vec<String>> {
@@ -143,6 +224,58 @@ mod tests {
     #[test]
     fn malformed_quotes_rejected() {
         assert!(parse_row("\"unterminated").is_none());
+    }
+
+    #[test]
+    fn parse_table_roundtrips_exported_em_csv() {
+        let cfg = EmConfig {
+            num_entities: 20,
+            train_pairs: 25,
+            test_pairs: 10,
+            ..Default::default()
+        };
+        let data = em::generate(EmFlavor::AbtBuy, &cfg);
+        let (header, rows) = parse_table(&em_pairs_csv(&data)).unwrap();
+        assert_eq!(header.last().unwrap(), "label");
+        assert_eq!(rows.len(), 25);
+        assert!(rows.iter().all(|r| r.len() == header.len()));
+    }
+
+    #[test]
+    fn parse_table_rejects_ragged_row_with_line_number() {
+        let text = "a,b,c\n1,2,3\n4,5\n6,7,8\n";
+        let err = parse_table(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("ragged row"), "{}", err.msg);
+        assert!(err.msg.contains("2 fields"), "{}", err.msg);
+        assert!(err.to_string().contains("line 3"), "{}", err);
+    }
+
+    #[test]
+    fn parse_table_rejects_over_long_row_with_line_number() {
+        let text = "a,b\n1,2\n3,4,5\n";
+        let err = parse_table(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("over-long row"), "{}", err.msg);
+    }
+
+    #[test]
+    fn parse_table_rejects_unterminated_quote_at_row_start_line() {
+        let text = "a,b\n1,\"never closed\n2,3\n";
+        let err = parse_table(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unterminated"), "{}", err.msg);
+    }
+
+    #[test]
+    fn parse_table_handles_quoted_newlines_and_empty_input() {
+        let line = write_row(&["multi\nline", "x"]);
+        let text = format!("h1,h2\n{line}\n");
+        let (_, rows) = parse_table(&text).unwrap();
+        assert_eq!(rows, vec![vec!["multi\nline".to_string(), "x".to_string()]]);
+
+        let err = parse_table("").unwrap_err();
+        assert!(err.msg.contains("missing header"), "{}", err.msg);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! estimator (Eq. 3): the log-probability of the realized keep decisions is
 //! scaled by the (constant) validation loss.
 
-use rotom_nn::{recycle_tape, take_pooled_tape, Adam, Initializer, ParamId, ParamStore, Tensor};
+use rotom_nn::{
+    recycle_tape, take_pooled_tape, Adam, CheckpointError, Initializer, ParamId, ParamStore,
+    StateBag, Tensor,
+};
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
 
@@ -125,6 +128,28 @@ impl FilterModel {
         tape.backward(objective, &mut self.store);
         recycle_tape(tape);
         self.opt.step(&mut self.store);
+    }
+
+    /// Save the filter's full training state (parameters + optimizer) into a
+    /// checkpoint bag under `prefix`.
+    pub fn save_state(&self, bag: &mut StateBag, prefix: &str) {
+        bag.put_f32s(format!("{prefix}.params"), self.store.flat_values());
+        self.opt.save_state(bag, &format!("{prefix}.adam"));
+    }
+
+    /// Restore state saved by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, bag: &StateBag, prefix: &str) -> Result<(), CheckpointError> {
+        let params = bag.get_f32s(&format!("{prefix}.params"))?;
+        if params.len() != self.store.num_scalars() {
+            return Err(CheckpointError::Mismatch(format!(
+                "filter {prefix:?}: {} parameters vs checkpoint {}",
+                self.store.num_scalars(),
+                params.len()
+            )));
+        }
+        self.store.set_flat(params);
+        self.opt
+            .load_state(bag, &format!("{prefix}.adam"), &self.store)
     }
 
     /// Apply the filter to a batch: returns the kept indices, recording the

@@ -29,7 +29,7 @@ pub mod weight;
 pub use filter::FilterModel;
 pub use sharpen::{guess_label, sharpen_v1, sharpen_v2};
 pub use target::{MetaTarget, WeightedItem};
-pub use trainer::{AblationConfig, EpochStats, MetaConfig, MetaTrainer, SslConfig};
+pub use trainer::{guard_step, AblationConfig, EpochStats, MetaConfig, MetaTrainer, SslConfig};
 pub use weight::{l2_distance, WeightBatch, WeightModel};
 
 use rotom_rng::rngs::StdRng;

@@ -78,4 +78,11 @@ pub trait MetaTarget: Sync {
     /// The learning rate used by [`optimizer_step`](Self::optimizer_step)
     /// (Algorithm 2's `η` for the virtual step).
     fn learning_rate(&self) -> f32;
+
+    /// L2 norm of the current gradients, for numeric-health monitoring.
+    /// The default derives it from [`flat_grads`](Self::flat_grads);
+    /// implementers with a cheaper store-level norm should override.
+    fn grad_l2(&self) -> f32 {
+        self.flat_grads().iter().map(|&g| g * g).sum::<f32>().sqrt()
+    }
 }

@@ -27,7 +27,10 @@ use crate::filter::FilterModel;
 use crate::sharpen::guess_label;
 use crate::target::{MetaTarget, WeightedItem};
 use crate::weight::{l2_distance, WeightModel};
-use rotom_nn::{RotomPool, TransformerConfig};
+use rotom_nn::faultpoint::{self, FaultKind};
+use rotom_nn::{
+    CheckpointError, Halt, HealthMonitor, RotomPool, StateBag, TransformerConfig, Verdict,
+};
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
 use rotom_text::example::{AugExample, Example};
@@ -171,6 +174,28 @@ impl MetaTrainer {
         val: &[Example],
         unlabeled_aug: &[(Vec<String>, Vec<String>)],
     ) -> EpochStats {
+        match self.train_epoch_guarded(target, train_aug, val, unlabeled_aug, None) {
+            Ok(stats) => stats,
+            // Without a guard no step can be ruled divergent.
+            Err(halt) => unreachable!("unguarded epoch halted: {halt}"),
+        }
+    }
+
+    /// [`train_epoch`](Self::train_epoch) with an optional numeric-health
+    /// guard. With a guard, every optimizer step is checked (loss/grad
+    /// finiteness, loss-spike window, armed faultpoints) *before* it is
+    /// applied; a divergent step stops the epoch with a [`Halt`] so the
+    /// driver can roll back to its last good checkpoint. With `None` the
+    /// behavior (and the per-step allocation profile) is bit-identical to
+    /// the unguarded loop.
+    pub fn train_epoch_guarded<T: MetaTarget>(
+        &mut self,
+        target: &mut T,
+        train_aug: &[AugExample],
+        val: &[Example],
+        unlabeled_aug: &[(Vec<String>, Vec<String>)],
+        mut guard: Option<&mut HealthMonitor>,
+    ) -> Result<EpochStats, Halt> {
         assert!(!train_aug.is_empty(), "empty augmented pool");
         assert!(!val.is_empty(), "empty validation set");
         let k = target.num_classes();
@@ -307,6 +332,9 @@ impl MetaTrainer {
             // Phase 1: update the target model on the weighted batch.
             // ----------------------------------------------------------
             let train_loss = target.weighted_loss_backward(&items, true, &mut self.rng);
+            if let Some(monitor) = guard.as_deref_mut() {
+                guard_step(monitor, target, train_loss)?;
+            }
             let g = target.flat_grads();
             target.optimizer_step();
 
@@ -364,7 +392,72 @@ impl MetaTrainer {
             stats.keep_rate /= n;
             stats.mean_weight /= n;
         }
-        stats
+        Ok(stats)
+    }
+
+    /// Save the meta-trainer's full training state — both policy models
+    /// (parameters + optimizers), the sampling RNG stream, and the REINFORCE
+    /// baseline — into a checkpoint bag under `prefix`.
+    pub fn save_state(&self, bag: &mut StateBag, prefix: &str) {
+        self.filter.save_state(bag, &format!("{prefix}.filter"));
+        self.weight.save_state(bag, &format!("{prefix}.weight"));
+        bag.put_u64s(format!("{prefix}.rng"), self.rng.state().to_vec());
+        bag.put_f32(format!("{prefix}.baseline"), self.val_baseline);
+        bag.put_u64(
+            format!("{prefix}.baseline_init"),
+            self.baseline_initialized as u64,
+        );
+    }
+
+    /// Restore state saved by [`save_state`](Self::save_state). A resumed
+    /// trainer continues bit-identically to one that never stopped.
+    pub fn load_state(&mut self, bag: &StateBag, prefix: &str) -> Result<(), CheckpointError> {
+        self.filter.load_state(bag, &format!("{prefix}.filter"))?;
+        self.weight.load_state(bag, &format!("{prefix}.weight"))?;
+        let rng = bag.get_u64s(&format!("{prefix}.rng"))?;
+        if rng.len() != 4 {
+            return Err(CheckpointError::Mismatch(format!(
+                "{prefix}.rng: expected 4 state words, found {}",
+                rng.len()
+            )));
+        }
+        self.rng = StdRng::from_state([rng[0], rng[1], rng[2], rng[3]]);
+        self.val_baseline = bag.get_f32(&format!("{prefix}.baseline"))?;
+        self.baseline_initialized = bag.get_u64(&format!("{prefix}.baseline_init"))? != 0;
+        Ok(())
+    }
+}
+
+/// Guard one optimizer step of any [`MetaTarget`] training loop: advance the
+/// monitor's step counter, fire armed faultpoints (simulated kill, injected
+/// NaN loss/gradient), and judge the step's numeric health *before* the
+/// caller applies the update. Shared by the meta-trainer and the plain
+/// fine-tuning loops so every training path gets identical protection.
+///
+/// A [`FaultKind::NanGrad`] injection corrupts the target's parameters with
+/// NaNs (modeling a NaN update that reached the weights) — detection is
+/// same-step, and the driver is expected to restore from its last good
+/// checkpoint.
+pub fn guard_step<T: MetaTarget + ?Sized>(
+    monitor: &mut HealthMonitor,
+    target: &mut T,
+    loss: f32,
+) -> Result<(), Halt> {
+    let step = monitor.begin_step();
+    faultpoint::maybe_kill(step);
+    let mut loss = loss;
+    let mut grad_norm = target.grad_l2();
+    if faultpoint::fires(FaultKind::NanLoss, step) {
+        loss = f32::NAN;
+    }
+    if faultpoint::fires(FaultKind::NanGrad, step) {
+        let n = target.flat_params().len();
+        target.add_scaled(&vec![f32::NAN; n], 1.0);
+        grad_norm = f32::NAN;
+    }
+    match monitor.observe(loss, grad_norm) {
+        Verdict::Healthy => Ok(()),
+        Verdict::Diverged(reason) => Err(Halt { step, reason }),
     }
 }
 
@@ -625,6 +718,73 @@ mod tests {
         assert!(stats.steps >= 5, "steps {}", stats.steps);
         // Uniform weights (mean_weight accumulates exactly 1 per step).
         assert!((stats.mean_weight - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn guarded_epoch_with_healthy_run_matches_unguarded() {
+        let (train, aug) = toy_data();
+        let mut target_a = BowTarget::new(&words(), 2, 0.2);
+        let mut target_b = BowTarget::new(&words(), 2, 0.2);
+        let mut ta = trainer(false);
+        let mut tb = trainer(false);
+        let mut monitor = rotom_nn::HealthMonitor::new(rotom_nn::HealthConfig::default());
+        for _ in 0..3 {
+            let _ = ta.train_epoch(&mut target_a, &aug, &train, &[]);
+            let _ = tb
+                .train_epoch_guarded(&mut target_b, &aug, &train, &[], Some(&mut monitor))
+                .unwrap();
+        }
+        assert_eq!(target_a.flat_params(), target_b.flat_params());
+        assert!(monitor.step() > 0);
+        assert!(monitor.events().is_empty());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        let (train, aug) = toy_data();
+        // Uninterrupted reference: 4 epochs straight through.
+        let mut target_a = BowTarget::new(&words(), 2, 0.2);
+        let mut ta = trainer(false);
+        for _ in 0..4 {
+            let _ = ta.train_epoch(&mut target_a, &aug, &train, &[]);
+        }
+        // Checkpointed run: 2 epochs, full-state save through the text
+        // format, restore into a *fresh* trainer, 2 more epochs.
+        let mut target_b = BowTarget::new(&words(), 2, 0.2);
+        let mut tb = trainer(false);
+        for _ in 0..2 {
+            let _ = tb.train_epoch(&mut target_b, &aug, &train, &[]);
+        }
+        let mut bag = StateBag::new();
+        tb.save_state(&mut bag, "meta");
+        bag.put_f32s("target", target_b.flat_params());
+        let bag = StateBag::parse(&bag.serialize()).unwrap();
+        let mut tc = trainer(false);
+        tc.load_state(&bag, "meta").unwrap();
+        let mut target_c = BowTarget::new(&words(), 2, 0.2);
+        target_c.set_flat_params(bag.get_f32s("target").unwrap());
+        for _ in 0..2 {
+            let _ = tc.train_epoch(&mut target_c, &aug, &train, &[]);
+        }
+        assert_eq!(target_a.flat_params(), target_c.flat_params());
+        assert_eq!(ta.val_baseline.to_bits(), tc.val_baseline.to_bits());
+    }
+
+    #[test]
+    fn injected_nan_grad_halts_guarded_epoch() {
+        let (train, aug) = toy_data();
+        let mut target = BowTarget::new(&words(), 2, 0.2);
+        let mut t = trainer(false);
+        let mut monitor = rotom_nn::HealthMonitor::new(rotom_nn::HealthConfig::default());
+        rotom_nn::faultpoint::arm("nan_grad@step=2").unwrap();
+        let result = t.train_epoch_guarded(&mut target, &aug, &train, &[], Some(&mut monitor));
+        rotom_nn::faultpoint::clear();
+        let halt = result.unwrap_err();
+        assert_eq!(halt.step, 2);
+        assert!(halt.reason.contains("non-finite"), "{}", halt.reason);
+        // The injected fault corrupted the parameters — exactly what the
+        // driver's rollback must repair.
+        assert!(target.flat_params().iter().any(|v| v.is_nan()));
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //! one backward pass through `M_W`.
 
 use rotom_nn::{
-    recycle_tape, take_pooled_tape, Adam, FwdCtx, Linear, NodeId, ParamStore, Tape,
-    TransformerConfig, TransformerEncoder,
+    recycle_tape, take_pooled_tape, Adam, CheckpointError, FwdCtx, Linear, NodeId, ParamStore,
+    StateBag, Tape, TransformerConfig, TransformerEncoder,
 };
 use rotom_rng::rngs::StdRng;
 use rotom_rng::SeedableRng;
@@ -179,6 +179,28 @@ impl WeightModel {
     /// by [`flat_params`](Self::flat_params).
     pub fn set_flat_params(&mut self, flat: &[f32]) {
         self.store.set_flat(flat);
+    }
+
+    /// Save the weighting model's full training state (parameters +
+    /// optimizer) into a checkpoint bag under `prefix`.
+    pub fn save_state(&self, bag: &mut StateBag, prefix: &str) {
+        bag.put_f32s(format!("{prefix}.params"), self.store.flat_values());
+        self.opt.save_state(bag, &format!("{prefix}.adam"));
+    }
+
+    /// Restore state saved by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, bag: &StateBag, prefix: &str) -> Result<(), CheckpointError> {
+        let params = bag.get_f32s(&format!("{prefix}.params"))?;
+        if params.len() != self.store.num_scalars() {
+            return Err(CheckpointError::Mismatch(format!(
+                "weight model {prefix:?}: {} parameters vs checkpoint {}",
+                self.store.num_scalars(),
+                params.len()
+            )));
+        }
+        self.store.set_flat(params);
+        self.opt
+            .load_state(bag, &format!("{prefix}.adam"), &self.store)
     }
 
     /// Raw weight of a single example (diagnostic / inference use).

@@ -1,7 +1,10 @@
-//! Parameter checkpointing with a dependency-free text format.
+//! Crash-safe checkpointing with a dependency-free text format.
 //!
 //! No serialization-format crate is available offline, so checkpoints use a
-//! simple line-oriented format that is diff-able and versionable:
+//! simple line-oriented format that is diff-able and versionable. Two format
+//! versions exist:
+//!
+//! **v1** (legacy, parameters only, still readable):
 //!
 //! ```text
 //! rotom-checkpoint v1
@@ -9,9 +12,31 @@
 //! …
 //! ```
 //!
-//! Values round-trip exactly through the hex encoding of their IEEE-754
-//! bits.
+//! **v2** (full training state, the only version written): a typed
+//! [`StateBag`] of named sections plus a trailing integrity footer so a torn
+//! or truncated write is *always* detected, never loaded as silently wrong
+//! values:
+//!
+//! ```text
+//! rotom-checkpoint v2
+//! tensor <name> <rows> <cols> <hex8 f32-bits> …
+//! f32s <name> <count> <hex8 f32-bits> …
+//! u64s <name> <count> <hex16 u64-bits> …
+//! end <body-byte-length> <fnv1a64-of-body>
+//! ```
+//!
+//! The footer line covers every byte before it (header + entries, newlines
+//! included) with both a length and an FNV-1a-64 checksum, and the file must
+//! end with a newline after the footer — so truncation at *any* byte offset
+//! either removes/corrupts the footer, changes the body length, or breaks the
+//! checksum. Values round-trip exactly through the hex encoding of their
+//! IEEE-754 bits (including NaN payloads, infinities, and subnormals).
+//!
+//! Writes go through [`write_atomic`]: serialize to a sibling temp file,
+//! `fsync`, then rename over the target, so a crash mid-write leaves the
+//! previous checkpoint intact.
 
+use crate::faultpoint::{self, FaultKind};
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
 use std::fmt::Write as _;
@@ -19,17 +44,23 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &str = "rotom-checkpoint v1";
+const MAGIC_V2: &str = "rotom-checkpoint v2";
 
 /// Checkpoint errors.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file is not a valid checkpoint.
+    /// The file is not a valid checkpoint (bad header, torn write, failed
+    /// checksum, malformed line — the message carries a line number where one
+    /// applies).
     Format(String),
-    /// The checkpoint does not match the model (missing/extra/mis-shaped
-    /// parameters).
+    /// The checkpoint does not match the model/run (missing/extra/mis-shaped
+    /// parameters, wrong section type, conflicting run configuration).
     Mismatch(String),
+    /// The checkpoint contains non-finite values and the load policy is
+    /// [`NonFinitePolicy::Reject`].
+    NonFinite(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -38,6 +69,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::NonFinite(m) => write!(f, "non-finite checkpoint value: {m}"),
         }
     }
 }
@@ -50,7 +82,457 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Serialize all parameter values (trainable and frozen) to a string.
+/// Policy for non-finite (`NaN`/`±Inf`) values encountered when loading a
+/// checkpoint. Training state produced by a healthy run is always finite, so
+/// the default rejects — a NaN in a checkpoint almost certainly means the run
+/// that wrote it had already diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// Fail the load with [`CheckpointError::NonFinite`] (default).
+    #[default]
+    Reject,
+    /// Load the values as-is (for forensics on diverged runs, and for tests
+    /// that round-trip arbitrary bit patterns).
+    Allow,
+}
+
+/// One typed section of a v2 checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateEntry {
+    /// A flat vector of `f32` values (parameter vectors, optimizer moments).
+    F32s(Vec<f32>),
+    /// A flat vector of `u64` values (step counters, RNG states).
+    U64s(Vec<u64>),
+    /// A shaped tensor (named model parameters).
+    Tensor(Tensor),
+}
+
+/// A named, ordered collection of typed state sections — the in-memory form
+/// of a v2 checkpoint. Every subsystem with training state (optimizer, RNG,
+/// meta models, best-snapshot) saves into and restores from one bag.
+#[derive(Debug, Clone, Default)]
+pub struct StateBag {
+    entries: Vec<(String, StateEntry)>,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl StateBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bag has no sections.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a section with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Section names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    fn put(&mut self, name: impl Into<String>, entry: StateEntry) {
+        let name = name.into();
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "state section name must be non-empty and whitespace-free: {name:?}"
+        );
+        assert!(
+            !self.contains(&name),
+            "duplicate state section name: {name:?}"
+        );
+        self.entries.push((name, entry));
+    }
+
+    /// Add a named `f32` vector section.
+    pub fn put_f32s(&mut self, name: impl Into<String>, values: Vec<f32>) {
+        self.put(name, StateEntry::F32s(values));
+    }
+
+    /// Add a single-`f32` section.
+    pub fn put_f32(&mut self, name: impl Into<String>, value: f32) {
+        self.put_f32s(name, vec![value]);
+    }
+
+    /// Add a named `u64` vector section.
+    pub fn put_u64s(&mut self, name: impl Into<String>, values: Vec<u64>) {
+        self.put(name, StateEntry::U64s(values));
+    }
+
+    /// Add a single-`u64` section.
+    pub fn put_u64(&mut self, name: impl Into<String>, value: u64) {
+        self.put_u64s(name, vec![value]);
+    }
+
+    /// Add a named tensor section.
+    pub fn put_tensor(&mut self, name: impl Into<String>, value: Tensor) {
+        self.put(name, StateEntry::Tensor(value));
+    }
+
+    fn get(&self, name: &str) -> Result<&StateEntry, CheckpointError> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+            .ok_or_else(|| {
+                CheckpointError::Mismatch(format!("section {name:?} missing from checkpoint"))
+            })
+    }
+
+    /// Fetch an `f32` vector section by name.
+    pub fn get_f32s(&self, name: &str) -> Result<&[f32], CheckpointError> {
+        match self.get(name)? {
+            StateEntry::F32s(v) => Ok(v),
+            other => Err(type_mismatch(name, "f32s", other)),
+        }
+    }
+
+    /// Fetch a single-`f32` section by name.
+    pub fn get_f32(&self, name: &str) -> Result<f32, CheckpointError> {
+        let v = self.get_f32s(name)?;
+        if v.len() != 1 {
+            return Err(CheckpointError::Mismatch(format!(
+                "section {name:?}: expected 1 value, found {}",
+                v.len()
+            )));
+        }
+        Ok(v[0])
+    }
+
+    /// Fetch a `u64` vector section by name.
+    pub fn get_u64s(&self, name: &str) -> Result<&[u64], CheckpointError> {
+        match self.get(name)? {
+            StateEntry::U64s(v) => Ok(v),
+            other => Err(type_mismatch(name, "u64s", other)),
+        }
+    }
+
+    /// Fetch a single-`u64` section by name.
+    pub fn get_u64(&self, name: &str) -> Result<u64, CheckpointError> {
+        let v = self.get_u64s(name)?;
+        if v.len() != 1 {
+            return Err(CheckpointError::Mismatch(format!(
+                "section {name:?}: expected 1 value, found {}",
+                v.len()
+            )));
+        }
+        Ok(v[0])
+    }
+
+    /// Fetch a tensor section by name.
+    pub fn get_tensor(&self, name: &str) -> Result<&Tensor, CheckpointError> {
+        match self.get(name)? {
+            StateEntry::Tensor(t) => Ok(t),
+            other => Err(type_mismatch(name, "tensor", other)),
+        }
+    }
+
+    /// Check every `f32` value in the bag for finiteness, naming the first
+    /// offending section. This is the [`NonFinitePolicy::Reject`] gate.
+    pub fn check_finite(&self) -> Result<(), CheckpointError> {
+        for (name, entry) in &self.entries {
+            let data: &[f32] = match entry {
+                StateEntry::F32s(v) => v,
+                StateEntry::Tensor(t) => t.data(),
+                StateEntry::U64s(_) => continue,
+            };
+            if let Some(i) = data.iter().position(|v| !v.is_finite()) {
+                return Err(CheckpointError::NonFinite(format!(
+                    "section {name:?} value {i} is {} (load with NonFinitePolicy::Allow to \
+                     inspect anyway)",
+                    data[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the v2 text format (header + entries + integrity footer +
+    /// mandatory trailing newline).
+    pub fn serialize(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MAGIC_V2);
+        body.push('\n');
+        for (name, entry) in &self.entries {
+            match entry {
+                StateEntry::F32s(v) => {
+                    let _ = write!(body, "f32s {name} {}", v.len());
+                    for &x in v {
+                        let _ = write!(body, " {:08x}", x.to_bits());
+                    }
+                }
+                StateEntry::U64s(v) => {
+                    let _ = write!(body, "u64s {name} {}", v.len());
+                    for &x in v {
+                        let _ = write!(body, " {x:016x}");
+                    }
+                }
+                StateEntry::Tensor(t) => {
+                    let _ = write!(body, "tensor {name} {} {}", t.rows(), t.cols());
+                    for &x in t.data() {
+                        let _ = write!(body, " {:08x}", x.to_bits());
+                    }
+                }
+            }
+            body.push('\n');
+        }
+        let _ = write!(body, "end {} {:016x}\n", body.len(), {
+            fnv1a64(&body.as_bytes()[..body.len()])
+        });
+        body
+    }
+
+    /// Parse the v2 text format, verifying the integrity footer first. Any
+    /// truncated, torn, or bit-flipped file fails here with a
+    /// [`CheckpointError::Format`]; a well-formed file with duplicate section
+    /// names fails with a line-numbered error.
+    pub fn parse(text: &str) -> Result<StateBag, CheckpointError> {
+        // Footer discipline: the file must end with "end <len> <fnv1a64>\n".
+        // Requiring the final newline means even a single byte truncated off
+        // the end is detected.
+        let stripped = text.strip_suffix('\n').ok_or_else(|| {
+            CheckpointError::Format(
+                "missing trailing newline after footer (truncated file?)".to_string(),
+            )
+        })?;
+        let (body, footer) = match stripped.rfind('\n') {
+            Some(i) => (&text[..i + 1], &stripped[i + 1..]),
+            None => {
+                return Err(CheckpointError::Format(
+                    "missing integrity footer (truncated file?)".to_string(),
+                ))
+            }
+        };
+        let mut it = footer.split_ascii_whitespace();
+        if it.next() != Some("end") {
+            return Err(CheckpointError::Format(format!(
+                "last line is not an integrity footer: {footer:?} (truncated file?)"
+            )));
+        }
+        let want_len: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Format("footer: bad body length".to_string()))?;
+        let want_sum = it
+            .next()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| CheckpointError::Format("footer: bad checksum".to_string()))?;
+        if it.next().is_some() {
+            return Err(CheckpointError::Format(
+                "footer: trailing tokens".to_string(),
+            ));
+        }
+        if body.len() != want_len {
+            return Err(CheckpointError::Format(format!(
+                "body length {} != footer length {want_len} (truncated or torn file)",
+                body.len()
+            )));
+        }
+        let got_sum = fnv1a64(body.as_bytes());
+        if got_sum != want_sum {
+            return Err(CheckpointError::Format(format!(
+                "checksum {got_sum:016x} != footer checksum {want_sum:016x} (corrupt file)"
+            )));
+        }
+
+        let mut lines = body.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l == MAGIC_V2 => {}
+            other => {
+                return Err(CheckpointError::Format(format!(
+                    "bad header: {:?}",
+                    other.map(|(_, l)| l).unwrap_or("<empty>")
+                )))
+            }
+        }
+        let mut bag = StateBag::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1; // 1-based for humans
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut it = line.split_ascii_whitespace();
+            let kind = it.next().unwrap();
+            let name = it
+                .next()
+                .ok_or_else(|| {
+                    CheckpointError::Format(format!("line {lineno}: missing section name"))
+                })?
+                .to_string();
+            if bag.contains(&name) {
+                return Err(CheckpointError::Format(format!(
+                    "line {lineno}: duplicate section name {name:?}"
+                )));
+            }
+            let entry = match kind {
+                "f32s" => StateEntry::F32s(parse_counted_f32s(&mut it, lineno, &name)?),
+                "u64s" => {
+                    let count: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        CheckpointError::Format(format!("line {lineno}: bad count for {name:?}"))
+                    })?;
+                    let mut vals = Vec::with_capacity(count);
+                    for tok in it.by_ref() {
+                        let bits = u64::from_str_radix(tok, 16).map_err(|_| {
+                            CheckpointError::Format(format!("line {lineno}: bad value {tok:?}"))
+                        })?;
+                        vals.push(bits);
+                    }
+                    if vals.len() != count {
+                        return Err(CheckpointError::Format(format!(
+                            "line {lineno}: {} values for declared count {count} in {name:?}",
+                            vals.len()
+                        )));
+                    }
+                    StateEntry::U64s(vals)
+                }
+                "tensor" => {
+                    let rows: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        CheckpointError::Format(format!("line {lineno}: bad rows for {name:?}"))
+                    })?;
+                    let cols: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        CheckpointError::Format(format!("line {lineno}: bad cols for {name:?}"))
+                    })?;
+                    let mut data = Vec::with_capacity(rows * cols);
+                    for tok in it.by_ref() {
+                        let bits = u32::from_str_radix(tok, 16).map_err(|_| {
+                            CheckpointError::Format(format!("line {lineno}: bad value {tok:?}"))
+                        })?;
+                        data.push(f32::from_bits(bits));
+                    }
+                    if data.len() != rows * cols {
+                        return Err(CheckpointError::Format(format!(
+                            "line {lineno}: {} values for shape {rows}x{cols} in {name:?}",
+                            data.len()
+                        )));
+                    }
+                    StateEntry::Tensor(Tensor::from_vec(data, rows, cols))
+                }
+                other => {
+                    return Err(CheckpointError::Format(format!(
+                        "line {lineno}: unknown section kind {other:?}"
+                    )))
+                }
+            };
+            bag.entries.push((name, entry));
+        }
+        Ok(bag)
+    }
+
+    /// Atomically write this bag to `path` (see [`write_atomic`]).
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        write_atomic(path.as_ref(), self.serialize().as_bytes())
+    }
+
+    /// Read and parse a v2 checkpoint file, applying the non-finite policy.
+    pub fn load_path(
+        path: impl AsRef<Path>,
+        policy: NonFinitePolicy,
+    ) -> Result<StateBag, CheckpointError> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        let bag = StateBag::parse(&text)?;
+        if policy == NonFinitePolicy::Reject {
+            bag.check_finite()?;
+        }
+        Ok(bag)
+    }
+}
+
+fn parse_counted_f32s(
+    it: &mut std::str::SplitAsciiWhitespace<'_>,
+    lineno: usize,
+    name: &str,
+) -> Result<Vec<f32>, CheckpointError> {
+    let count: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CheckpointError::Format(format!("line {lineno}: bad count for {name:?}")))?;
+    let mut vals = Vec::with_capacity(count);
+    for tok in it.by_ref() {
+        let bits = u32::from_str_radix(tok, 16)
+            .map_err(|_| CheckpointError::Format(format!("line {lineno}: bad value {tok:?}")))?;
+        vals.push(f32::from_bits(bits));
+    }
+    if vals.len() != count {
+        return Err(CheckpointError::Format(format!(
+            "line {lineno}: {} values for declared count {count} in {name:?}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+fn type_mismatch(name: &str, want: &str, got: &StateEntry) -> CheckpointError {
+    let got = match got {
+        StateEntry::F32s(_) => "f32s",
+        StateEntry::U64s(_) => "u64s",
+        StateEntry::Tensor(_) => "tensor",
+    };
+    CheckpointError::Mismatch(format!(
+        "section {name:?}: expected kind {want}, found {got}"
+    ))
+}
+
+/// Atomically replace `path` with `bytes`: write to a sibling `.tmp` file,
+/// `fsync` it, rename over the target, then best-effort `fsync` the parent
+/// directory. A crash at any point leaves either the old file or the new one
+/// — never a torn mix.
+///
+/// Honors the [`FaultKind::TornCheckpoint`] faultpoint: when armed, writes a
+/// deliberately truncated file *directly* to `path` (simulating a torn
+/// in-place write from a crash or a non-atomic legacy writer) so tests can
+/// prove the parser detects it.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    if faultpoint::fires(FaultKind::TornCheckpoint, 0) {
+        let torn = &bytes[..bytes.len() * 2 / 3];
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(torn)?;
+        return Ok(());
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Format(format!("bad checkpoint path: {path:?}")))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize all parameter values (trainable and frozen) to the legacy v1
+/// string format (no footer). Kept for format-compatibility tests; new code
+/// goes through [`StateBag`].
 pub fn to_string(store: &ParamStore) -> String {
     let mut out = String::new();
     out.push_str(MAGIC);
@@ -66,7 +548,8 @@ pub fn to_string(store: &ParamStore) -> String {
     out
 }
 
-/// Parse a checkpoint string into `(name, tensor)` pairs.
+/// Parse a legacy v1 checkpoint string into `(name, tensor)` pairs.
+/// Duplicate parameter names are rejected with a line-numbered error.
 pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, CheckpointError> {
     let mut lines = text.lines();
     match lines.next() {
@@ -78,7 +561,7 @@ pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, CheckpointError> {
             )))
         }
     }
-    let mut out = Vec::new();
+    let mut out: Vec<(String, Tensor)> = Vec::new();
     for (lineno, line) in lines.enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -88,6 +571,12 @@ pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, CheckpointError> {
             .next()
             .ok_or_else(|| CheckpointError::Format(format!("line {}: missing name", lineno + 2)))?
             .to_string();
+        if out.iter().any(|(n, _)| *n == name) {
+            return Err(CheckpointError::Format(format!(
+                "line {}: duplicate parameter {name:?}",
+                lineno + 2
+            )));
+        }
         let rows: usize = it
             .next()
             .and_then(|s| s.parse().ok())
@@ -115,11 +604,13 @@ pub fn parse(text: &str) -> Result<Vec<(String, Tensor)>, CheckpointError> {
     Ok(out)
 }
 
-/// Load parsed `(name, tensor)` pairs into a store, matching by name.
-/// Every store parameter must be covered with an identical shape.
-pub fn load_into(
+/// Load parsed `(name, tensor)` pairs into a store, matching by name, with
+/// an explicit non-finite policy. Every store parameter must be covered with
+/// an identical shape.
+pub fn load_into_with(
     store: &mut ParamStore,
     params: &[(String, Tensor)],
+    policy: NonFinitePolicy,
 ) -> Result<(), CheckpointError> {
     for id in store.ids().collect::<Vec<_>>() {
         let name = store.name(id).to_string();
@@ -136,24 +627,91 @@ pub fn load_into(
                 found.1.cols()
             )));
         }
+        if policy == NonFinitePolicy::Reject {
+            if let Some(i) = found.1.data().iter().position(|v| !v.is_finite()) {
+                return Err(CheckpointError::NonFinite(format!(
+                    "parameter {name:?} value {i} is {} (load with NonFinitePolicy::Allow to \
+                     inspect anyway)",
+                    found.1.data()[i]
+                )));
+            }
+        }
         *store.value_mut(id) = found.1.clone();
     }
     Ok(())
 }
 
-/// Write a store checkpoint to a file.
-pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(to_string(store).as_bytes())?;
+/// Load parsed `(name, tensor)` pairs into a store, rejecting non-finite
+/// values (the default policy).
+pub fn load_into(
+    store: &mut ParamStore,
+    params: &[(String, Tensor)],
+) -> Result<(), CheckpointError> {
+    load_into_with(store, params, NonFinitePolicy::Reject)
+}
+
+/// Pack all parameters of a store into a [`StateBag`] as tensor sections.
+pub fn store_to_bag(store: &ParamStore) -> StateBag {
+    let mut bag = StateBag::new();
+    for id in store.ids() {
+        bag.put_tensor(store.name(id).to_string(), store.value(id).clone());
+    }
+    bag
+}
+
+/// Restore store parameters from a bag's tensor sections (by name, shapes
+/// checked). Extra sections in the bag are ignored, so a full-state bag can
+/// feed a params-only restore.
+pub fn bag_into_store(bag: &StateBag, store: &mut ParamStore) -> Result<(), CheckpointError> {
+    for id in store.ids().collect::<Vec<_>>() {
+        let name = store.name(id).to_string();
+        let t = bag.get_tensor(&name)?;
+        let current = store.value(id);
+        if (current.rows(), current.cols()) != (t.rows(), t.cols()) {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {name:?}: shape {}x{} vs checkpoint {}x{}",
+                current.rows(),
+                current.cols(),
+                t.rows(),
+                t.cols()
+            )));
+        }
+        *store.value_mut(id) = t.clone();
+    }
     Ok(())
 }
 
-/// Read a file checkpoint into a store (matching parameters by name).
-pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+/// Write a store checkpoint to a file, atomically, in the v2 format.
+pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    store_to_bag(store).save_atomic(path)
+}
+
+/// Read a file checkpoint into a store (matching parameters by name) with an
+/// explicit non-finite policy. Accepts both v2 (integrity-checked) and legacy
+/// v1 (no footer) files.
+pub fn load_with(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+    policy: NonFinitePolicy,
+) -> Result<(), CheckpointError> {
     let mut text = String::new();
     std::fs::File::open(path)?.read_to_string(&mut text)?;
-    let params = parse(&text)?;
-    load_into(store, &params)
+    if text.starts_with(MAGIC_V2) {
+        let bag = StateBag::parse(&text)?;
+        if policy == NonFinitePolicy::Reject {
+            bag.check_finite()?;
+        }
+        bag_into_store(&bag, store)
+    } else {
+        let params = parse(&text)?;
+        load_into_with(store, &params, policy)
+    }
+}
+
+/// Read a file checkpoint into a store, rejecting non-finite values (the
+/// default policy).
+pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    load_with(store, path, NonFinitePolicy::Reject)
 }
 
 #[cfg(test)]
@@ -169,6 +727,12 @@ mod tests {
         s.alloc("layer.w", 2, 3, Initializer::XavierUniform, &mut rng);
         s.alloc("layer.b", 1, 3, Initializer::Uniform(0.5), &mut rng);
         s
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rotom_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
     }
 
     #[test]
@@ -214,12 +778,40 @@ mod tests {
     }
 
     #[test]
+    fn rejects_duplicate_parameter_with_line_number() {
+        let src = store();
+        let mut text = to_string(&src);
+        let dup = text.lines().nth(1).unwrap().to_string();
+        text.push_str(&dup);
+        text.push('\n');
+        match parse(&text) {
+            Err(CheckpointError::Format(m)) => {
+                assert!(m.contains("duplicate"), "{m}");
+                assert!(m.contains("line 4"), "{m}");
+            }
+            other => panic!("expected duplicate error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn file_roundtrip() {
         let src = store();
-        let dir = std::env::temp_dir().join("rotom_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.ckpt");
+        let path = tmp_path("model.ckpt");
         save(&src, &path).unwrap();
+        let mut dst = store();
+        dst.value_mut(dst.ids().next().unwrap())
+            .data_mut()
+            .fill(0.0);
+        load(&mut dst, &path).unwrap();
+        assert_eq!(src.flat_values(), dst.flat_values());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_v1_file_still_loads() {
+        let src = store();
+        let path = tmp_path("legacy_v1.ckpt");
+        std::fs::write(&path, to_string(&src)).unwrap();
         let mut dst = store();
         dst.value_mut(dst.ids().next().unwrap())
             .data_mut()
@@ -238,5 +830,138 @@ mod tests {
         );
         let parsed = parse(&to_string(&s)).unwrap();
         assert_eq!(parsed[0].1.data(), s.value(s.ids().next().unwrap()).data());
+    }
+
+    #[test]
+    fn bag_roundtrip_all_kinds() {
+        let mut bag = StateBag::new();
+        bag.put_f32s("opt.m", vec![1.5, -2.25, 0.0]);
+        bag.put_u64s("rng.state", vec![u64::MAX, 0, 12345]);
+        bag.put_tensor("w", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2));
+        bag.put_f32("baseline", 0.75);
+        bag.put_u64("step", 42);
+        let back = StateBag::parse(&bag.serialize()).unwrap();
+        assert_eq!(back.get_f32s("opt.m").unwrap(), &[1.5, -2.25, 0.0]);
+        assert_eq!(back.get_u64s("rng.state").unwrap(), &[u64::MAX, 0, 12345]);
+        assert_eq!(back.get_tensor("w").unwrap().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(back.get_f32("baseline").unwrap(), 0.75);
+        assert_eq!(back.get_u64("step").unwrap(), 42);
+        assert_eq!(
+            back.names().collect::<Vec<_>>(),
+            bag.names().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bag_type_mismatch_is_error() {
+        let mut bag = StateBag::new();
+        bag.put_f32s("x", vec![1.0]);
+        assert!(matches!(
+            bag.get_u64s("x"),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            bag.get_tensor("x"),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            bag.get_f32s("absent"),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn bag_rejects_duplicate_sections() {
+        let mut bag = StateBag::new();
+        bag.put_f32s("a", vec![1.0]);
+        let mut text = bag.serialize();
+        // Duplicate the entry line and rebuild a valid footer around it.
+        let entry = text.lines().nth(1).unwrap().to_string();
+        let body_end = text.rfind("end ").unwrap();
+        let mut body = text[..body_end].to_string();
+        body.push_str(&entry);
+        body.push('\n');
+        text = format!("{body}end {} {:016x}\n", body.len(), {
+            super::fnv1a64(body.as_bytes())
+        });
+        match StateBag::parse(&text) {
+            Err(CheckpointError::Format(m)) => {
+                assert!(m.contains("duplicate"), "{m}")
+            }
+            other => panic!("expected duplicate error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_detected() {
+        let mut bag = StateBag::new();
+        bag.put_f32s("opt.m", vec![0.5; 7]);
+        bag.put_u64s("rng", vec![7, 8, 9]);
+        bag.put_tensor("w", Tensor::from_vec(vec![1.0; 6], 2, 3));
+        let text = bag.serialize();
+        for cut in 0..text.len() {
+            assert!(
+                StateBag::parse(&text[..cut]).is_err(),
+                "truncation to {cut} bytes of {} parsed successfully",
+                text.len()
+            );
+        }
+        assert!(StateBag::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn bitflip_in_body_is_detected() {
+        let mut bag = StateBag::new();
+        bag.put_f32s("v", vec![1.0, 2.0, 3.0]);
+        let text = bag.serialize();
+        let mut corrupted = text.clone().into_bytes();
+        // Flip one hex digit inside the body (a value byte, not the footer).
+        let pos = text.find("3f800000").unwrap();
+        corrupted[pos] = b'4';
+        let corrupted = String::from_utf8(corrupted).unwrap();
+        assert!(matches!(
+            StateBag::parse(&corrupted),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_policy_rejects_then_allows() {
+        let mut bag = StateBag::new();
+        bag.put_f32s("diverged", vec![1.0, f32::NAN]);
+        let path = tmp_path("nonfinite.ckpt");
+        bag.save_atomic(&path).unwrap();
+        assert!(matches!(
+            StateBag::load_path(&path, NonFinitePolicy::Reject),
+            Err(CheckpointError::NonFinite(_))
+        ));
+        let loaded = StateBag::load_path(&path, NonFinitePolicy::Allow).unwrap();
+        assert!(loaded.get_f32s("diverged").unwrap()[1].is_nan());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn nonfinite_param_load_policy() {
+        let mut s = ParamStore::new();
+        s.push("w", Tensor::from_vec(vec![1.0, f32::INFINITY], 1, 2));
+        let parsed = parse(&to_string(&s)).unwrap();
+        let mut dst = ParamStore::new();
+        dst.push("w", Tensor::from_vec(vec![0.0, 0.0], 1, 2));
+        assert!(matches!(
+            load_into(&mut dst, &parsed),
+            Err(CheckpointError::NonFinite(_))
+        ));
+        load_into_with(&mut dst, &parsed, NonFinitePolicy::Allow).unwrap();
+        assert!(dst.flat_values()[1].is_infinite());
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_tmp_file() {
+        let src = store();
+        let path = tmp_path("atomic.ckpt");
+        save(&src, &path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_file_name("atomic.ckpt.tmp").exists());
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -1,0 +1,255 @@
+//! Deterministic fault injection for exercising the fault-tolerant runtime.
+//!
+//! A *faultpoint* is a named failure armed in advance and fired at an exact
+//! training step, letting tests (and `ci.sh`) prove crash/resume equivalence
+//! and NaN-rollback recovery end to end without any nondeterminism:
+//!
+//! * [`FaultKind::Kill`] — simulate a process crash at a step (raised as a
+//!   [`FaultKilled`] panic that tests catch with `catch_unwind`).
+//! * [`FaultKind::NanGrad`] — corrupt the parameter update with NaNs, as a
+//!   diverged meta-gradient would.
+//! * [`FaultKind::NanLoss`] — replace the step loss with NaN.
+//! * [`FaultKind::TornCheckpoint`] — make the next checkpoint write produce a
+//!   truncated file (a torn in-place write), which the loader must detect.
+//!
+//! Faults are armed per-thread either programmatically ([`arm`]) or from the
+//! `ROTOM_FAULT` environment variable on first use, with a `;`-separated spec
+//! grammar:
+//!
+//! ```text
+//! ROTOM_FAULT="kill@step=37"
+//! ROTOM_FAULT="nan_grad@step=12;torn_checkpoint"
+//! ```
+//!
+//! Every armed fault is **one-shot**: it disarms when it fires, so a resumed
+//! run that replays the same step numbers does not re-fire the fault that
+//! killed it. Arming the same fault N times makes it fire on N distinct
+//! occasions (used to exhaust the rollback budget in tests). State is
+//! thread-local so parallel tests cannot contaminate each other.
+
+use std::cell::RefCell;
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Simulated process death (panics with [`FaultKilled`]).
+    Kill,
+    /// NaN corruption of the gradient/parameter update.
+    NanGrad,
+    /// NaN substitution of the step loss.
+    NanLoss,
+    /// Truncated (torn) checkpoint write.
+    TornCheckpoint,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Kill => "kill",
+            FaultKind::NanGrad => "nan_grad",
+            FaultKind::NanLoss => "nan_loss",
+            FaultKind::TornCheckpoint => "torn_checkpoint",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "kill" => Some(FaultKind::Kill),
+            "nan_grad" => Some(FaultKind::NanGrad),
+            "nan_loss" => Some(FaultKind::NanLoss),
+            "torn_checkpoint" => Some(FaultKind::TornCheckpoint),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FaultPoint {
+    kind: FaultKind,
+    /// Fire only at this step; `None` fires at the first opportunity.
+    step: Option<u64>,
+    armed: bool,
+}
+
+/// A parsed set of armed faultpoints.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    points: Vec<FaultPoint>,
+}
+
+impl FaultPlan {
+    /// Parse a `;`-separated spec, e.g. `"kill@step=37;torn_checkpoint"`.
+    /// An empty spec is an empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut points = Vec::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, step) = match part.split_once('@') {
+                None => (part, None),
+                Some((name, cond)) => {
+                    let step = cond
+                        .strip_prefix("step=")
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| {
+                            format!("bad fault condition {cond:?} in {part:?} (want step=<n>)")
+                        })?;
+                    (name, Some(step))
+                }
+            };
+            let kind = FaultKind::from_name(name).ok_or_else(|| {
+                format!(
+                    "unknown fault kind {name:?} (want kill, nan_grad, nan_loss, torn_checkpoint)"
+                )
+            })?;
+            points.push(FaultPoint {
+                kind,
+                step,
+                armed: true,
+            });
+        }
+        Ok(FaultPlan { points })
+    }
+
+    /// Number of still-armed faults.
+    pub fn armed(&self) -> usize {
+        self.points.iter().filter(|p| p.armed).count()
+    }
+}
+
+thread_local! {
+    static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+}
+
+fn with_plan<R>(f: impl FnOnce(&mut FaultPlan) -> R) -> R {
+    PLAN.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.is_none() {
+            let plan = std::env::var("ROTOM_FAULT")
+                .ok()
+                .map(|spec| {
+                    FaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| panic!("invalid ROTOM_FAULT spec: {e}"))
+                })
+                .unwrap_or_default();
+            *p = Some(plan);
+        }
+        f(p.as_mut().unwrap())
+    })
+}
+
+/// Arm the calling thread's faultpoints from a spec string, replacing any
+/// previously armed plan (including one inherited from `ROTOM_FAULT`).
+pub fn arm(spec: &str) -> Result<(), String> {
+    let plan = FaultPlan::parse(spec)?;
+    PLAN.with(|p| *p.borrow_mut() = Some(plan));
+    Ok(())
+}
+
+/// Disarm all faultpoints on the calling thread.
+pub fn clear() {
+    PLAN.with(|p| *p.borrow_mut() = Some(FaultPlan::default()));
+}
+
+/// Number of faults still armed on the calling thread.
+pub fn armed() -> usize {
+    with_plan(|plan| plan.armed())
+}
+
+/// Check-and-fire: returns `true` if a fault of `kind` is armed for `step`
+/// (or armed unconditionally), disarming that one occurrence. Step-agnostic
+/// callers (e.g. checkpoint writes) pass `step = 0` and only unconditional
+/// faults match them.
+pub fn fires(kind: FaultKind, step: u64) -> bool {
+    with_plan(|plan| {
+        for p in &mut plan.points {
+            if p.armed && p.kind == kind && (p.step.is_none() || p.step == Some(step)) {
+                p.armed = false;
+                return true;
+            }
+        }
+        false
+    })
+}
+
+/// The panic payload of a [`FaultKind::Kill`] faultpoint — tests downcast to
+/// this to distinguish a simulated crash from a real bug.
+#[derive(Debug)]
+pub struct FaultKilled {
+    /// The training step at which the simulated crash fired.
+    pub step: u64,
+}
+
+impl std::fmt::Display for FaultKilled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulated crash: {}@step={} faultpoint fired",
+            FaultKind::Kill.name(),
+            self.step
+        )
+    }
+}
+
+/// Fire a [`FaultKind::Kill`] faultpoint if one is armed for `step`:
+/// panics with a [`FaultKilled`] payload, simulating sudden process death.
+pub fn maybe_kill(step: u64) {
+    if fires(FaultKind::Kill, step) {
+        std::panic::panic_any(FaultKilled { step });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_grammar() {
+        let plan = FaultPlan::parse("kill@step=37; nan_grad@step=12 ;torn_checkpoint").unwrap();
+        assert_eq!(plan.armed(), 3);
+        assert!(FaultPlan::parse("").unwrap().points.is_empty());
+        assert!(FaultPlan::parse("explode@step=1").is_err());
+        assert!(FaultPlan::parse("kill@epoch=3").is_err());
+        assert!(FaultPlan::parse("kill@step=abc").is_err());
+    }
+
+    #[test]
+    fn fires_only_at_matching_step_and_once() {
+        arm("nan_grad@step=5").unwrap();
+        assert!(!fires(FaultKind::NanGrad, 4));
+        assert!(!fires(FaultKind::Kill, 5));
+        assert!(fires(FaultKind::NanGrad, 5));
+        // One-shot: replaying the same step after resume must not re-fire.
+        assert!(!fires(FaultKind::NanGrad, 5));
+        clear();
+    }
+
+    #[test]
+    fn repeated_arming_fires_repeatedly() {
+        arm("nan_grad@step=3;nan_grad@step=3").unwrap();
+        assert!(fires(FaultKind::NanGrad, 3));
+        assert!(fires(FaultKind::NanGrad, 3));
+        assert!(!fires(FaultKind::NanGrad, 3));
+        clear();
+    }
+
+    #[test]
+    fn unconditional_fault_matches_any_step() {
+        arm("torn_checkpoint").unwrap();
+        assert!(fires(FaultKind::TornCheckpoint, 0));
+        assert!(!fires(FaultKind::TornCheckpoint, 0));
+        clear();
+    }
+
+    #[test]
+    fn kill_panics_with_typed_payload() {
+        arm("kill@step=7").unwrap();
+        maybe_kill(6); // not yet
+        let err = std::panic::catch_unwind(|| maybe_kill(7)).unwrap_err();
+        let killed = err.downcast::<FaultKilled>().expect("FaultKilled payload");
+        assert_eq!(killed.step, 7);
+        clear();
+    }
+}

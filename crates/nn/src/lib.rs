@@ -42,8 +42,10 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod faultpoint;
 pub mod gradcheck;
 mod graph;
+pub mod health;
 mod init;
 pub mod kernels;
 pub mod layers;
@@ -53,7 +55,10 @@ pub mod pool;
 pub mod schedule;
 mod tensor;
 
+pub use checkpoint::{CheckpointError, NonFinitePolicy, StateBag, StateEntry};
+pub use faultpoint::{FaultKilled, FaultKind};
 pub use graph::{recycle_tape, take_pooled_tape, with_pooled_tape, AttnMask, NodeId, Tape};
+pub use health::{Halt, HealthConfig, HealthEvent, HealthMonitor, Verdict};
 pub use init::Initializer;
 pub use layers::{
     causal_mask, DecoderLayer, Embedding, EncoderLayer, FeedForward, FwdCtx, Gru, LayerNorm,

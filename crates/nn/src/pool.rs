@@ -20,8 +20,39 @@
 //! helper guarantees **deterministic, input-ordered results** regardless of
 //! worker count: parallelism never changes observable output.
 
+use std::any::Any;
 use std::ops::Range;
 use std::sync::OnceLock;
+
+/// Extract a human-readable message from a worker's panic payload.
+fn payload_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Re-raise worker panics as one aggregated panic naming every failed worker
+/// index, instead of aborting on the first `join` failure. No-op when no
+/// worker failed. The pool itself is a stateless sizing policy, so a panicked
+/// call never poisons subsequent calls.
+fn raise_worker_failures(ctx: &str, failures: Vec<(usize, String)>) {
+    if failures.is_empty() {
+        return;
+    }
+    let detail: Vec<String> = failures
+        .iter()
+        .map(|(i, m)| format!("worker {i}: {m}"))
+        .collect();
+    panic!(
+        "RotomPool::{ctx}: {} worker(s) panicked — {}",
+        failures.len(),
+        detail.join("; ")
+    );
+}
 
 /// A scoped worker pool with a fixed worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +114,7 @@ impl RotomPool {
         }
         let chunk = n.div_ceil(workers);
         let mut out: Vec<T> = Vec::with_capacity(n);
+        let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .step_by(chunk)
@@ -92,10 +124,14 @@ impl RotomPool {
                     scope.spawn(move || (base..end).map(f).collect::<Vec<T>>())
                 })
                 .collect();
-            for h in handles {
-                out.extend(h.join().expect("pool worker panicked"));
+            for (wi, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(chunk) => out.extend(chunk),
+                    Err(payload) => failures.push((wi, payload_message(payload))),
+                }
             }
         });
+        raise_worker_failures("map", failures);
         out
     }
 
@@ -120,15 +156,23 @@ impl RotomPool {
         }
         let units_per = units.div_ceil(workers);
         let step = units_per * g;
+        let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
+            let mut handles = Vec::new();
             let mut start = 0usize;
             while start < n {
                 let end = (start + step).min(n);
                 let f = &f;
-                scope.spawn(move || f(start..end));
+                handles.push(scope.spawn(move || f(start..end)));
                 start = end;
             }
+            for (wi, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    failures.push((wi, payload_message(payload)));
+                }
+            }
         });
+        raise_worker_failures("run_ranges", failures);
     }
 
     /// Split `data` into at most `threads` contiguous chunks of whole
@@ -149,12 +193,23 @@ impl RotomPool {
             return;
         }
         let rows_per = rows.div_ceil(workers);
+        let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
-            for (ci, chunk) in data.chunks_mut(rows_per * width).enumerate() {
-                let f = &f;
-                scope.spawn(move || f(ci * rows_per, chunk));
+            let handles: Vec<_> = data
+                .chunks_mut(rows_per * width)
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let f = &f;
+                    scope.spawn(move || f(ci * rows_per, chunk))
+                })
+                .collect();
+            for (wi, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    failures.push((wi, payload_message(payload)));
+                }
             }
         });
+        raise_worker_failures("chunk_rows", failures);
     }
 }
 
@@ -247,6 +302,58 @@ mod tests {
                     "threads={threads} row {r}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_aggregated_with_worker_index() {
+        let pool = RotomPool::new(4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(16, |i| {
+                if i >= 8 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("aggregated message");
+        assert!(msg.contains("RotomPool::map"), "{msg}");
+        assert!(
+            msg.contains("worker 2") && msg.contains("worker 3"),
+            "{msg}"
+        );
+        assert!(msg.contains("boom at 8"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_closure_does_not_poison_pool() {
+        let pool = RotomPool::new(4);
+        for round in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run_ranges(12, 1, |r| {
+                    if r.contains(&5) {
+                        panic!("injected failure");
+                    }
+                })
+            }));
+            assert!(r.is_err(), "round {round} should have panicked");
+            // The same pool value keeps working for every helper afterwards.
+            assert_eq!(pool.map(8, |i| i * 3), vec![0, 3, 6, 9, 12, 15, 18, 21]);
+            let hits: Vec<AtomicUsize> = (0..12).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_ranges(12, 1, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            let mut data = vec![0u32; 4 * 3];
+            pool.chunk_rows(&mut data, 3, |first, chunk| {
+                for (r, row) in chunk.chunks_mut(3).enumerate() {
+                    row.fill((first + r) as u32);
+                }
+            });
+            assert_eq!(data[9..12], [3, 3, 3]);
         }
     }
 

@@ -229,6 +229,31 @@ pub mod rngs {
         pub fn fork(&mut self) -> StdRng {
             StdRng::seed_from_u64(self.next_u64())
         }
+
+        /// Snapshot the full 256-bit generator state. Together with
+        /// [`from_state`](Self::from_state) this makes RNG streams
+        /// checkpointable: a resumed stream continues bit-identically from
+        /// where the snapshot was taken.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`state`](Self::state) snapshot —
+        /// the exact inverse, with no remixing, so
+        /// `StdRng::from_state(r.state())` produces the same stream as `r`.
+        /// (An all-zero state is unreachable from seeding and is remapped to
+        /// a fixed non-zero state to preserve the xoshiro invariant.)
+        pub fn from_state(state: [u64; 4]) -> StdRng {
+            if state == [0; 4] {
+                let mut st = 0xdead_beef_cafe_f00du64;
+                let mut s = [0u64; 4];
+                for w in &mut s {
+                    *w = splitmix64(&mut st);
+                }
+                return Self { s };
+            }
+            Self { s: state }
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -386,5 +411,27 @@ mod tests {
         let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
         let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
         assert_ne!(p, c);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let snapshot = rng.state();
+        let tail: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(snapshot);
+        let resumed_tail: Vec<u64> = (0..32).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
+    }
+
+    #[test]
+    fn from_state_remaps_all_zero_state() {
+        let mut rng = StdRng::from_state([0; 4]);
+        // An all-zero xoshiro state would emit zeros forever; the remap must
+        // produce a working stream.
+        let words: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != 0));
     }
 }

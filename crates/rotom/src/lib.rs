@@ -41,14 +41,16 @@ pub mod config;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
+pub mod runtime;
 
 pub use config::{ModelConfig, RotomConfig, TrainConfig};
 pub use metrics::{accuracy, macro_f1, mean_std, prf1, MetricsSnapshot, PrF1};
 pub use model::TinyLm;
 pub use pipeline::{
-    default_op, evaluate, prepare_base, run_method, run_method_with_base, Method, PretrainedBase,
-    RunResult,
+    default_op, evaluate, prepare_base, run_method, run_method_ft, run_method_with_base, Method,
+    PretrainedBase, RunResult,
 };
+pub use runtime::{FtConfig, FtReport};
 
 // Re-export the pieces users compose with.
 pub use rotom_augment::{DaContext, DaOp, InvDa, InvDaConfig};

@@ -417,6 +417,55 @@ impl TinyLm {
         rotom_nn::checkpoint::load(&mut self.store, path)
     }
 
+    /// Save the model's full *training* state — parameters, optimizer
+    /// moments, learning rate, and internal RNG stream — into a checkpoint
+    /// bag under `prefix`. Together with
+    /// [`load_train_state`](Self::load_train_state) on an identically
+    /// constructed model, this makes fine-tuning resumable bit-identically.
+    pub fn save_train_state(&self, bag: &mut rotom_nn::StateBag, prefix: &str) {
+        bag.put_f32s(format!("{prefix}.params"), self.store.flat_values());
+        self.opt.save_state(bag, &format!("{prefix}.adam"));
+        bag.put_f32(format!("{prefix}.lr"), self.lr);
+        bag.put_u64s(format!("{prefix}.rng"), self.rng.state().to_vec());
+    }
+
+    /// Restore state saved by [`save_train_state`](Self::save_train_state).
+    pub fn load_train_state(
+        &mut self,
+        bag: &rotom_nn::StateBag,
+        prefix: &str,
+    ) -> Result<(), rotom_nn::CheckpointError> {
+        let params = bag.get_f32s(&format!("{prefix}.params"))?;
+        if params.len() != self.store.num_scalars() {
+            return Err(rotom_nn::CheckpointError::Mismatch(format!(
+                "model {prefix:?}: {} parameters vs checkpoint {}",
+                self.store.num_scalars(),
+                params.len()
+            )));
+        }
+        self.store.set_flat(params);
+        self.opt
+            .load_state(bag, &format!("{prefix}.adam"), &self.store)?;
+        self.lr = bag.get_f32(&format!("{prefix}.lr"))?;
+        self.opt.set_lr(self.lr);
+        let rng = bag.get_u64s(&format!("{prefix}.rng"))?;
+        if rng.len() != 4 {
+            return Err(rotom_nn::CheckpointError::Mismatch(format!(
+                "{prefix}.rng: expected 4 state words, found {}",
+                rng.len()
+            )));
+        }
+        self.rng = StdRng::from_state([rng[0], rng[1], rng[2], rng[3]]);
+        Ok(())
+    }
+
+    /// Scale the learning rate by `factor` (health-guard rollback decay),
+    /// keeping the optimizer in sync.
+    pub fn scale_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+        self.opt.set_lr(self.lr);
+    }
+
     /// Snapshot all trainable parameters (checkpoint selection).
     pub fn snapshot(&self) -> Vec<f32> {
         self.store.flat_values()
@@ -519,6 +568,10 @@ impl MetaTarget for TinyLm {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn grad_l2(&self) -> f32 {
+        self.store.grad_norm()
     }
 }
 

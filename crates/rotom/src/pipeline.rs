@@ -9,10 +9,11 @@
 use crate::config::RotomConfig;
 use crate::metrics::{accuracy, prf1, PrF1};
 use crate::model::TinyLm;
+use crate::runtime::{FtConfig, FtReport, FtSession};
 use rotom_augment::{apply, apply_batch, DaContext, DaOp, InvDa};
 use rotom_datasets::{TaskDataset, TaskKind};
-use rotom_meta::{MetaTarget, MetaTrainer, WeightedItem};
-use rotom_nn::RotomPool;
+use rotom_meta::{guard_step, MetaTarget, MetaTrainer, WeightedItem};
+use rotom_nn::{CheckpointError, Halt, HealthMonitor, NonFinitePolicy, RotomPool, StateBag};
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngCore, RngExt, SeedableRng};
 use rotom_text::example::{AugExample, Example};
@@ -238,6 +239,80 @@ pub fn run_method_with_base(
     base: Option<&PretrainedBase>,
     seed: u64,
 ) -> RunResult {
+    run_method_impl(task, train, valid, method, cfg, invda, base, seed, None)
+        .expect("training without a fault-tolerant session cannot fail")
+}
+
+/// [`run_method_with_base`] under the fault-tolerant runtime: periodic
+/// crash-safe checkpoints, resume, and numeric-health guarding with
+/// rollback (see [`FtConfig`]).
+///
+/// A resumed run is **bit-identical** to an uninterrupted one: everything
+/// before the epoch loop is recomputed deterministically from `seed`, and
+/// every piece of mutable loop state (model parameters, Adam moments,
+/// learning rate, RNG streams, meta models, best snapshot, validation
+/// curve) is restored from the checkpoint.
+///
+/// Errors surface torn/corrupt/mismatched checkpoints and I/O failures;
+/// health incidents are reported in the returned [`FtReport`] instead.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_ft(
+    task: &TaskDataset,
+    train: &[Example],
+    valid: &[Example],
+    method: Method,
+    cfg: &RotomConfig,
+    invda: Option<&InvDa>,
+    base: Option<&PretrainedBase>,
+    seed: u64,
+    ft: &FtConfig,
+) -> Result<(RunResult, FtReport), CheckpointError> {
+    let resume_bag = match (&ft.checkpoint, ft.resume) {
+        (Some(path), true) if path.exists() => {
+            Some(StateBag::load_path(path, NonFinitePolicy::Reject)?)
+        }
+        _ => None,
+    };
+    let tag = run_tag(method, cfg, train.len(), seed);
+    let mut session = FtSession::new(ft.clone(), tag, resume_bag);
+    let result = run_method_impl(
+        task,
+        train,
+        valid,
+        method,
+        cfg,
+        invda,
+        base,
+        seed,
+        Some(&mut session),
+    )?;
+    Ok((result, session.report))
+}
+
+/// Identity of a run, embedded in every checkpoint: a checkpoint written by
+/// a run with a different method/seed/schedule is rejected on resume.
+fn run_tag(method: Method, cfg: &RotomConfig, train_len: usize, seed: u64) -> Vec<u64> {
+    vec![
+        method as u64,
+        seed,
+        cfg.train.epochs as u64,
+        cfg.train.batch_size as u64,
+        train_len as u64,
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_method_impl(
+    task: &TaskDataset,
+    train: &[Example],
+    valid: &[Example],
+    method: Method,
+    cfg: &RotomConfig,
+    invda: Option<&InvDa>,
+    base: Option<&PretrainedBase>,
+    seed: u64,
+    ft: Option<&mut FtSession>,
+) -> Result<RunResult, CheckpointError> {
     assert!(!train.is_empty(), "empty training set");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
 
@@ -271,51 +346,39 @@ pub fn run_method_with_base(
     let mut model = base.instantiate(cfg, seed);
 
     let start = Instant::now();
-    let val_curve = match method {
-        Method::Baseline => train_plain(&mut model, train, valid, task.kind, cfg, &mut rng),
-        Method::MixDa => train_mixda(
-            &mut model,
-            train,
-            valid,
-            task.kind,
-            cfg,
-            MixSource::SimpleOp,
-            &mut rng,
-        ),
-        Method::InvDa => train_mixda(
-            &mut model,
-            train,
-            valid,
-            task.kind,
-            cfg,
-            MixSource::InvDa(invda.expect("invda required")),
-            &mut rng,
-        ),
-        Method::Rotom => train_rotom(
-            &mut model,
-            task,
-            train,
-            valid,
-            cfg,
-            invda.expect("invda required"),
-            false,
-            &mut rng,
-        ),
-        Method::RotomSsl => train_rotom(
-            &mut model,
-            task,
-            train,
-            valid,
-            cfg,
-            invda.expect("invda required"),
-            true,
-            &mut rng,
-        ),
+    let body = match method {
+        Method::Baseline => EpochBody::Plain,
+        Method::MixDa => EpochBody::Mixda(MixSource::SimpleOp),
+        Method::InvDa => EpochBody::Mixda(MixSource::InvDa(invda.expect("invda required"))),
+        Method::Rotom | Method::RotomSsl => {
+            let ssl = method == Method::RotomSsl;
+            let mut meta_cfg = cfg.meta.clone();
+            meta_cfg.ssl = if ssl {
+                Some(meta_cfg.ssl.unwrap_or_default())
+            } else {
+                None
+            };
+            let enc_cfg = cfg.model.encoder(model.vocab().len());
+            let trainer =
+                MetaTrainer::new(task.num_classes, model.vocab().clone(), enc_cfg, meta_cfg);
+            let unlabeled: Vec<Vec<String>> = if ssl {
+                task.sample_unlabeled(cfg.train.max_unlabeled, cfg.train.seed)
+            } else {
+                Vec::new()
+            };
+            EpochBody::Rotom {
+                task,
+                invda: invda.expect("invda required"),
+                trainer,
+                unlabeled,
+            }
+        }
     };
+    let val_curve = run_epoch_loop(&mut model, train, valid, task.kind, cfg, body, &mut rng, ft)?;
     let train_seconds = start.elapsed().as_secs_f32();
 
     let (acc, f1) = evaluate(&model, &task.test);
-    RunResult {
+    Ok(RunResult {
         method: method.name().to_string(),
         dataset: task.name.clone(),
         accuracy: acc,
@@ -323,7 +386,7 @@ pub fn run_method_with_base(
         train_seconds,
         train_size: train.len(),
         val_curve,
-    }
+    })
 }
 
 fn shuffled<'a>(items: &'a [Example], rng: &mut StdRng) -> Vec<&'a Example> {
@@ -335,164 +398,311 @@ fn shuffled<'a>(items: &'a [Example], rng: &mut StdRng) -> Vec<&'a Example> {
     refs
 }
 
-/// Plain fine-tuning with per-epoch checkpoint selection. Returns the
-/// per-epoch validation-metric curve.
-fn train_plain(
-    model: &mut TinyLm,
-    train: &[Example],
-    valid: &[Example],
-    kind: TaskKind,
-    cfg: &RotomConfig,
-    rng: &mut StdRng,
-) -> Vec<f32> {
-    let k = model.num_classes();
-    let mut best = (f32::NEG_INFINITY, model.snapshot());
-    let mut curve = Vec::with_capacity(cfg.train.epochs);
-    for _ in 0..cfg.train.epochs {
-        for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
-            let items: Vec<WeightedItem> = chunk
-                .iter()
-                .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, k))
-                .collect();
-            model.weighted_loss_backward(&items, true, rng);
-            model.optimizer_step();
-        }
-        let m = valid_metric(model, valid, kind);
-        curve.push(m);
-        if m > best.0 {
-            best.0 = m;
-            model.snapshot_into(&mut best.1);
-        }
-    }
-    model.restore(&best.1);
-    curve
-}
-
 enum MixSource<'a> {
     SimpleOp,
     InvDa(&'a InvDa),
 }
 
-/// MixDA-style fine-tuning: at every epoch transform each example with the
-/// operator (simple op or InvDA) and train on the λ-interpolation of the
-/// original and augmented representations.
-fn train_mixda(
+/// Method-specific state of one epoch-loop run. The loop skeleton
+/// (shuffling, validation, checkpoint selection, fault tolerance) is shared
+/// by [`run_epoch_loop`]; the body holds what differs per method.
+enum EpochBody<'a> {
+    /// Plain fine-tuning on the original examples.
+    Plain,
+    /// MixDA-style fine-tuning: λ-interpolation of the original and
+    /// operator-augmented representations (simple op or InvDA).
+    Mixda(MixSource<'a>),
+    /// Rotom / Rotom+SSL: Algorithm 2 over a per-epoch augmented pool.
+    Rotom {
+        task: &'a TaskDataset,
+        invda: &'a InvDa,
+        trainer: MetaTrainer,
+        unlabeled: Vec<Vec<String>>,
+    },
+}
+
+/// Run one training epoch. With a guard, every optimizer step is health
+/// checked (and subject to injected faults); `Err(Halt)` reports the first
+/// divergent step without applying it.
+fn run_one_epoch(
     model: &mut TinyLm,
     train: &[Example],
     valid: &[Example],
     kind: TaskKind,
     cfg: &RotomConfig,
-    source: MixSource<'_>,
+    body: &mut EpochBody<'_>,
     rng: &mut StdRng,
-) -> Vec<f32> {
-    let op = default_op(kind);
-    let da_ctx = DaContext::default();
-    let workers = RotomPool::global();
-    let mut best = (f32::NEG_INFINITY, model.snapshot());
-    let mut curve = Vec::with_capacity(cfg.train.epochs);
-    for _ in 0..cfg.train.epochs {
-        for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
-            // Augment the whole chunk across the pool. One base seed drawn
-            // from the caller RNG is sharded per example inside the batch
-            // APIs, so the output is independent of the worker count.
-            let aug_seed = rng.next_u64();
-            let inputs: Vec<&[String]> = chunk.iter().map(|e| e.tokens.as_slice()).collect();
-            let augs = match &source {
-                MixSource::SimpleOp => apply_batch(op, &inputs, &da_ctx, aug_seed, workers),
-                MixSource::InvDa(m) => m.augment_batch(&inputs, aug_seed, workers),
-            };
-            let pairs: Vec<(Vec<String>, Vec<String>, usize)> = chunk
-                .iter()
-                .zip(augs)
-                .map(|(e, aug)| (e.tokens.clone(), aug, e.label))
-                .collect();
-            model.mixda_loss_backward(&pairs, cfg.train.mixda_alpha, rng);
-            model.step();
+    mut guard: Option<&mut HealthMonitor>,
+) -> Result<(), Halt> {
+    match body {
+        EpochBody::Plain => {
+            let k = model.num_classes();
+            for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+                let items: Vec<WeightedItem> = chunk
+                    .iter()
+                    .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, k))
+                    .collect();
+                let loss = model.weighted_loss_backward(&items, true, rng);
+                if let Some(monitor) = guard.as_deref_mut() {
+                    guard_step(monitor, model, loss)?;
+                }
+                model.optimizer_step();
+            }
         }
-        let m = valid_metric(model, valid, kind);
-        curve.push(m);
-        if m > best.0 {
-            best.0 = m;
-            model.snapshot_into(&mut best.1);
+        EpochBody::Mixda(source) => {
+            let op = default_op(kind);
+            let da_ctx = DaContext::default();
+            let workers = RotomPool::global();
+            for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+                // Augment the whole chunk across the pool. One base seed
+                // drawn from the caller RNG is sharded per example inside
+                // the batch APIs, so the output is independent of the
+                // worker count.
+                let aug_seed = rng.next_u64();
+                let inputs: Vec<&[String]> = chunk.iter().map(|e| e.tokens.as_slice()).collect();
+                let augs = match &source {
+                    MixSource::SimpleOp => apply_batch(op, &inputs, &da_ctx, aug_seed, workers),
+                    MixSource::InvDa(m) => m.augment_batch(&inputs, aug_seed, workers),
+                };
+                let pairs: Vec<(Vec<String>, Vec<String>, usize)> = chunk
+                    .iter()
+                    .zip(augs)
+                    .map(|(e, aug)| (e.tokens.clone(), aug, e.label))
+                    .collect();
+                let loss = model.mixda_loss_backward(&pairs, cfg.train.mixda_alpha, rng);
+                if let Some(monitor) = guard.as_deref_mut() {
+                    guard_step(monitor, model, loss)?;
+                }
+                model.step();
+            }
+        }
+        EpochBody::Rotom {
+            task,
+            invda,
+            trainer,
+            unlabeled,
+        } => {
+            let op = default_op(task.kind);
+            let da_ctx = DaContext::default();
+            let workers = RotomPool::global();
+            // Per-epoch augmented pool: identity + one simple-DA variant +
+            // one InvDA variant per training example. Both augmentation
+            // families fan out across the worker pool; the base seeds drawn
+            // from the caller RNG are sharded per example, keeping the pool
+            // contents identical to a serial build at any `ROTOM_THREADS`.
+            let inputs: Vec<&[String]> = train.iter().map(|e| e.tokens.as_slice()).collect();
+            let simple_seed = rng.next_u64();
+            let invda_seed = rng.next_u64();
+            let simple_augs = apply_batch(op, &inputs, &da_ctx, simple_seed, workers);
+            let invda_augs = invda.augment_batch(&inputs, invda_seed, workers);
+            let mut pool: Vec<AugExample> = Vec::with_capacity(train.len() * 3);
+            for ((e, simple), inv) in train.iter().zip(simple_augs).zip(invda_augs) {
+                pool.push(AugExample::identity(e));
+                pool.push(AugExample::from_example(e, simple));
+                pool.push(AugExample::from_example(e, inv));
+            }
+            // Unlabeled (x, x̂) pairs for SSL: half simple-DA, half InvDA.
+            // Same seed-sharding scheme, one worker task per unlabeled
+            // sequence.
+            let ssl_seed = rng.next_u64();
+            let unlabeled_aug: Vec<(Vec<String>, Vec<String>)> =
+                workers.map(unlabeled.len(), |i| {
+                    let mut r = StdRng::seed_from_u64(rotom_rng::split_seed(ssl_seed, i as u64));
+                    let x = &unlabeled[i];
+                    let x_hat = if r.random_bool(0.5) {
+                        apply(op, x, &da_ctx, &mut r)
+                    } else {
+                        invda.augment(x, &mut r)
+                    };
+                    (x.clone(), x_hat)
+                });
+            trainer.train_epoch_guarded(model, &pool, valid, &unlabeled_aug, guard)?;
         }
     }
-    model.restore(&best.1);
-    curve
+    Ok(())
 }
 
-/// Rotom / Rotom+SSL: Algorithm 2 over a pool combining the original
-/// examples with simple-DA and InvDA augmentations.
+/// Capture the complete mutable state of the epoch loop into a [`StateBag`]:
+/// enough that restoring it continues training bit-identically.
+fn capture_state(
+    session: &FtSession,
+    epoch: usize,
+    model: &TinyLm,
+    body: &EpochBody<'_>,
+    rng: &StdRng,
+    best: &(f32, Vec<f32>),
+    curve: &[f32],
+) -> StateBag {
+    let mut bag = StateBag::new();
+    bag.put_u64s("run.tag", session.tag.clone());
+    bag.put_u64("run.epoch", epoch as u64);
+    bag.put_u64("run.steps", session.monitor.step());
+    bag.put_u64("run.rollbacks", session.monitor.rollbacks() as u64);
+    bag.put_u64s("loop.rng", rng.state().to_vec());
+    bag.put_f32("best.metric", best.0);
+    bag.put_f32s("best.params", best.1.clone());
+    bag.put_f32s("curve", curve.to_vec());
+    model.save_train_state(&mut bag, "model");
+    if let EpochBody::Rotom { trainer, .. } = body {
+        trainer.save_state(&mut bag, "meta");
+    }
+    bag
+}
+
+/// Inverse of [`capture_state`]. The rollback counter is deliberately *not*
+/// restored here: a health rollback keeps its (incremented) count, while
+/// crash resume restores it from the bag separately.
 #[allow(clippy::too_many_arguments)]
-fn train_rotom(
+fn restore_state(
+    bag: &StateBag,
+    session: &mut FtSession,
     model: &mut TinyLm,
-    task: &TaskDataset,
+    body: &mut EpochBody<'_>,
+    rng: &mut StdRng,
+    best: &mut (f32, Vec<f32>),
+    curve: &mut Vec<f32>,
+    epoch: &mut usize,
+) -> Result<(), CheckpointError> {
+    let tag = bag.get_u64s("run.tag")?;
+    if tag != session.tag {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint belongs to a different run: tag {tag:?} vs expected {:?} \
+             (method/seed/epochs/batch/train-size)",
+            session.tag
+        )));
+    }
+    model.load_train_state(bag, "model")?;
+    if let EpochBody::Rotom { trainer, .. } = body {
+        trainer.load_state(bag, "meta")?;
+    }
+    *epoch = bag.get_u64("run.epoch")? as usize;
+    session.monitor.set_step(bag.get_u64("run.steps")?);
+    let rng_state = bag.get_u64s("loop.rng")?;
+    if rng_state.len() != 4 {
+        return Err(CheckpointError::Mismatch(format!(
+            "loop.rng: expected 4 state words, found {}",
+            rng_state.len()
+        )));
+    }
+    *rng = StdRng::from_state([rng_state[0], rng_state[1], rng_state[2], rng_state[3]]);
+    best.0 = bag.get_f32("best.metric")?;
+    best.1 = bag.get_f32s("best.params")?.to_vec();
+    let model_params = bag.get_f32s("model.params")?.len();
+    if best.1.len() != model_params {
+        return Err(CheckpointError::Mismatch(format!(
+            "best.params: {} values vs {} model parameters",
+            best.1.len(),
+            model_params
+        )));
+    }
+    *curve = bag.get_f32s("curve")?.to_vec();
+    Ok(())
+}
+
+/// The shared epoch loop: shuffle/train via [`run_one_epoch`], validate,
+/// track the best checkpoint, and finish on the best parameters. Returns
+/// the per-epoch validation-metric curve.
+///
+/// With a fault-tolerant session the loop additionally (a) restores itself
+/// from a resume checkpoint, (b) captures the full loop state at every
+/// epoch boundary (writing it out per [`FtConfig`]), and (c) reacts to
+/// health halts by rolling back to the last good boundary with a decayed
+/// learning rate — degrading to the best snapshot once the rollback budget
+/// is exhausted. Without a session the behaviour (and every consumed RNG
+/// draw) is identical to the plain loop.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_loop(
+    model: &mut TinyLm,
     train: &[Example],
     valid: &[Example],
+    kind: TaskKind,
     cfg: &RotomConfig,
-    invda: &InvDa,
-    ssl: bool,
+    mut body: EpochBody<'_>,
     rng: &mut StdRng,
-) -> Vec<f32> {
-    let op = default_op(task.kind);
-    let da_ctx = DaContext::default();
-    let mut meta_cfg = cfg.meta.clone();
-    meta_cfg.ssl = if ssl {
-        Some(meta_cfg.ssl.unwrap_or_default())
-    } else {
-        None
-    };
-    let enc_cfg = cfg.model.encoder(model.vocab().len());
-    let mut trainer = MetaTrainer::new(task.num_classes, model.vocab().clone(), enc_cfg, meta_cfg);
-
-    let unlabeled: Vec<Vec<String>> = if ssl {
-        task.sample_unlabeled(cfg.train.max_unlabeled, cfg.train.seed)
-    } else {
-        Vec::new()
-    };
-
-    let workers = RotomPool::global();
+    mut ft: Option<&mut FtSession>,
+) -> Result<Vec<f32>, CheckpointError> {
     let mut best = (f32::NEG_INFINITY, model.snapshot());
-    let mut curve = Vec::with_capacity(cfg.train.epochs);
-    for _ in 0..cfg.train.epochs {
-        // Per-epoch augmented pool: identity + one simple-DA variant + one
-        // InvDA variant per training example. Both augmentation families fan
-        // out across the worker pool; the base seeds drawn from the caller
-        // RNG are sharded per example, keeping the pool contents identical
-        // to a serial build at any `ROTOM_THREADS`.
-        let inputs: Vec<&[String]> = train.iter().map(|e| e.tokens.as_slice()).collect();
-        let simple_seed = rng.next_u64();
-        let invda_seed = rng.next_u64();
-        let simple_augs = apply_batch(op, &inputs, &da_ctx, simple_seed, workers);
-        let invda_augs = invda.augment_batch(&inputs, invda_seed, workers);
-        let mut pool: Vec<AugExample> = Vec::with_capacity(train.len() * 3);
-        for ((e, simple), inv) in train.iter().zip(simple_augs).zip(invda_augs) {
-            pool.push(AugExample::identity(e));
-            pool.push(AugExample::from_example(e, simple));
-            pool.push(AugExample::from_example(e, inv));
+    let mut curve: Vec<f32> = Vec::with_capacity(cfg.train.epochs);
+    let mut epoch = 0usize;
+
+    if let Some(session) = ft.as_deref_mut() {
+        if let Some(bag) = session.take_resume_bag() {
+            restore_state(
+                &bag, session, model, &mut body, rng, &mut best, &mut curve, &mut epoch,
+            )?;
+            session
+                .monitor
+                .set_rollbacks(bag.get_u64("run.rollbacks")? as u32);
+            session.report.resumed_from_epoch = Some(epoch);
+            session.last_good = Some(bag);
+        } else {
+            // The pre-training state is the first rollback target, so a
+            // divergence in epoch 0 also recovers.
+            session.last_good = Some(capture_state(
+                session, epoch, model, &body, rng, &best, &curve,
+            ));
         }
-        // Unlabeled (x, x̂) pairs for SSL: half simple-DA, half InvDA. Same
-        // seed-sharding scheme, one worker task per unlabeled sequence.
-        let ssl_seed = rng.next_u64();
-        let unlabeled_aug: Vec<(Vec<String>, Vec<String>)> = workers.map(unlabeled.len(), |i| {
-            let mut r = StdRng::seed_from_u64(rotom_rng::split_seed(ssl_seed, i as u64));
-            let x = &unlabeled[i];
-            let x_hat = if r.random_bool(0.5) {
-                apply(op, x, &da_ctx, &mut r)
-            } else {
-                invda.augment(x, &mut r)
-            };
-            (x.clone(), x_hat)
-        });
-        trainer.train_epoch(model, &pool, valid, &unlabeled_aug);
-        let m = valid_metric(model, valid, task.kind);
-        curve.push(m);
-        if m > best.0 {
-            best.0 = m;
-            model.snapshot_into(&mut best.1);
+    }
+
+    while epoch < cfg.train.epochs {
+        let outcome = run_one_epoch(
+            model,
+            train,
+            valid,
+            kind,
+            cfg,
+            &mut body,
+            rng,
+            ft.as_deref_mut().map(|s| &mut s.monitor),
+        );
+        match outcome {
+            Ok(()) => {
+                let m = valid_metric(model, valid, kind);
+                curve.push(m);
+                if m > best.0 {
+                    best.0 = m;
+                    model.snapshot_into(&mut best.1);
+                }
+                epoch += 1;
+                if let Some(session) = ft.as_deref_mut() {
+                    let bag = capture_state(session, epoch, model, &body, rng, &best, &curve);
+                    session.on_epoch_end(epoch, &bag)?;
+                    session.last_good = Some(bag);
+                }
+            }
+            Err(halt) => {
+                let session = ft
+                    .as_deref_mut()
+                    .expect("a health halt requires a fault-tolerant session");
+                let bag = session
+                    .last_good
+                    .clone()
+                    .expect("last-good state is captured before the first epoch");
+                if session.monitor.can_rollback() {
+                    restore_state(
+                        &bag, session, model, &mut body, rng, &mut best, &mut curve, &mut epoch,
+                    )?;
+                    let scale = session
+                        .monitor
+                        .record_rollback(session.monitor.step(), halt.to_string());
+                    model.scale_lr(scale);
+                    session.last_good = Some(bag);
+                } else {
+                    session.monitor.record_degraded(format!(
+                        "rollback budget exhausted; finishing from best snapshot ({halt})"
+                    ));
+                    session.report.degraded = true;
+                    break;
+                }
+            }
         }
     }
     model.restore(&best.1);
-    curve
+    if let Some(session) = ft {
+        session.report.events = session.monitor.events().to_vec();
+        session.report.steps = session.monitor.step();
+    }
+    Ok(curve)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use rotom_augment::{apply, corrupt, DaContext, DaOp};
 use rotom_meta::{guess_label, sharpen_v1, sharpen_v2};
 use rotom_nn::{softmax_slice, ParamStore, Tape, Tensor};
 use rotom_rng::rngs::StdRng;
-use rotom_rng::{split_seed, RngExt, SeedableRng};
+use rotom_rng::{split_seed, RngCore, RngExt, SeedableRng};
 use rotom_text::serialize::{parse_structure, serialize_record, Record};
 use rotom_text::token::is_structural;
 use rotom_text::tokenizer::{detokenize, tokenize};
@@ -187,6 +187,88 @@ fn gradcheck_random_linear() {
                 k,
                 analytic[k],
                 numeric
+            );
+        }
+    }
+}
+
+/// Generator: an f32 from the full bit-pattern space, biased toward the
+/// special values the checkpoint format must preserve exactly (NaNs with
+/// payloads, ±Inf, ±0, subnormals).
+fn any_f32(rng: &mut StdRng) -> f32 {
+    match rng.random_range(0..6u32) {
+        0 => f32::from_bits(0x7fc0_0000 | rng.random_range(0..0x40_0000u32)), // NaN payload
+        1 => f32::from_bits(0xffc0_0000 | rng.random_range(0..0x40_0000u32)), // -NaN payload
+        2 => {
+            if rng.random_bool(0.5) {
+                f32::INFINITY
+            } else {
+                f32::NEG_INFINITY
+            }
+        }
+        3 => f32::from_bits(rng.random_range(0..0x80_0000u32)), // subnormal / ±0
+        _ => f32::from_bits(rng.random_range(0..=u32::MAX)),
+    }
+}
+
+/// Checkpoint round-trip is exact for arbitrary f32 bit patterns: NaN
+/// payloads, infinities, subnormals, and signed zeros all survive
+/// serialize → parse bit-for-bit (with the opt-in non-finite policy).
+#[test]
+fn checkpoint_roundtrip_arbitrary_f32_bits() {
+    use rotom_nn::StateBag;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0007, case));
+        let mut bag = StateBag::new();
+        let n_sections = rng.random_range(1..4usize);
+        let mut expected: Vec<(String, Vec<f32>)> = Vec::new();
+        for s in 0..n_sections {
+            let vals: Vec<f32> = (0..rng.random_range(0..32usize))
+                .map(|_| any_f32(&mut rng))
+                .collect();
+            let name = format!("sec{s}.{}", word(&mut rng));
+            bag.put_f32s(name.clone(), vals.clone());
+            expected.push((name, vals));
+        }
+        let text = bag.serialize();
+        // Parsing never applies a finiteness policy; that's the loader's
+        // opt-in gate. Raw parse must accept any bit pattern.
+        let back = StateBag::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        for (name, vals) in &expected {
+            let got = back
+                .get_f32s(name)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "case {case}: {name} bits drifted");
+        }
+    }
+}
+
+/// Truncating a serialized checkpoint at ANY byte offset is detected as an
+/// error — a cut file never parses into wrong values.
+#[test]
+fn checkpoint_truncation_at_any_offset_errors() {
+    use rotom_nn::StateBag;
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(split_seed(0xda0_0008, case));
+        let mut bag = StateBag::new();
+        bag.put_f32s(
+            "params",
+            (0..rng.random_range(1..24usize))
+                .map(|_| any_f32(&mut rng))
+                .collect::<Vec<f32>>(),
+        );
+        bag.put_u64s("rng", (0..4).map(|_| rng.next_u64()).collect::<Vec<u64>>());
+        let text = bag.serialize();
+        for cut in 0..text.len() {
+            // The format is pure ASCII, so every byte offset is a char
+            // boundary.
+            let truncated = &text[..cut];
+            assert!(
+                StateBag::parse(truncated).is_err(),
+                "case {case}: truncation at byte {cut}/{} parsed successfully",
+                text.len()
             );
         }
     }
