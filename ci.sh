@@ -53,4 +53,19 @@ cargo test -q --release --offline --test alloc_budget
 echo "== trainbench perfsmoke (writes BENCH_train.json, gates steps/sec)"
 cargo run --release --offline -p rotom-bench --bin trainbench -- --check
 
+# Telemetry smoke: a short Rotom training with the observability plane live
+# must emit schema-valid JSONL covering the step, meta-decision,
+# augmentation, and pool record kinds — at 1 worker (inline paths) and at 8
+# (fan-out paths). Goldens-with-telemetry-off invariance is what the golden
+# stanzas above already assert, since they run with ROTOM_TELEMETRY unset.
+for t in 1 8; do
+    echo "== telemetry smoke (ROTOM_THREADS=$t)"
+    TLOG="target/telemetry_smoke_${t}.jsonl"
+    ROTOM_BENCH_SCALE=quick ROTOM_TELEMETRY="$TLOG" ROTOM_THREADS=$t \
+        cargo run --release --offline -p rotom-bench --bin rotom_cli -- \
+        sst-2 rotom 24 0 >/dev/null
+    cargo run --release --offline -p rotom-bench --bin telemetry_report -- \
+        "$TLOG" --check --require step,meta,aug,pool
+done
+
 echo "CI OK"

@@ -445,10 +445,12 @@ impl InvDa {
         base_seed: u64,
         pool: &rotom_nn::RotomPool,
     ) -> Vec<Vec<String>> {
-        pool.map(inputs.len(), |i| {
+        let out = pool.map(inputs.len(), |i| {
             let mut rng = StdRng::seed_from_u64(rotom_rng::split_seed(base_seed, i as u64));
             self.augment(inputs[i], &mut rng)
-        })
+        });
+        crate::ops::emit_aug_record("invda", inputs, &out);
+        out
     }
 
     /// Number of inputs with cached variants.

@@ -208,10 +208,45 @@ pub fn apply_batch(
     pool: &rotom_nn::RotomPool,
 ) -> Vec<Vec<String>> {
     use rotom_rng::SeedableRng;
-    pool.map(inputs.len(), |i| {
+    let out = pool.map(inputs.len(), |i| {
         let mut rng = StdRng::seed_from_u64(rotom_rng::split_seed(base_seed, i as u64));
         apply(op, inputs[i], ctx, &mut rng)
-    })
+    });
+    emit_aug_record(op.name(), inputs, &out);
+    out
+}
+
+/// Emit one `aug` telemetry record for a finished augmentation batch:
+/// batch size, how many outputs differ from their input, and the mean token
+/// length delta. Pure observation of already-computed results — consumes no
+/// RNG and never alters the outputs.
+pub(crate) fn emit_aug_record(op_name: &str, inputs: &[&[String]], outputs: &[Vec<String>]) {
+    use rotom_nn::telemetry::{self, Value};
+    if !telemetry::enabled() || outputs.is_empty() {
+        return;
+    }
+    let changed = inputs
+        .iter()
+        .zip(outputs)
+        .filter(|(inp, out)| inp[..] != out[..])
+        .count();
+    let len_delta: i64 = inputs
+        .iter()
+        .zip(outputs)
+        .map(|(inp, out)| out.len() as i64 - inp.len() as i64)
+        .sum();
+    telemetry::emit(
+        "aug",
+        op_name,
+        &[
+            ("n", Value::U64(outputs.len() as u64)),
+            ("changed", Value::U64(changed as u64)),
+            (
+                "mean_len_delta",
+                Value::F64(len_delta as f64 / outputs.len() as f64),
+            ),
+        ],
+    );
 }
 
 fn token_del(tokens: &[String], ctx: &DaContext, rng: &mut StdRng) -> Vec<String> {

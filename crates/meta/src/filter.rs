@@ -127,6 +127,21 @@ impl FilterModel {
         self.store.zero_grad();
         tape.backward(objective, &mut self.store);
         recycle_tape(tape);
+        // Observed after backward, before the Adam step mutates the store —
+        // reads gradients only, so training is unchanged by telemetry.
+        if rotom_nn::telemetry::enabled() {
+            use rotom_nn::telemetry::Value;
+            let grad_norm = self.store.grad_norm() as f64;
+            rotom_nn::telemetry::emit(
+                "meta",
+                "filter.reinforce",
+                &[
+                    ("kept", Value::U64(kept_features.len() as u64)),
+                    ("reward", Value::F64(loss_val as f64)),
+                    ("grad_norm", Value::F64(grad_norm)),
+                ],
+            );
+        }
         self.opt.step(&mut self.store);
     }
 

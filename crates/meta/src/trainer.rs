@@ -28,6 +28,7 @@ use crate::sharpen::guess_label;
 use crate::target::{MetaTarget, WeightedItem};
 use crate::weight::{l2_distance, WeightModel};
 use rotom_nn::faultpoint::{self, FaultKind};
+use rotom_nn::telemetry::{self, Value};
 use rotom_nn::{
     CheckpointError, Halt, HealthMonitor, RotomPool, StateBag, TransformerConfig, Verdict,
 };
@@ -384,6 +385,63 @@ impl MetaTrainer {
             stats.val_loss += val_loss;
             stats.keep_rate += keep_rate;
             stats.steps += 1;
+
+            // ----------------------------------------------------------
+            // Telemetry: one `step` record for the phase-1 target update
+            // and one `meta` record for this batch's policy decisions.
+            // Pure observation of values already computed above — consumes
+            // no RNG, so runs are bit-identical with telemetry on or off.
+            // ----------------------------------------------------------
+            if telemetry::enabled() {
+                let grad_norm = g.iter().map(|&v| v as f64 * v as f64).sum::<f64>().sqrt();
+                telemetry::emit(
+                    "step",
+                    "meta.target_step",
+                    &[
+                        ("loss", Value::F64(train_loss as f64)),
+                        ("lr", Value::F64(eta as f64)),
+                        ("grad_norm", Value::F64(grad_norm)),
+                        ("examples", Value::U64(items.len() as u64)),
+                    ],
+                );
+                // 8-bucket sketch of the normalized M_W weights over [0, 2)
+                // (mean-1 normalization centers them at bucket 3|4).
+                let mut hist = [0u64; 8];
+                let mut w_min = f32::INFINITY;
+                let mut w_max = f32::NEG_INFINITY;
+                let mut w_sum = 0.0f64;
+                for it in &items {
+                    let w = it.weight;
+                    w_min = w_min.min(w);
+                    w_max = w_max.max(w);
+                    w_sum += w as f64;
+                    let bucket = ((w / 0.25) as usize).min(7);
+                    hist[bucket] += 1;
+                }
+                telemetry::emit(
+                    "meta",
+                    "meta.decision",
+                    &[
+                        ("keep_rate", Value::F64(keep_rate as f64)),
+                        ("kept", Value::U64(kept_features.len() as u64)),
+                        ("seen", Value::U64(seen as u64)),
+                        ("val_loss", Value::F64(val_loss as f64)),
+                        ("baseline", Value::F64(self.val_baseline as f64)),
+                        ("reward", Value::F64(reward as f64)),
+                        ("w_mean", Value::F64(w_sum / items.len() as f64)),
+                        ("w_min", Value::F64(w_min as f64)),
+                        ("w_max", Value::F64(w_max as f64)),
+                        ("w_hist_0", Value::U64(hist[0])),
+                        ("w_hist_1", Value::U64(hist[1])),
+                        ("w_hist_2", Value::U64(hist[2])),
+                        ("w_hist_3", Value::U64(hist[3])),
+                        ("w_hist_4", Value::U64(hist[4])),
+                        ("w_hist_5", Value::U64(hist[5])),
+                        ("w_hist_6", Value::U64(hist[6])),
+                        ("w_hist_7", Value::U64(hist[7])),
+                    ],
+                );
+            }
         }
         if stats.steps > 0 {
             let n = stats.steps as f32;

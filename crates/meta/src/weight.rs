@@ -164,7 +164,23 @@ impl WeightModel {
             recycle_tape(batch.tape);
             return;
         }
+        let n = batch.nodes.len();
         let _ = self.estimate_meta_grad(batch, c_plus, c_minus, eta, eps);
+        // Observed before clipping mutates the gradients: the raw Eq.-4
+        // meta-gradient magnitude is the interesting signal.
+        if rotom_nn::telemetry::enabled() {
+            use rotom_nn::telemetry::Value;
+            rotom_nn::telemetry::emit(
+                "meta",
+                "weight.fd_update",
+                &[
+                    ("examples", Value::U64(n as u64)),
+                    ("meta_grad_norm", Value::F64(self.store.grad_norm() as f64)),
+                    ("eta", Value::F64(eta as f64)),
+                    ("eps", Value::F64(eps as f64)),
+                ],
+            );
+        }
         self.store.clip_grad_norm(5.0);
         self.opt.step(&mut self.store);
     }

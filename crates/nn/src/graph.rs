@@ -1334,6 +1334,16 @@ pub fn with_pooled_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
     out
 }
 
+/// Snapshot of the global tape pool for the telemetry plane:
+/// `(pooled_tapes, retained_floats)` — how many reset tapes are parked and
+/// how many arena floats they pin in total. Read-only; never blocks writers
+/// beyond one short lock.
+pub fn pooled_tape_stats() -> (usize, usize) {
+    let pool = TAPE_POOL.lock().unwrap();
+    let retained: usize = pool.iter().map(|t| t.arena.retained).sum();
+    (pool.len(), retained)
+}
+
 /// Row softmax into `out`; returns the `(max, sum)` statistics so callers
 /// (cross-entropy) can derive the log-sum-exp without a second pass.
 fn softmax_row(row: &[f32], mask: Option<&[f32]>, out: &mut [f32]) -> (f32, f32) {

@@ -76,6 +76,74 @@ pub const SMALL_FLOPS: usize = 32 * 32 * 32;
 pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 
 // ---------------------------------------------------------------------------
+// Dispatch profiling (telemetry)
+// ---------------------------------------------------------------------------
+
+/// GEMM dispatch-path counters for the telemetry plane.
+///
+/// Each public GEMM entry point bumps one process-global counter for the
+/// path it chose (naive, tiled serial, tiled parallel). Counting is gated on
+/// [`telemetry::enabled`], so the disabled path costs one branch per GEMM
+/// call and no atomic traffic; counts are cumulative and read out as gauges
+/// (typically once per epoch via [`profile::emit_gemm_gauges`]).
+pub mod profile {
+    use crate::telemetry::{self, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static NAIVE: AtomicU64 = AtomicU64::new(0);
+    pub(super) static TILED_SERIAL: AtomicU64 = AtomicU64::new(0);
+    pub(super) static TILED_PARALLEL: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    pub(super) fn bump(counter: &AtomicU64) {
+        if telemetry::enabled() {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative `(naive, tiled_serial, tiled_parallel)` dispatch counts
+    /// since process start (all zero unless telemetry is enabled).
+    pub fn gemm_counters() -> (u64, u64, u64) {
+        (
+            NAIVE.load(Ordering::Relaxed),
+            TILED_SERIAL.load(Ordering::Relaxed),
+            TILED_PARALLEL.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Whether the AVX2+FMA micro-kernel is active on this machine.
+    pub fn fma_active() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            super::fma::available()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Emit one `gauge` record with the cumulative GEMM dispatch counters
+    /// and the SIMD path in use. No-op when telemetry is disabled.
+    pub fn emit_gemm_gauges() {
+        if !telemetry::enabled() {
+            return;
+        }
+        let (naive, serial, parallel) = gemm_counters();
+        telemetry::emit(
+            "gauge",
+            "kernels.gemm_dispatch",
+            &[
+                ("naive", Value::U64(naive)),
+                ("tiled_serial", Value::U64(serial)),
+                ("tiled_parallel", Value::U64(parallel)),
+                ("fma", Value::U64(fma_active() as u64)),
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Thread-local scratch pool
 // ---------------------------------------------------------------------------
 
@@ -627,8 +695,10 @@ fn tiled_dispatch<B: BSrc>(
 ) {
     let flops = m * k * n;
     if flops < PAR_MIN_FLOPS || pool.threads() <= 1 || m < 2 * MR {
+        profile::bump(&profile::TILED_SERIAL);
         matmul_block_tiled(a, m, k, bsrc, n, out);
     } else {
+        profile::bump(&profile::TILED_PARALLEL);
         // Split on MR-row boundaries so every worker runs full tiles with
         // the exact code (and summation order) the serial path uses.
         //
@@ -668,6 +738,7 @@ pub fn matmul_into(
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     if m * k * n < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
         matmul_naive_into(a, b, m, k, n, out);
         return;
     }
@@ -689,6 +760,7 @@ pub fn matmul_prepacked_into(
 ) {
     debug_assert_eq!(pk.shape(), (k, n));
     if m * k * n < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
         matmul_naive_into(a, b, m, k, n, out);
         return;
     }
@@ -839,6 +911,7 @@ pub fn matmul_transpose_b_into(
     out: &mut [f32],
 ) {
     if m * k * n < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
         matmul_transpose_b_naive_into(a, b, m, k, n, out);
         return;
     }
@@ -860,6 +933,7 @@ pub fn matmul_transpose_b_prepacked_into(
 ) {
     debug_assert_eq!(pk.shape(), (k, n));
     if m * k * n < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
         matmul_transpose_b_naive_into(a, b, m, k, n, out);
         return;
     }
@@ -918,6 +992,7 @@ pub fn matmul_transpose_a_into(
     debug_assert_eq!(out.len(), k * n);
     let flops = m * k * n;
     if flops < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
         // Direct q-i-j form: out[q][j] += a[i][q] * g[i][j], i increasing.
         #[cfg(target_arch = "x86_64")]
         if avx::available() {
@@ -945,8 +1020,10 @@ pub fn matmul_transpose_a_into(
         return;
     }
     if flops < PAR_MIN_FLOPS || pool.threads() <= 1 || k < 2 * MR {
+        profile::bump(&profile::TILED_SERIAL);
         transpose_a_block(a, g, m, k, n, 0, k, out);
     } else {
+        profile::bump(&profile::TILED_PARALLEL);
         // Same fan-out shape as `tiled_dispatch` (output rows = rows of Aᵀ),
         // same soundness argument for the raw-pointer split.
         let out_base = SendPtr(out.as_mut_ptr());

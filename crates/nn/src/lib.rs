@@ -53,11 +53,14 @@ mod optim;
 mod params;
 pub mod pool;
 pub mod schedule;
+pub mod telemetry;
 mod tensor;
 
 pub use checkpoint::{CheckpointError, NonFinitePolicy, StateBag, StateEntry};
 pub use faultpoint::{FaultKilled, FaultKind};
-pub use graph::{recycle_tape, take_pooled_tape, with_pooled_tape, AttnMask, NodeId, Tape};
+pub use graph::{
+    pooled_tape_stats, recycle_tape, take_pooled_tape, with_pooled_tape, AttnMask, NodeId, Tape,
+};
 pub use health::{Halt, HealthConfig, HealthEvent, HealthMonitor, Verdict};
 pub use init::Initializer;
 pub use layers::{

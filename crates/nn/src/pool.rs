@@ -22,7 +22,69 @@
 
 use std::any::Any;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+use crate::telemetry;
+use crate::telemetry::Value;
+
+/// Per-dispatch telemetry collector: one `pool` record per pool call, with
+/// queue-wait (spawn-to-start latency) and busy time per worker. Only
+/// constructed while telemetry is enabled, so the disabled path costs one
+/// branch and never reads the clock. The inline (single-worker) path reports
+/// `workers=1` with zero wait, so `pool` records exist at every thread count.
+struct PoolDispatch {
+    ctx: &'static str,
+    items: usize,
+    start: Instant,
+    timings: Mutex<Vec<(u64, u64)>>,
+}
+
+impl PoolDispatch {
+    fn begin(ctx: &'static str, items: usize) -> Option<Self> {
+        telemetry::enabled().then(|| PoolDispatch {
+            ctx,
+            items,
+            start: Instant::now(),
+            timings: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Called at the top of a worker body: returns (wait_us, busy-start).
+    fn worker_begin(&self) -> (u64, Instant) {
+        (self.start.elapsed().as_micros() as u64, Instant::now())
+    }
+
+    /// Called at the end of a worker body with `worker_begin`'s return.
+    fn worker_end(&self, (wait_us, busy_start): (u64, Instant)) {
+        let busy_us = busy_start.elapsed().as_micros() as u64;
+        if let Ok(mut t) = self.timings.lock() {
+            t.push((wait_us, busy_us));
+        }
+    }
+
+    /// Emit the aggregated `pool` record after all workers joined.
+    fn finish(self) {
+        let total_us = self.start.elapsed().as_micros() as u64;
+        let timings = self.timings.into_inner().unwrap_or_default();
+        let workers = timings.len().max(1);
+        let wait_max = timings.iter().map(|&(w, _)| w).max().unwrap_or(0);
+        let busy_max = timings.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let busy_total: u64 = timings.iter().map(|&(_, b)| b).sum();
+        telemetry::emit(
+            "pool",
+            self.ctx,
+            &[
+                ("workers", Value::U64(workers as u64)),
+                ("items", Value::U64(self.items as u64)),
+                ("total_us", Value::U64(total_us)),
+                ("wait_max_us", Value::U64(wait_max)),
+                ("busy_max_us", Value::U64(busy_max)),
+                ("busy_total_us", Value::U64(busy_total)),
+            ],
+        );
+    }
+}
 
 /// Extract a human-readable message from a worker's panic payload.
 fn payload_message(payload: Box<dyn Any + Send>) -> String {
@@ -71,17 +133,42 @@ impl RotomPool {
     }
 
     /// A pool sized from the environment: `ROTOM_THREADS` if set to a
-    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    /// positive integer (surrounding whitespace is tolerated), otherwise
+    /// [`std::thread::available_parallelism`]. A set-but-invalid value (not
+    /// a number, or zero) falls back too, but loudly: a one-shot stderr
+    /// warning and telemetry counter name the rejected value instead of
+    /// silently ignoring the operator's intent.
     pub fn from_env() -> Self {
-        let threads = std::env::var("ROTOM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let threads = match std::env::var("ROTOM_THREADS") {
+            Ok(raw) => {
+                let trimmed = raw.trim();
+                match trimmed.parse::<usize>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ if trimmed.is_empty() => None,
+                    _ => {
+                        static WARN_ONCE: Once = Once::new();
+                        WARN_ONCE.call_once(|| {
+                            eprintln!(
+                                "rotom: ignoring invalid ROTOM_THREADS={raw:?} \
+                                 (expected a positive integer); using detected parallelism"
+                            );
+                            telemetry::emit(
+                                "counter",
+                                "pool.rotom_threads_rejected",
+                                &[("value", Value::Str(raw.clone()))],
+                            );
+                        });
+                        None
+                    }
+                }
+            }
+            Err(_) => None,
+        };
+        let threads = threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         Self::new(threads)
     }
 
@@ -109,19 +196,37 @@ impl RotomPool {
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.threads.min(n);
+        let dispatch = PoolDispatch::begin("map", n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            let out = if let Some(d) = dispatch {
+                let t = d.worker_begin();
+                let out = (0..n).map(f).collect();
+                d.worker_end(t);
+                d.finish();
+                out
+            } else {
+                (0..n).map(f).collect()
+            };
+            return out;
         }
         let chunk = n.div_ceil(workers);
         let mut out: Vec<T> = Vec::with_capacity(n);
         let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
+            let dispatch = &dispatch;
             let handles: Vec<_> = (0..n)
                 .step_by(chunk)
                 .map(|base| {
                     let f = &f;
                     let end = (base + chunk).min(n);
-                    scope.spawn(move || (base..end).map(f).collect::<Vec<T>>())
+                    scope.spawn(move || {
+                        let t = dispatch.as_ref().map(|d| d.worker_begin());
+                        let chunk = (base..end).map(f).collect::<Vec<T>>();
+                        if let (Some(d), Some(t)) = (dispatch.as_ref(), t) {
+                            d.worker_end(t);
+                        }
+                        chunk
+                    })
                 })
                 .collect();
             for (wi, h) in handles.into_iter().enumerate() {
@@ -131,6 +236,9 @@ impl RotomPool {
                 }
             }
         });
+        if let Some(d) = dispatch {
+            d.finish();
+        }
         raise_worker_failures("map", failures);
         out
     }
@@ -148,8 +256,16 @@ impl RotomPool {
         let g = granularity.max(1);
         let units = n.div_ceil(g);
         let workers = self.threads.min(units);
+        let dispatch = PoolDispatch::begin("run_ranges", n);
         if workers <= 1 {
-            if n > 0 {
+            if let Some(d) = dispatch {
+                let t = d.worker_begin();
+                if n > 0 {
+                    f(0..n);
+                }
+                d.worker_end(t);
+                d.finish();
+            } else if n > 0 {
                 f(0..n);
             }
             return;
@@ -158,12 +274,19 @@ impl RotomPool {
         let step = units_per * g;
         let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
+            let dispatch = &dispatch;
             let mut handles = Vec::new();
             let mut start = 0usize;
             while start < n {
                 let end = (start + step).min(n);
                 let f = &f;
-                handles.push(scope.spawn(move || f(start..end)));
+                handles.push(scope.spawn(move || {
+                    let t = dispatch.as_ref().map(|d| d.worker_begin());
+                    f(start..end);
+                    if let (Some(d), Some(t)) = (dispatch.as_ref(), t) {
+                        d.worker_end(t);
+                    }
+                }));
                 start = end;
             }
             for (wi, h) in handles.into_iter().enumerate() {
@@ -172,6 +295,9 @@ impl RotomPool {
                 }
             }
         });
+        if let Some(d) = dispatch {
+            d.finish();
+        }
         raise_worker_failures("run_ranges", failures);
     }
 
@@ -188,19 +314,34 @@ impl RotomPool {
         debug_assert_eq!(data.len() % width, 0, "data must be whole rows");
         let rows = data.len() / width;
         let workers = self.threads.min(rows);
+        let dispatch = PoolDispatch::begin("chunk_rows", rows);
         if workers <= 1 {
-            f(0, data);
+            if let Some(d) = dispatch {
+                let t = d.worker_begin();
+                f(0, data);
+                d.worker_end(t);
+                d.finish();
+            } else {
+                f(0, data);
+            }
             return;
         }
         let rows_per = rows.div_ceil(workers);
         let mut failures: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
+            let dispatch = &dispatch;
             let handles: Vec<_> = data
                 .chunks_mut(rows_per * width)
                 .enumerate()
                 .map(|(ci, chunk)| {
                     let f = &f;
-                    scope.spawn(move || f(ci * rows_per, chunk))
+                    scope.spawn(move || {
+                        let t = dispatch.as_ref().map(|d| d.worker_begin());
+                        f(ci * rows_per, chunk);
+                        if let (Some(d), Some(t)) = (dispatch.as_ref(), t) {
+                            d.worker_end(t);
+                        }
+                    })
                 })
                 .collect();
             for (wi, h) in handles.into_iter().enumerate() {
@@ -209,6 +350,9 @@ impl RotomPool {
                 }
             }
         });
+        if let Some(d) = dispatch {
+            d.finish();
+        }
         raise_worker_failures("chunk_rows", failures);
     }
 }
@@ -354,6 +498,32 @@ mod tests {
                 }
             });
             assert_eq!(data[9..12], [3, 3, 3]);
+        }
+    }
+
+    #[test]
+    fn from_env_trims_whitespace_and_survives_invalid_values() {
+        // This is the only test in the binary that mutates ROTOM_THREADS
+        // (everything else reads it at most once through the cached global);
+        // the original value is restored before returning.
+        let saved = std::env::var("ROTOM_THREADS").ok();
+        std::env::set_var("ROTOM_THREADS", " 8 ");
+        assert_eq!(RotomPool::from_env().threads(), 8, "trimmed value parses");
+        std::env::set_var("ROTOM_THREADS", "8\n");
+        assert_eq!(
+            RotomPool::from_env().threads(),
+            8,
+            "trailing newline parses"
+        );
+        for bad in ["eight", "0", "-2", "3.5"] {
+            std::env::set_var("ROTOM_THREADS", bad);
+            // Invalid values warn (one-shot) and fall back to detected
+            // parallelism, which is always at least 1.
+            assert!(RotomPool::from_env().threads() >= 1, "bad value {bad:?}");
+        }
+        match saved {
+            Some(v) => std::env::set_var("ROTOM_THREADS", v),
+            None => std::env::remove_var("ROTOM_THREADS"),
         }
     }
 

@@ -35,10 +35,16 @@ impl LrSchedule {
                 warmup_steps,
                 total_steps,
             } => {
-                if warmup_steps > 0 && step < warmup_steps {
-                    peak * (step + 1) as f32 / warmup_steps as f32
-                } else if step >= total_steps {
+                // The finished check must come before the warmup branch:
+                // with warmup_steps >= total_steps, a step past total_steps
+                // still satisfies `step < warmup_steps` and would otherwise
+                // keep returning a warmup LR forever.
+                if step >= total_steps {
                     0.0
+                } else if warmup_steps > 0 && step < warmup_steps {
+                    // Clamp: warmup_steps > total_steps would otherwise
+                    // overshoot peak near the truncated end of warmup.
+                    (peak * (step + 1) as f32 / warmup_steps as f32).min(peak)
                 } else {
                     let decay_span = total_steps.saturating_sub(warmup_steps).max(1);
                     let progressed = step - warmup_steps;
@@ -112,6 +118,96 @@ mod tests {
             total_steps: 10,
         };
         assert!((s.at(0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_equal_to_total_is_zero_at_and_past_total() {
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 1.0,
+            warmup_steps: 10,
+            total_steps: 10,
+        };
+        // Warmup still rises within the schedule...
+        assert!(s.at(0) > 0.0 && s.at(8) > s.at(0));
+        assert!(s.at(8) <= 1.0);
+        // ...but the schedule is over at total_steps, warmup or not.
+        assert_eq!(s.at(10), 0.0);
+        assert_eq!(s.at(11), 0.0);
+        assert_eq!(s.at(usize::MAX), 0.0);
+    }
+
+    #[test]
+    fn warmup_longer_than_total_is_zero_past_total_and_clamped_to_peak() {
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 0.5,
+            warmup_steps: 100,
+            total_steps: 10,
+        };
+        for step in 0..10 {
+            let lr = s.at(step);
+            assert!((0.0..=0.5).contains(&lr), "step {step}: lr {lr}");
+        }
+        for step in [10, 11, 50, 99, 100, 101, 1_000_000] {
+            assert_eq!(s.at(step), 0.0, "step {step}");
+        }
+    }
+
+    #[test]
+    fn boundary_step_equal_total_is_exactly_zero() {
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 3e-5,
+            warmup_steps: 4,
+            total_steps: 40,
+        };
+        assert!(s.at(39) > 0.0);
+        assert_eq!(s.at(40), 0.0);
+        assert_eq!(s.at(41), 0.0);
+    }
+
+    #[test]
+    fn zero_step_schedules_are_always_zero() {
+        for warmup_steps in [0, 1, 7] {
+            let s = LrSchedule::LinearWarmupDecay {
+                peak: 1.0,
+                warmup_steps,
+                total_steps: 0,
+            };
+            for step in [0, 1, 100] {
+                assert_eq!(s.at(step), 0.0, "warmup {warmup_steps} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn property_lr_bounded_by_peak_and_zero_past_total() {
+        use rotom_rng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for case in 0..500 {
+            let peak = rng.random_range(0.0f32..10.0);
+            let total_steps = rng.random_range(0usize..200);
+            // Deliberately allow warmup to exceed total.
+            let warmup_steps = rng.random_range(0usize..300);
+            let s = LrSchedule::LinearWarmupDecay {
+                peak,
+                warmup_steps,
+                total_steps,
+            };
+            for _ in 0..20 {
+                let step = rng.random_range(0usize..400);
+                let lr = s.at(step);
+                assert!(
+                    (0.0..=peak).contains(&lr),
+                    "case {case}: peak {peak} warmup {warmup_steps} total {total_steps} \
+                     step {step} -> lr {lr}"
+                );
+                if step >= total_steps {
+                    assert_eq!(
+                        lr, 0.0,
+                        "case {case}: step {step} >= total {total_steps} must be 0"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

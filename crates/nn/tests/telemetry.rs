@@ -1,0 +1,129 @@
+//! Telemetry sink integration: install a capture writer, emit through every
+//! public entry point, and round-trip the captured JSONL through the schema
+//! parser.
+//!
+//! The sink is process-global and initialize-once, so this file holds a
+//! single test function: splitting it up would race sibling tests for the
+//! one `install_writer` slot.
+
+use rotom_nn::telemetry::{self, Value};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// `Write` adapter capturing bytes into a shared buffer.
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn emitted_stream_is_schema_valid_jsonl() {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    assert!(
+        telemetry::install_writer(Box::new(Capture(buf.clone()))),
+        "sink must not be initialized before this test"
+    );
+    assert!(telemetry::enabled());
+
+    telemetry::counter("test.count", 3);
+    telemetry::gauge("test.gauge", 0.25);
+    {
+        let _outer = telemetry::span("test.outer");
+        let _inner = telemetry::span("test.inner");
+    }
+    telemetry::emit(
+        "meta",
+        "test.decision",
+        &[
+            ("keep_rate", Value::F64(0.5)),
+            ("kept", Value::U64(4)),
+            ("note", Value::Str("quoted \"text\"\nline".into())),
+            ("bad", Value::F64(f64::NAN)),
+        ],
+    );
+    // Pool dispatch is instrumented too: any helper call while the sink is
+    // live must produce a `pool` record, including the inline 1-worker path.
+    rotom_nn::RotomPool::new(1).map(4, |i| i);
+    rotom_nn::RotomPool::new(4).map(16, |i| i * 2);
+
+    let bytes = buf.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("telemetry output is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 7,
+        "expected >= 7 records, got {}",
+        lines.len()
+    );
+
+    let mut last_ts = None;
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in &lines {
+        let rec = telemetry::parse_line(line)
+            .unwrap_or_else(|e| panic!("unparseable record {line:?}: {e}"));
+        // Required fields are present by construction of Record; ts_step is
+        // strictly increasing because emission is serialized per record.
+        if let Some(prev) = last_ts {
+            assert!(rec.ts_step > prev, "ts_step must increase: {line:?}");
+        }
+        last_ts = Some(rec.ts_step);
+        assert!(!rec.kind.is_empty() && !rec.name.is_empty());
+        kinds.insert(rec.kind.clone());
+    }
+    for kind in ["counter", "gauge", "span", "meta", "pool"] {
+        assert!(kinds.contains(kind), "missing kind {kind:?} in {kinds:?}");
+    }
+
+    // Span nesting: the inner span drops first and must record depth 1,
+    // the outer depth 0.
+    let spans: Vec<_> = lines
+        .iter()
+        .map(|l| telemetry::parse_line(l).unwrap())
+        .filter(|r| r.kind == "span")
+        .collect();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(spans[0].name, "test.inner");
+    assert_eq!(spans[0].field("depth"), Some(&Value::U64(1)));
+    assert_eq!(spans[1].name, "test.outer");
+    assert_eq!(spans[1].field("depth"), Some(&Value::U64(0)));
+    for s in &spans {
+        assert!(s.field("elapsed_us").is_some());
+    }
+
+    // The string field survives escaping, and the non-finite float came
+    // back as null.
+    let meta = lines
+        .iter()
+        .map(|l| telemetry::parse_line(l).unwrap())
+        .find(|r| r.name == "test.decision")
+        .expect("meta record present");
+    assert_eq!(
+        meta.field("note").and_then(|v| v.as_str()),
+        Some("quoted \"text\"\nline")
+    );
+    assert_eq!(meta.field("bad"), Some(&Value::Null));
+    assert_eq!(meta.field("keep_rate").and_then(|v| v.as_f64()), Some(0.5));
+
+    // Pool records exist for both the inline and the fan-out path.
+    let pools: Vec<_> = lines
+        .iter()
+        .map(|l| telemetry::parse_line(l).unwrap())
+        .filter(|r| r.kind == "pool")
+        .collect();
+    assert!(pools.len() >= 2);
+    assert!(pools
+        .iter()
+        .any(|r| r.field("workers") == Some(&Value::U64(1))));
+    assert!(pools
+        .iter()
+        .any(|r| r.field("workers").and_then(|v| v.as_f64()).unwrap_or(0.0) > 1.0));
+
+    // A second install attempt must be rejected (first writer wins).
+    assert!(!telemetry::install_writer(Box::new(std::io::sink())));
+}

@@ -52,6 +52,10 @@ pub use pipeline::{
 };
 pub use runtime::{FtConfig, FtReport};
 
+// Re-export the observability plane (`ROTOM_TELEMETRY`) so downstream users
+// and the report tooling share one record schema.
+pub use rotom_nn::telemetry;
+
 // Re-export the pieces users compose with.
 pub use rotom_augment::{DaContext, DaOp, InvDa, InvDaConfig};
 pub use rotom_datasets::{TaskDataset, TaskKind};

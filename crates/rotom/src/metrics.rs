@@ -12,8 +12,18 @@ pub struct PrF1 {
 }
 
 /// Accuracy over (prediction, gold) pairs.
+///
+/// # Panics
+/// If the slices differ in length (a prediction/gold misalignment upstream);
+/// the message names both lengths.
 pub fn accuracy(pred: &[usize], gold: &[usize]) -> f32 {
-    assert_eq!(pred.len(), gold.len());
+    assert_eq!(
+        pred.len(),
+        gold.len(),
+        "accuracy: {} predictions vs {} gold labels — the slices must align 1:1",
+        pred.len(),
+        gold.len()
+    );
     if pred.is_empty() {
         return 0.0;
     }
@@ -23,8 +33,25 @@ pub fn accuracy(pred: &[usize], gold: &[usize]) -> f32 {
 
 /// Precision/recall/F1 of class `positive` (the paper reports the positive
 /// class's F1 for EM — "match" — and EDT — "dirty").
+///
+/// **All-negative-gold convention:** when no gold label equals `positive`
+/// and no prediction does either (tp = fp = fn = 0), precision, recall, and
+/// F1 are all reported as 0.0 — even though every prediction is correct.
+/// There is simply no positive-class evidence to score, and 0.0 (rather
+/// than a flattering 1.0 or a poisonous NaN) keeps macro-F1 averages and
+/// the golden-run snapshots stable. Accuracy is the metric that credits
+/// those runs.
+///
+/// # Panics
+/// If the slices differ in length; the message names both lengths.
 pub fn prf1(pred: &[usize], gold: &[usize], positive: usize) -> PrF1 {
-    assert_eq!(pred.len(), gold.len());
+    assert_eq!(
+        pred.len(),
+        gold.len(),
+        "prf1: {} predictions vs {} gold labels — the slices must align 1:1",
+        pred.len(),
+        gold.len()
+    );
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut fn_ = 0usize;
@@ -199,6 +226,40 @@ mod tests {
     fn degenerate_no_positives() {
         let m = prf1(&[0, 0], &[0, 0], 1);
         assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn all_negative_gold_scores_zero_even_when_predictions_are_perfect() {
+        // The documented convention: with no positive-class evidence at all
+        // (tp = fp = fn = 0), P = R = F1 = 0.0 despite 100% accuracy.
+        let pred = [0, 0, 0, 0];
+        let gold = [0, 0, 0, 0];
+        let m = prf1(&pred, &gold, 1);
+        assert_eq!(
+            m,
+            PrF1 {
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0
+            }
+        );
+        assert_eq!(accuracy(&pred, &gold), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_panics_name_both_lengths() {
+        let acc = std::panic::catch_unwind(|| accuracy(&[1, 0, 1], &[1, 0])).unwrap_err();
+        let msg = acc.downcast_ref::<String>().expect("formatted message");
+        assert!(
+            msg.contains("3 predictions") && msg.contains("2 gold"),
+            "{msg}"
+        );
+        let pr = std::panic::catch_unwind(|| prf1(&[1], &[1, 0], 1)).unwrap_err();
+        let msg = pr.downcast_ref::<String>().expect("formatted message");
+        assert!(
+            msg.contains("1 predictions") && msg.contains("2 gold"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::runtime::{FtConfig, FtReport, FtSession};
 use rotom_augment::{apply, apply_batch, DaContext, DaOp, InvDa};
 use rotom_datasets::{TaskDataset, TaskKind};
 use rotom_meta::{guard_step, MetaTarget, MetaTrainer, WeightedItem};
+use rotom_nn::telemetry::{self, Value};
 use rotom_nn::{CheckpointError, Halt, HealthMonitor, NonFinitePolicy, RotomPool, StateBag};
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngCore, RngExt, SeedableRng};
@@ -421,6 +422,40 @@ enum EpochBody<'a> {
     },
 }
 
+/// Emit one `step` telemetry record for a finished backward pass, just
+/// before the optimizer step is applied (gradients are still intact, so the
+/// grad-norm is the one the update will consume). `step_start` is the
+/// `Instant` captured at the top of the step when telemetry is enabled;
+/// `None` means disabled and the function is a no-op. Reads model state
+/// only — never consumes RNG, so runs are bit-identical either way.
+fn emit_step_record(
+    name: &str,
+    model: &TinyLm,
+    loss: f32,
+    examples: usize,
+    step_start: Option<std::time::Instant>,
+) {
+    let Some(start) = step_start else { return };
+    let wall_us = start.elapsed().as_micros() as u64;
+    let examples_per_sec = if wall_us > 0 {
+        examples as f64 / (wall_us as f64 / 1e6)
+    } else {
+        0.0
+    };
+    telemetry::emit(
+        "step",
+        name,
+        &[
+            ("loss", Value::F64(loss as f64)),
+            ("lr", Value::F64(model.learning_rate() as f64)),
+            ("grad_norm", Value::F64(model.grad_l2() as f64)),
+            ("examples", Value::U64(examples as u64)),
+            ("wall_us", Value::U64(wall_us)),
+            ("examples_per_sec", Value::F64(examples_per_sec)),
+        ],
+    );
+}
+
 /// Run one training epoch. With a guard, every optimizer step is health
 /// checked (and subject to injected faults); `Err(Halt)` reports the first
 /// divergent step without applying it.
@@ -438,6 +473,7 @@ fn run_one_epoch(
         EpochBody::Plain => {
             let k = model.num_classes();
             for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+                let step_start = telemetry::enabled().then(std::time::Instant::now);
                 let items: Vec<WeightedItem> = chunk
                     .iter()
                     .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, k))
@@ -446,6 +482,7 @@ fn run_one_epoch(
                 if let Some(monitor) = guard.as_deref_mut() {
                     guard_step(monitor, model, loss)?;
                 }
+                emit_step_record("train.step", model, loss, chunk.len(), step_start);
                 model.optimizer_step();
             }
         }
@@ -454,6 +491,7 @@ fn run_one_epoch(
             let da_ctx = DaContext::default();
             let workers = RotomPool::global();
             for chunk in shuffled(train, rng).chunks(cfg.train.batch_size) {
+                let step_start = telemetry::enabled().then(std::time::Instant::now);
                 // Augment the whole chunk across the pool. One base seed
                 // drawn from the caller RNG is sharded per example inside
                 // the batch APIs, so the output is independent of the
@@ -473,6 +511,7 @@ fn run_one_epoch(
                 if let Some(monitor) = guard.as_deref_mut() {
                     guard_step(monitor, model, loss)?;
                 }
+                emit_step_record("mixda.step", model, loss, chunk.len(), step_start);
                 model.step();
             }
         }
@@ -635,6 +674,7 @@ fn run_epoch_loop(
                 .set_rollbacks(bag.get_u64("run.rollbacks")? as u32);
             session.report.resumed_from_epoch = Some(epoch);
             session.last_good = Some(bag);
+            telemetry::counter("ft.resume", 1);
         } else {
             // The pre-training state is the first rollback target, so a
             // divergence in epoch 0 also recovers.
@@ -645,6 +685,8 @@ fn run_epoch_loop(
     }
 
     while epoch < cfg.train.epochs {
+        let epoch_span = telemetry::span("epoch");
+        let epoch_start = telemetry::enabled().then(std::time::Instant::now);
         let outcome = run_one_epoch(
             model,
             train,
@@ -655,10 +697,29 @@ fn run_epoch_loop(
             rng,
             ft.as_deref_mut().map(|s| &mut s.monitor),
         );
+        drop(epoch_span);
         match outcome {
             Ok(()) => {
                 let m = valid_metric(model, valid, kind);
                 curve.push(m);
+                if let Some(start) = epoch_start {
+                    let secs = start.elapsed().as_secs_f64();
+                    telemetry::gauge("epoch.valid_metric", m as f64);
+                    telemetry::gauge(
+                        "epoch.examples_per_sec",
+                        if secs > 0.0 {
+                            train.len() as f64 / secs
+                        } else {
+                            0.0
+                        },
+                    );
+                    // Memory-plane gauges (ISSUE 3 arena): how many reset
+                    // tapes are parked and how many floats they pin.
+                    let (tapes, retained) = rotom_nn::pooled_tape_stats();
+                    telemetry::gauge("arena.pooled_tapes", tapes as f64);
+                    telemetry::gauge("arena.retained_floats", retained as f64);
+                    rotom_nn::kernels::profile::emit_gemm_gauges();
+                }
                 if m > best.0 {
                     best.0 = m;
                     model.snapshot_into(&mut best.1);
@@ -687,6 +748,7 @@ fn run_epoch_loop(
                         .record_rollback(session.monitor.step(), halt.to_string());
                     model.scale_lr(scale);
                     session.last_good = Some(bag);
+                    telemetry::counter("ft.rollback", 1);
                 } else {
                     session.monitor.record_degraded(format!(
                         "rollback budget exhausted; finishing from best snapshot ({halt})"

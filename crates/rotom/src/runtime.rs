@@ -122,8 +122,10 @@ impl FtSession {
         let every = self.cfg.every_epochs.max(1);
         if let Some(path) = &self.cfg.checkpoint {
             if epoch % every == 0 {
+                let _span = rotom_nn::telemetry::span("ft.checkpoint_write");
                 bag.save_atomic(path)?;
                 self.report.checkpoints_written += 1;
+                rotom_nn::telemetry::counter("ft.checkpoint", 1);
             }
         }
         Ok(())
