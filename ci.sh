@@ -53,6 +53,21 @@ cargo test -q --release --offline --test alloc_budget
 echo "== trainbench perfsmoke (writes BENCH_train.json, gates steps/sec)"
 cargo run --release --offline -p rotom-bench --bin trainbench -- --check
 
+# Inference-plane gates: the tape-free forward must match the tape forward
+# bit-for-bit at any worker count (pool sized once per process, so each
+# count is its own invocation), with and without a live telemetry sink.
+for t in 1 8; do
+    echo "== inference-plane equivalence (ROTOM_THREADS=$t)"
+    ROTOM_THREADS=$t cargo test -q --offline --test infer_equivalence \
+        --test infer_equivalence_telemetry
+done
+
+# Regenerates BENCH_infer.json and exits non-zero if tape-free scoring or
+# decode throughput regresses more than 20%, or the tape-free speedup over
+# the tape path drops below its 2x floor.
+echo "== inferbench (writes BENCH_infer.json, gates scoring throughput)"
+cargo run --release --offline -p rotom-bench --bin inferbench -- --check
+
 # Telemetry smoke: a short Rotom training with the observability plane live
 # must emit schema-valid JSONL covering the step, meta-decision,
 # augmentation, and pool record kinds — at 1 worker (inline paths) and at 8

@@ -253,6 +253,12 @@ impl InvDa {
 
     /// Generate one augmented variant of `tokens` by sampling from the
     /// decoder (no caching).
+    ///
+    /// Decoding runs on the tape-free inference plane: the encoder memory
+    /// and the per-layer cross-attention K/V projections are computed once
+    /// per call, and each step recomputes only the final decoder layer's
+    /// last-row band plus a single-row vocabulary projection — bit-identical
+    /// to decoding through full tape forwards.
     pub fn generate(&self, tokens: &[String], rng: &mut StdRng) -> Vec<String> {
         let in_ids = self.clamp(self.vocab.encode(tokens));
         let bos = self.vocab.special_id(BOS);
@@ -260,27 +266,38 @@ impl InvDa {
         let pad = self.vocab.special_id(PAD);
         let unk = self.vocab.special_id(UNK);
 
-        let mut tape = take_pooled_tape();
-        let mut ctx = FwdCtx::eval(&self.store);
-        let memory = self.encoder.forward(&mut tape, &in_ids, &mut ctx);
-
-        let mut out_ids: Vec<usize> = vec![bos];
-        for _ in 0..self.cfg.max_gen_len {
-            let logits = self.decoder.forward(&mut tape, &out_ids, memory, &mut ctx);
-            let last = tape
-                .value(logits)
-                .row_slice(tape.value(logits).rows() - 1)
-                .to_vec();
-            let next = sample_top_k_top_p(&last, self.cfg.top_k, self.cfg.top_p, &[bos, pad], rng);
-            if next == eos {
-                break;
+        let pool = rotom_nn::RotomPool::global();
+        let out_ids = rotom_nn::with_infer_scratch(|scratch| {
+            let (memory, mem_rows) =
+                self.encoder
+                    .infer_forward_with(&in_ids, &[], &self.store, pool, scratch);
+            let kv = self
+                .decoder
+                .infer_prepare(&memory, mem_rows, &self.store, pool);
+            let mut logits = vec![0.0f32; self.vocab.len()];
+            let mut out_ids: Vec<usize> = vec![bos];
+            for _ in 0..self.cfg.max_gen_len {
+                self.decoder.infer_last_logits(
+                    &out_ids,
+                    &kv,
+                    &self.store,
+                    pool,
+                    scratch,
+                    &mut logits,
+                );
+                let next =
+                    sample_top_k_top_p(&logits, self.cfg.top_k, self.cfg.top_p, &[bos, pad], rng);
+                if next == eos {
+                    break;
+                }
+                out_ids.push(next);
+                if out_ids.len() >= self.cfg.max_len {
+                    break;
+                }
             }
-            out_ids.push(next);
-            if out_ids.len() >= self.cfg.max_len {
-                break;
-            }
-        }
-        recycle_tape(tape);
+            scratch.put(memory);
+            out_ids
+        });
         out_ids
             .into_iter()
             .skip(1)
@@ -302,9 +319,18 @@ impl InvDa {
         let pad = self.vocab.special_id(PAD);
         let unk = self.vocab.special_id(UNK);
 
-        let mut tape = take_pooled_tape();
-        let mut ctx = FwdCtx::eval(&self.store);
-        let memory = self.encoder.forward(&mut tape, &in_ids, &mut ctx);
+        let pool = rotom_nn::RotomPool::global();
+        let kv = rotom_nn::with_infer_scratch(|scratch| {
+            let (memory, mem_rows) =
+                self.encoder
+                    .infer_forward_with(&in_ids, &[], &self.store, pool, scratch);
+            let kv = self
+                .decoder
+                .infer_prepare(&memory, mem_rows, &self.store, pool);
+            scratch.put(memory);
+            kv
+        });
+        let mut last = vec![0.0f32; self.vocab.len()];
 
         struct Beam {
             ids: Vec<usize>,
@@ -330,9 +356,17 @@ impl InvDa {
                     });
                     continue;
                 }
-                let logits = self.decoder.forward(&mut tape, &beam.ids, memory, &mut ctx);
-                let last = tape.value(logits).row_slice(tape.value(logits).rows() - 1);
-                let probs = rotom_nn::softmax_slice(last);
+                rotom_nn::with_infer_scratch(|scratch| {
+                    self.decoder.infer_last_logits(
+                        &beam.ids,
+                        &kv,
+                        &self.store,
+                        pool,
+                        scratch,
+                        &mut last,
+                    );
+                });
+                let probs = rotom_nn::softmax_slice(&last);
                 let mut ranked: Vec<(usize, f32)> = probs
                     .iter()
                     .copied()
@@ -365,7 +399,6 @@ impl InvDa {
             candidates.truncate(beam_width);
             beams = candidates;
         }
-        recycle_tape(tape);
         beams
             .into_iter()
             .map(|b| {

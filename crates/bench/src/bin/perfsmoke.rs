@@ -66,6 +66,59 @@ fn bench_matmul(size: usize, pool: &RotomPool) -> MatmulRow {
     }
 }
 
+struct ForwardRow {
+    op: &'static str,
+    rows: usize,
+    cols: usize,
+    time_s: f64,
+}
+
+/// Forward-only SIMD kernels from the inference plane: softmax, layernorm
+/// and GELU over a `rows x cols` activation block (one attention-score /
+/// hidden-state sized panel per call).
+fn bench_forward_kernels() -> Vec<ForwardRow> {
+    let (rows, cols) = (256, 256);
+    let mut rng = StdRng::seed_from_u64(41);
+    let x: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.random_range(-2.0f32..2.0))
+        .collect();
+    let gamma: Vec<f32> = (0..cols).map(|_| rng.random_range(0.5f32..1.5)).collect();
+    let beta: Vec<f32> = (0..cols).map(|_| rng.random_range(-0.5f32..0.5)).collect();
+    let mut out = vec![0.0f32; rows * cols];
+    let softmax_s = time_median(9, || {
+        kernels::softmax_fwd(&x, None, rows, cols, &mut out);
+        std::hint::black_box(&mut out);
+    });
+    let layernorm_s = time_median(9, || {
+        kernels::layernorm_fwd(&x, &gamma, &beta, 1e-5, rows, cols, &mut out);
+        std::hint::black_box(&mut out);
+    });
+    let gelu_s = time_median(9, || {
+        kernels::gelu_fwd(&x, &mut out);
+        std::hint::black_box(&mut out);
+    });
+    vec![
+        ForwardRow {
+            op: "softmax_fwd",
+            rows,
+            cols,
+            time_s: softmax_s,
+        },
+        ForwardRow {
+            op: "layernorm_fwd",
+            rows,
+            cols,
+            time_s: layernorm_s,
+        },
+        ForwardRow {
+            op: "gelu_fwd",
+            rows,
+            cols,
+            time_s: gelu_s,
+        },
+    ]
+}
+
 struct AugmentRow {
     batch: usize,
     serial_s: f64,
@@ -123,6 +176,11 @@ fn main() {
         rows.push(row);
     }
 
+    let fwd = bench_forward_kernels();
+    for r in &fwd {
+        println!("{} {}x{}: {:.1} us", r.op, r.rows, r.cols, r.time_s * 1e6);
+    }
+
     let aug = bench_invda(pool);
     println!(
         "invda batch={}: serial {:.1} ms | parallel {:.1} ms ({:.2}x)",
@@ -148,6 +206,16 @@ fn main() {
             r.naive_s / r.tiled_parallel_s,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"forward_kernels\": [\n");
+    for (i, r) in fwd.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"rows\": {}, \"cols\": {}, \"time_s\": {:.6e}}}",
+            r.op, r.rows, r.cols, r.time_s,
+        );
+        json.push_str(if i + 1 < fwd.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     let _ = writeln!(

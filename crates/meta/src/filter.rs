@@ -86,11 +86,25 @@ impl FilterModel {
     }
 
     fn logits(&self, features: &[f32]) -> Vec<f32> {
-        let x = Tensor::row(features.to_vec());
-        let mut out = x.matmul(self.store.value(self.w)).into_vec();
-        for (o, &bb) in out.iter_mut().zip(self.store.value(self.b).data()) {
-            *o += bb;
-        }
+        // Forward-only scoring on the inference plane: one fused
+        // GEMM+bias call, no tape nodes and no input clone. The tiny shape
+        // dispatches to the same naive kernel the tape's matmul would pick,
+        // so values are bit-identical to the graph path used in
+        // `reinforce_update`.
+        let w = self.store.value(self.w);
+        let mut out = vec![0.0f32; 2];
+        rotom_nn::kernels::matmul_bias_act_into(
+            features,
+            w.data(),
+            None,
+            Some(self.store.value(self.b).data()),
+            rotom_nn::kernels::Act::None,
+            1,
+            2 * self.num_classes,
+            2,
+            rotom_nn::RotomPool::global(),
+            &mut out,
+        );
         out
     }
 

@@ -41,6 +41,7 @@ use crate::kernels;
 use crate::params::{ParamId, ParamPacks, ParamStore};
 use crate::pool::RotomPool;
 use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Handle to a node on a [`Tape`].
@@ -1306,7 +1307,23 @@ impl Tape {
 /// unbounded arena memory).
 const MAX_POOLED_TAPES: usize = 16;
 
+/// Total arena floats the pooled tapes may pin together (128 MB). Each tape
+/// is already capped individually ([`ARENA_CAP_FLOATS`]); this bounds the
+/// pool as a whole so a burst of large-graph tapes cannot park
+/// `MAX_POOLED_TAPES` worst-case arenas at once.
+const MAX_POOLED_RETAINED_FLOATS: usize = 32 << 20;
+
 static TAPE_POOL: Mutex<Vec<Tape>> = Mutex::new(Vec::new());
+
+/// Tapes dropped (not pooled) by [`recycle_tape`] because the pool was full
+/// or its retained-floats budget was exhausted.
+static TAPE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether a tape retaining `incoming` floats must be dropped rather than
+/// pooled, given the pool's current occupancy.
+fn tape_should_evict(pool_len: usize, pooled_retained: usize, incoming: usize) -> bool {
+    pool_len >= MAX_POOLED_TAPES || pooled_retained + incoming > MAX_POOLED_RETAINED_FLOATS
+}
 
 /// Take a tape from the global reuse pool (or a fresh one). Pair with
 /// [`recycle_tape`]; prefer [`with_pooled_tape`] when the tape does not need
@@ -1316,12 +1333,23 @@ pub fn take_pooled_tape() -> Tape {
 }
 
 /// Reset `tape` (retaining its buffers) and return it to the global pool.
+/// Tapes beyond the pool's size or retained-floats budget are dropped and
+/// counted in [`tape_eviction_count`].
 pub fn recycle_tape(mut tape: Tape) {
     tape.reset();
     let mut pool = TAPE_POOL.lock().unwrap();
-    if pool.len() < MAX_POOLED_TAPES {
-        pool.push(tape);
+    let pooled_retained: usize = pool.iter().map(|t| t.arena.retained).sum();
+    if tape_should_evict(pool.len(), pooled_retained, tape.arena.retained) {
+        TAPE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        return;
     }
+    pool.push(tape);
+}
+
+/// Cumulative count of tapes [`recycle_tape`] dropped instead of pooling
+/// (process lifetime). Exposed as the `arena.tape_evictions` gauge.
+pub fn tape_eviction_count() -> u64 {
+    TAPE_EVICTIONS.load(Ordering::Relaxed)
 }
 
 /// Run `f` with a tape from the global pool, recycling it afterwards. The
@@ -1387,6 +1415,34 @@ mod tests {
     use crate::init::Initializer;
     use rotom_rng::rngs::StdRng;
     use rotom_rng::SeedableRng;
+
+    #[test]
+    fn tape_eviction_policy_bounds_count_and_retention() {
+        assert!(!tape_should_evict(0, 0, 0));
+        assert!(!tape_should_evict(
+            MAX_POOLED_TAPES - 1,
+            0,
+            ARENA_CAP_FLOATS
+        ));
+        assert!(tape_should_evict(MAX_POOLED_TAPES, 0, 0));
+        assert!(tape_should_evict(1, MAX_POOLED_RETAINED_FLOATS, 1));
+        assert!(!tape_should_evict(1, MAX_POOLED_RETAINED_FLOATS - 8, 8));
+    }
+
+    #[test]
+    fn tape_evictions_are_counted() {
+        // Overfill the global pool; once it is at capacity, further
+        // recycles must be dropped and counted. Bounded loop instead of a
+        // fixed count: concurrent tests may pop tapes between our pushes.
+        let before = tape_eviction_count();
+        for _ in 0..1000 {
+            recycle_tape(Tape::new());
+            if tape_eviction_count() > before {
+                return;
+            }
+        }
+        panic!("recycling 1000 tapes never evicted (pool cap {MAX_POOLED_TAPES})");
+    }
 
     #[test]
     fn matmul_forward_backward() {

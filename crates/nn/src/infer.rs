@@ -1,0 +1,355 @@
+//! Forward-only inference plane: recycled activation workspaces and an
+//! optional logit memoization cache.
+//!
+//! The autodiff [`Tape`](crate::graph::Tape) pays for node bookkeeping and
+//! gradient-buffer reservation on every op — bookkeeping that forward-only
+//! work (evaluation, M_F candidate scoring, InvDA decoding) never uses. The
+//! inference plane executes the same arithmetic as the tape's forward pass
+//! — **bit-for-bit** — but straight into preallocated `Vec<f32>`
+//! workspaces:
+//!
+//! * [`InferScratch`] — an exact-length free-list of activation buffers. A
+//!   forward pass takes buffers, runs the forward kernels in
+//!   [`kernels`](crate::kernels), and returns them; steady-state scoring
+//!   performs no heap allocation.
+//! * [`with_infer_scratch`] — a process-global pool of `InferScratch`
+//!   instances (mirroring the pooled-tape free list), so concurrent pool
+//!   workers each grab a private workspace and recycle it across batches.
+//! * [`ScoreCache`] — opt-in (`ROTOM_SCORE_CACHE=<capacity>`) FNV-keyed
+//!   memoization of serialized input → logits, guarded by the parameter
+//!   store's [`generation_sum`](crate::params::ParamStore::generation_sum)
+//!   so any weight mutation invalidates every entry.
+//!
+//! Bit-identity with the tape forward is a hard invariant, not a tolerance:
+//! golden runs pin evaluation accuracies and InvDA generations, so the layer
+//! `infer_*` methods replicate the tape's kernel dispatch decisions and
+//! scalar reduction orders exactly (see the "Inference plane" section of
+//! DESIGN.md). Training stays on the tape path untouched.
+
+use crate::telemetry::{self, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Activation workspaces
+// ---------------------------------------------------------------------------
+
+/// Cap on floats retained inside one [`InferScratch`] free list (4M floats =
+/// 16 MiB): buffers beyond the cap are dropped on return instead of pooled.
+const SCRATCH_CAP_FLOATS: usize = 4 << 20;
+
+/// Number of [`InferScratch`] instances the global pool retains.
+const MAX_POOLED_SCRATCH: usize = 8;
+
+/// Exact-length free-list of activation buffers for forward-only passes.
+///
+/// `take(len)` hands out a buffer of exactly `len` elements with
+/// **unspecified contents** — every inference kernel fully overwrites its
+/// output, so no clearing pass is paid. `put` returns a buffer for reuse.
+/// Buffers are bucketed by exact length because transformer activations
+/// recur in a handful of shapes per model; a steady-state scoring loop hits
+/// the free list for every buffer.
+#[derive(Default)]
+pub struct InferScratch {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    retained: usize,
+}
+
+impl InferScratch {
+    /// Create an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer of exactly `len` elements. Contents are unspecified
+    /// (previous activations); the caller must fully overwrite them.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        if let Some(bucket) = self.free.get_mut(&len) {
+            if let Some(v) = bucket.pop() {
+                self.retained -= len;
+                debug_assert_eq!(v.len(), len);
+                return v;
+            }
+        }
+        vec![0.0; len]
+    }
+
+    /// Return a buffer to the free list (dropped once the retained-float cap
+    /// is reached).
+    pub fn put(&mut self, v: Vec<f32>) {
+        let len = v.len();
+        if len == 0 || self.retained + len > SCRATCH_CAP_FLOATS {
+            return;
+        }
+        self.retained += len;
+        self.free.entry(len).or_default().push(v);
+    }
+
+    /// Floats currently held on the free list (diagnostics).
+    pub fn retained_floats(&self) -> usize {
+        self.retained
+    }
+}
+
+/// Process-global free list of [`InferScratch`] instances. Pool workers are
+/// scoped threads (fresh per call), so thread-locals never see reuse; a
+/// global free list — the same shape as the pooled-tape list — carries
+/// workspaces across batches and across pool invocations.
+static SCRATCH_POOL: Mutex<Vec<InferScratch>> = Mutex::new(Vec::new());
+
+/// Run `f` with a recycled [`InferScratch`], returning the workspace to the
+/// global pool afterwards (up to a small retention cap).
+pub fn with_infer_scratch<R>(f: impl FnOnce(&mut InferScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL.lock().unwrap().pop().unwrap_or_default();
+    let out = f(&mut scratch);
+    let mut pool = SCRATCH_POOL.lock().unwrap();
+    if pool.len() < MAX_POOLED_SCRATCH {
+        pool.push(scratch);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Score cache
+// ---------------------------------------------------------------------------
+
+/// FNV-1a-64 over a token sequence (offset basis / prime of the reference
+/// implementation), hashing each id's little-endian bytes.
+fn fnv1a_tokens(tokens: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &t in tokens {
+        for b in (t as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct CacheInner {
+    /// Parameter-store generation fingerprint the entries were computed
+    /// under; any mismatch wipes the map (weights changed).
+    gen_sum: u64,
+    /// FNV key → entries (full serialized key kept to guard collisions).
+    map: HashMap<u64, Vec<(Box<[usize]>, Vec<f32>)>>,
+    entries: usize,
+}
+
+/// Memoization cache for forward-only scoring: serialized input tokens →
+/// logits.
+///
+/// Entity-matching workloads are highly duplicative after blocking — the
+/// same record pair is scored by the M_F filter, the weighting model's
+/// feature extraction, and per-epoch evaluation. A hit returns a
+/// **bit-identical clone** of the stored logits, so caching never changes
+/// results; correctness is guarded two ways:
+///
+/// * entries are keyed by the exact token sequence (the FNV hash is only a
+///   bucket index; the full key is compared on lookup), and
+/// * the whole cache self-invalidates when the owning store's
+///   [`generation_sum`](crate::params::ParamStore::generation_sum) moves —
+///   that fingerprint is monotone, so stale entries can never resurface.
+///
+/// Off by default; enabled per-model via `ROTOM_SCORE_CACHE=<capacity>`
+/// (entries). At capacity the map is cleared wholesale — simple, and the
+/// duplicative workloads the cache targets re-fill it within one pass.
+/// Cloning a `ScoreCache` yields a fresh *empty* cache with the same
+/// capacity: clones of a model diverge under training, so sharing entries
+/// across them would be unsound.
+pub struct ScoreCache {
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+impl Clone for ScoreCache {
+    fn clone(&self) -> Self {
+        Self::with_capacity(self.capacity)
+    }
+}
+
+impl ScoreCache {
+    /// A cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inner: Mutex::new(CacheInner {
+                gen_sum: 0,
+                map: HashMap::new(),
+                entries: 0,
+            }),
+        }
+    }
+
+    /// Build a cache from the `ROTOM_SCORE_CACHE` environment variable:
+    /// `None` (caching off) unless it parses to a positive capacity.
+    pub fn from_env() -> Option<Self> {
+        let capacity: usize = std::env::var("ROTOM_SCORE_CACHE")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        (capacity > 0).then(|| Self::with_capacity(capacity))
+    }
+
+    /// Look up the logits for `tokens` computed under parameter fingerprint
+    /// `gen_sum`. Counts a hit or miss; a mismatched fingerprint clears the
+    /// cache first (weights changed since the entries were stored).
+    pub fn lookup(&self, gen_sum: u64, tokens: &[usize]) -> Option<Vec<f32>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.gen_sum != gen_sum {
+            inner.map.clear();
+            inner.entries = 0;
+            inner.gen_sum = gen_sum;
+        }
+        let key = fnv1a_tokens(tokens);
+        let hit = inner.map.get(&key).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|(k, _)| k.as_ref() == tokens)
+                .map(|(_, v)| v.clone())
+        });
+        drop(inner);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Store the logits for `tokens` computed under `gen_sum`. At capacity
+    /// the map is cleared wholesale before inserting.
+    pub fn insert(&self, gen_sum: u64, tokens: &[usize], logits: &[f32]) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.gen_sum != gen_sum {
+            inner.map.clear();
+            inner.entries = 0;
+            inner.gen_sum = gen_sum;
+        }
+        if inner.entries >= self.capacity {
+            inner.map.clear();
+            inner.entries = 0;
+        }
+        let key = fnv1a_tokens(tokens);
+        let bucket = inner.map.entry(key).or_default();
+        if bucket.iter().any(|(k, _)| k.as_ref() == tokens) {
+            return;
+        }
+        bucket.push((tokens.to_vec().into_boxed_slice(), logits.to_vec()));
+        inner.entries += 1;
+    }
+
+    /// Cumulative `(hits, misses)` since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Emit one `gauge` record with cumulative hit/miss counts and current
+    /// occupancy. No-op when telemetry is disabled.
+    pub fn emit_gauges(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let (hits, misses) = self.hit_miss();
+        telemetry::emit(
+            "gauge",
+            "infer.score_cache",
+            &[
+                ("hits", Value::U64(hits)),
+                ("misses", Value::U64(misses)),
+                ("entries", Value::U64(self.len() as u64)),
+                ("capacity", Value::U64(self.capacity as u64)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_recycles_exact_lengths() {
+        let mut s = InferScratch::new();
+        let mut a = s.take(16);
+        a[0] = 42.0;
+        let ptr = a.as_ptr();
+        s.put(a);
+        assert_eq!(s.retained_floats(), 16);
+        let b = s.take(16);
+        assert_eq!(b.as_ptr(), ptr, "same buffer handed back");
+        assert_eq!(s.retained_floats(), 0);
+        // A different length misses the bucket.
+        let c = s.take(8);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn scratch_pool_round_trips() {
+        let out = with_infer_scratch(|s| {
+            let v = s.take(32);
+            let len = v.len();
+            s.put(v);
+            len
+        });
+        assert_eq!(out, 32);
+    }
+
+    #[test]
+    fn score_cache_hit_returns_bit_identical_logits() {
+        let cache = ScoreCache::with_capacity(8);
+        let logits = vec![0.1f32, -2.5, 3.25];
+        assert!(cache.lookup(1, &[3, 1, 4]).is_none());
+        cache.insert(1, &[3, 1, 4], &logits);
+        let hit = cache.lookup(1, &[3, 1, 4]).expect("hit");
+        assert_eq!(hit, logits);
+        assert_eq!(cache.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn score_cache_invalidates_on_generation_change() {
+        let cache = ScoreCache::with_capacity(8);
+        cache.insert(1, &[7], &[1.0]);
+        assert!(cache.lookup(2, &[7]).is_none(), "stale generation");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn score_cache_clears_wholesale_at_capacity() {
+        let cache = ScoreCache::with_capacity(2);
+        cache.insert(1, &[1], &[1.0]);
+        cache.insert(1, &[2], &[2.0]);
+        assert_eq!(cache.len(), 2);
+        cache.insert(1, &[3], &[3.0]);
+        assert_eq!(cache.len(), 1, "wholesale clear then insert");
+        assert!(cache.lookup(1, &[1]).is_none());
+        assert_eq!(cache.lookup(1, &[3]), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn clone_is_fresh_and_empty() {
+        let cache = ScoreCache::with_capacity(4);
+        cache.insert(1, &[9], &[9.0]);
+        let clone = cache.clone();
+        assert!(clone.is_empty());
+        assert!(clone.lookup(1, &[9]).is_none());
+    }
+}

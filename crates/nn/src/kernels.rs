@@ -94,6 +94,17 @@ pub mod profile {
     pub(super) static TILED_SERIAL: AtomicU64 = AtomicU64::new(0);
     pub(super) static TILED_PARALLEL: AtomicU64 = AtomicU64::new(0);
 
+    // Forward-kernel tier counters (inference plane): per elementwise kernel
+    // family, one counter for the SIMD tier and one for the scalar fallback,
+    // plus one for the fused GEMM+bias+activation entry point.
+    pub(super) static SOFTMAX_SIMD: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SOFTMAX_SCALAR: AtomicU64 = AtomicU64::new(0);
+    pub(super) static LAYERNORM_SIMD: AtomicU64 = AtomicU64::new(0);
+    pub(super) static LAYERNORM_SCALAR: AtomicU64 = AtomicU64::new(0);
+    pub(super) static GELU_SIMD: AtomicU64 = AtomicU64::new(0);
+    pub(super) static GELU_SCALAR: AtomicU64 = AtomicU64::new(0);
+    pub(super) static FUSED_BIAS_ACT: AtomicU64 = AtomicU64::new(0);
+
     #[inline]
     pub(super) fn bump(counter: &AtomicU64) {
         if telemetry::enabled() {
@@ -138,6 +149,45 @@ pub mod profile {
                 ("tiled_serial", Value::U64(serial)),
                 ("tiled_parallel", Value::U64(parallel)),
                 ("fma", Value::U64(fma_active() as u64)),
+            ],
+        );
+    }
+
+    /// Cumulative forward-kernel tier counts since process start, as
+    /// `(softmax_simd, softmax_scalar, layernorm_simd, layernorm_scalar,
+    /// gelu_simd, gelu_scalar, fused_bias_act)` (all zero unless telemetry is
+    /// enabled).
+    #[allow(clippy::type_complexity)]
+    pub fn forward_counters() -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            SOFTMAX_SIMD.load(Ordering::Relaxed),
+            SOFTMAX_SCALAR.load(Ordering::Relaxed),
+            LAYERNORM_SIMD.load(Ordering::Relaxed),
+            LAYERNORM_SCALAR.load(Ordering::Relaxed),
+            GELU_SIMD.load(Ordering::Relaxed),
+            GELU_SCALAR.load(Ordering::Relaxed),
+            FUSED_BIAS_ACT.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Emit one `gauge` record with the cumulative forward-kernel tier
+    /// counters (inference plane). No-op when telemetry is disabled.
+    pub fn emit_forward_gauges() {
+        if !telemetry::enabled() {
+            return;
+        }
+        let (sm_v, sm_s, ln_v, ln_s, ge_v, ge_s, fused) = forward_counters();
+        telemetry::emit(
+            "gauge",
+            "kernels.forward_dispatch",
+            &[
+                ("softmax_simd", Value::U64(sm_v)),
+                ("softmax_scalar", Value::U64(sm_s)),
+                ("layernorm_simd", Value::U64(ln_v)),
+                ("layernorm_scalar", Value::U64(ln_s)),
+                ("gelu_simd", Value::U64(ge_v)),
+                ("gelu_scalar", Value::U64(ge_s)),
+                ("fused_bias_act", Value::U64(fused)),
             ],
         );
     }
@@ -569,6 +619,209 @@ mod avx {
                 s += av * *b.add(p * n + j);
             }
             *o_row.get_unchecked_mut(j) = s;
+            j += 1;
+        }
+    }
+
+    /// `out[j] = x[j] + y[j]` — one add rounding per element, identical to
+    /// the scalar loop.
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`]; slices must be equal-length.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn add_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+        let n = x.len();
+        debug_assert_eq!(y.len(), n);
+        debug_assert_eq!(out.len(), n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_add_ps(
+                _mm256_loadu_ps(x.as_ptr().add(j)),
+                _mm256_loadu_ps(y.as_ptr().add(j)),
+            );
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *out.get_unchecked_mut(j) = *x.get_unchecked(j) + *y.get_unchecked(j);
+            j += 1;
+        }
+    }
+
+    /// `x[j] += y[j]` in place (one add rounding per element).
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`]; slices must be equal-length.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn add_assign(x: &mut [f32], y: &[f32]) {
+        let n = x.len();
+        debug_assert_eq!(y.len(), n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_add_ps(
+                _mm256_loadu_ps(x.as_ptr().add(j)),
+                _mm256_loadu_ps(y.as_ptr().add(j)),
+            );
+            _mm256_storeu_ps(x.as_mut_ptr().add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *x.get_unchecked_mut(j) += *y.get_unchecked(j);
+            j += 1;
+        }
+    }
+
+    /// `out[j] = x[j] + s` (broadcast add, one rounding per element).
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`]; slices must be equal-length.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn add_scalar_into(x: &[f32], s: f32, out: &mut [f32]) {
+        let n = x.len();
+        debug_assert_eq!(out.len(), n);
+        let vs = _mm256_set1_ps(s);
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(x.as_ptr().add(j)), vs);
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *out.get_unchecked_mut(j) = *x.get_unchecked(j) + s;
+            j += 1;
+        }
+    }
+
+    /// Maximum of a slice starting from `f32::NEG_INFINITY`. `max` is
+    /// order-independent for non-NaN inputs, so the vector reduction is
+    /// value-identical to the scalar fold.
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`].
+    #[target_feature(enable = "avx")]
+    pub unsafe fn max_val(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mut m = f32::NEG_INFINITY;
+        let mut j = 0;
+        if n >= 8 {
+            let mut vm = _mm256_set1_ps(f32::NEG_INFINITY);
+            while j + 8 <= n {
+                vm = _mm256_max_ps(vm, _mm256_loadu_ps(x.as_ptr().add(j)));
+                j += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), vm);
+            for &l in &lanes {
+                m = m.max(l);
+            }
+        }
+        while j < n {
+            m = m.max(*x.get_unchecked(j));
+            j += 1;
+        }
+        m
+    }
+
+    /// `x[j] *= c` in place (one mul rounding per element).
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`].
+    #[target_feature(enable = "avx")]
+    pub unsafe fn scale_inplace(x: &mut [f32], c: f32) {
+        let n = x.len();
+        let vc = _mm256_set1_ps(c);
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(j)), vc);
+            _mm256_storeu_ps(x.as_mut_ptr().add(j), v);
+            j += 8;
+        }
+        while j < n {
+            let p = x.get_unchecked_mut(j);
+            *p *= c;
+            j += 1;
+        }
+    }
+
+    /// Layer-norm affine: `out[j] = ((x[j] - mean) * inv_std) * g[j] + b[j]`
+    /// — four separate roundings per element in the exact scalar order (no
+    /// FMA contraction).
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`]; slices must be equal-length.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn ln_affine_into(
+        x: &[f32],
+        mean: f32,
+        inv_std: f32,
+        g: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        let n = x.len();
+        debug_assert_eq!(g.len(), n);
+        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(out.len(), n);
+        let vmean = _mm256_set1_ps(mean);
+        let vinv = _mm256_set1_ps(inv_std);
+        let mut j = 0;
+        while j + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(j));
+            let d = _mm256_sub_ps(xv, vmean);
+            let s = _mm256_mul_ps(d, vinv);
+            let sg = _mm256_mul_ps(s, _mm256_loadu_ps(g.as_ptr().add(j)));
+            let v = _mm256_add_ps(sg, _mm256_loadu_ps(b.as_ptr().add(j)));
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *out.get_unchecked_mut(j) =
+                (*x.get_unchecked(j) - mean) * inv_std * *g.get_unchecked(j) + *b.get_unchecked(j);
+            j += 1;
+        }
+    }
+
+    /// Tanh-approximation GELU over raw pointers (`xp` and `op` may be
+    /// equal for in-place use), replicating the scalar op sequence exactly:
+    /// the polynomial and the final combine run as separate vector mul/add
+    /// steps (one rounding each, no FMA), and `tanh` itself is evaluated per
+    /// lane with the scalar libm call — so every element takes the identical
+    /// sequence of roundings as the scalar loop.
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`]; `xp` must be readable and
+    /// `op` writable for `n` elements, equal or disjoint (each lane is read
+    /// before it is written).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn gelu_ptr(xp: *const f32, n: usize, c: f32, a: f32, op: *mut f32) {
+        let va = _mm256_set1_ps(a);
+        let vc = _mm256_set1_ps(c);
+        let vhalf = _mm256_set1_ps(0.5);
+        let vone = _mm256_set1_ps(1.0);
+        let mut j = 0;
+        while j + 8 <= n {
+            let xv = _mm256_loadu_ps(xp.add(j));
+            // u = c * (x + ((a*x)*x)*x), each step one rounding.
+            let t1 = _mm256_mul_ps(va, xv);
+            let t2 = _mm256_mul_ps(t1, xv);
+            let t3 = _mm256_mul_ps(t2, xv);
+            let t4 = _mm256_add_ps(xv, t3);
+            let u = _mm256_mul_ps(vc, t4);
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), u);
+            for l in lanes.iter_mut() {
+                *l = l.tanh();
+            }
+            let th = _mm256_loadu_ps(lanes.as_ptr());
+            let hx = _mm256_mul_ps(vhalf, xv);
+            let opt = _mm256_add_ps(vone, th);
+            _mm256_storeu_ps(op.add(j), _mm256_mul_ps(hx, opt));
+            j += 8;
+        }
+        while j < n {
+            let xv = *xp.add(j);
+            let th = (c * (xv + a * xv * xv * xv)).tanh();
+            *op.add(j) = 0.5 * xv * (1.0 + th);
             j += 1;
         }
     }
@@ -1099,6 +1352,394 @@ pub fn matmul_transpose_a(a: &[f32], g: &[f32], m: usize, k: usize, n: usize) ->
     matmul_transpose_a_with_pool(a, g, m, k, n, RotomPool::global())
 }
 
+// ---------------------------------------------------------------------------
+// Inference plane: band replay, fused bias+activation, forward kernels
+// ---------------------------------------------------------------------------
+
+/// The row band of a `full_m`-row GEMM that contains `row`, as
+/// `(start, len)`.
+///
+/// Bands are exactly the units the tiled core computes independently: the
+/// `MR`-aligned full tile containing `row`, or the ragged trailing block
+/// (`full_m % MR` rows) when `row` falls past the last full tile. Computing
+/// just this band with [`matmul_band_into`] is bit-identical to the same
+/// rows of the full `full_m`-row product at every thread count, because the
+/// parallel path already splits on `MR`-row boundaries and the naive kernel
+/// is per-row independent.
+pub fn band_rows(full_m: usize, row: usize) -> (usize, usize) {
+    debug_assert!(row < full_m);
+    let full = full_m - full_m % MR;
+    if row < full {
+        (row - row % MR, MR)
+    } else {
+        (full, full_m - full)
+    }
+}
+
+/// Band replay of `C = A·B`: compute only the `band_len` output rows whose
+/// `A` rows are `a_band`, exactly as the full `full_m×k · k×n` product
+/// would have computed them.
+///
+/// Dispatch is decided on the **full logical shape** (`full_m·k·n`), so the
+/// band takes the same kernel path — naive below [`SMALL_FLOPS`], tiled
+/// above — as the corresponding rows of the full call, making the results
+/// bit-identical to slicing the full product. `band_len` must come from
+/// [`band_rows`] (an `MR`-aligned full tile or the ragged trailing block).
+/// `pk`, when present, must be the [`PackedB::pack_row_major`] of `b`;
+/// panel contents match a cold pack bit-for-bit, so the option never
+/// changes values.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_band_into(
+    a_band: &[f32],
+    b: &[f32],
+    pk: Option<&PackedB>,
+    full_m: usize,
+    band_len: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(band_len <= MR && band_len <= full_m);
+    debug_assert_eq!(a_band.len(), band_len * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), band_len * n);
+    if full_m * k * n < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
+        matmul_naive_into(a_band, b, band_len, k, n, out);
+        return;
+    }
+    profile::bump(&profile::TILED_SERIAL);
+    match pk {
+        Some(pk) => {
+            debug_assert_eq!(pk.shape(), (k, n));
+            matmul_block_tiled(
+                a_band,
+                band_len,
+                k,
+                &BPacked {
+                    pk,
+                    edge: BRowMajor { b, n },
+                },
+                n,
+                out,
+            );
+        }
+        None => matmul_block_tiled(a_band, band_len, k, &BRowMajor { b, n }, n, out),
+    }
+}
+
+/// Band replay of `C = A·Bᵀ` (`b` stored row-major `n×k`): the
+/// transpose-form counterpart of [`matmul_band_into`], with the identical
+/// full-shape dispatch rule. Valid because both the naive dot-form kernel
+/// and the tiled core accumulate every output scalar independently in
+/// increasing `k`.
+pub fn matmul_transpose_b_band_into(
+    a_band: &[f32],
+    b: &[f32],
+    full_m: usize,
+    band_len: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(band_len <= MR && band_len <= full_m);
+    debug_assert_eq!(a_band.len(), band_len * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), band_len * n);
+    if full_m * k * n < SMALL_FLOPS {
+        profile::bump(&profile::NAIVE);
+        matmul_transpose_b_naive_into(a_band, b, band_len, k, n, out);
+        return;
+    }
+    profile::bump(&profile::TILED_SERIAL);
+    matmul_block_tiled(a_band, band_len, k, &BTransposed { b, k }, n, out);
+}
+
+/// Elementwise activation applied by the fused forward path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// Identity (bias only).
+    None,
+    /// Tanh-approximation GELU, matching the autodiff tape's `gelu` op
+    /// bit-for-bit.
+    Gelu,
+}
+
+/// GELU constants shared with the tape op: `√(2/π)` and the cubic
+/// coefficient.
+const GELU_C: f32 = 0.797_884_6;
+const GELU_A: f32 = 0.044_715;
+
+/// Apply an optional per-column bias and an activation to a `rows×n` buffer
+/// in place — the fused epilogue of [`matmul_bias_act_into`].
+///
+/// The bias add is one rounding per element (identical to the tape's
+/// `add_row`), and [`Act::Gelu`] replicates the tape's op sequence exactly
+/// (see [`gelu_fwd`]), so `matmul → bias_act_apply` is bit-identical to the
+/// tape's `matmul → add_row → gelu` chain.
+pub fn bias_act_apply(out: &mut [f32], rows: usize, n: usize, bias: Option<&[f32]>, act: Act) {
+    debug_assert_eq!(out.len(), rows * n);
+    if let Some(bias) = bias {
+        debug_assert_eq!(bias.len(), n);
+        #[cfg(target_arch = "x86_64")]
+        let use_avx = avx::available();
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx = false;
+        for i in 0..rows {
+            let row = &mut out[i * n..(i + 1) * n];
+            #[cfg(target_arch = "x86_64")]
+            if use_avx {
+                // SAFETY: `available()` checked.
+                unsafe { avx::add_assign(row, bias) };
+                continue;
+            }
+            let _ = use_avx;
+            for (o, &s) in row.iter_mut().zip(bias) {
+                *o += s;
+            }
+        }
+    }
+    if act == Act::Gelu {
+        gelu_fwd_inplace(out);
+    }
+}
+
+/// Fused `C = act(A·B + bias)` forward entry: the GEMM dispatch (thresholds,
+/// packed panels, thread fan-out) is byte-for-byte the one [`matmul_into`] /
+/// [`matmul_prepacked_into`] perform, followed by the in-place
+/// [`bias_act_apply`] epilogue — one output sweep instead of the tape's
+/// three node materializations.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bias_act_into(
+    a: &[f32],
+    b: &[f32],
+    pk: Option<&PackedB>,
+    bias: Option<&[f32]>,
+    act: Act,
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &RotomPool,
+    out: &mut [f32],
+) {
+    match pk {
+        Some(pk) => matmul_prepacked_into(a, b, pk, m, k, n, pool, out),
+        None => matmul_into(a, b, m, k, n, pool, out),
+    }
+    profile::bump(&profile::FUSED_BIAS_ACT);
+    bias_act_apply(out, m, n, bias, act);
+}
+
+/// Elementwise `out = x + y` — the forward-only counterpart of the tape's
+/// `add` op (residual connections), bit-identical to it (one add rounding
+/// per element on both tiers).
+pub fn add_fwd(x: &[f32], y: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // SAFETY: `available()` checked; lengths asserted equal.
+        unsafe { avx::add_into(x, y, out) };
+        return;
+    }
+    for ((&a, &b), o) in x.iter().zip(y).zip(out.iter_mut()) {
+        *o = a + b;
+    }
+}
+
+/// Elementwise `x += y` in place — value-identical to [`add_fwd`] (the
+/// tape's `add` always writes a fresh node, but the sums are the same).
+pub fn add_assign_fwd(x: &mut [f32], y: &[f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // SAFETY: `available()` checked; lengths asserted equal.
+        unsafe { avx::add_assign(x, y) };
+        return;
+    }
+    for (o, &b) in x.iter_mut().zip(y) {
+        *o += b;
+    }
+}
+
+/// Elementwise `x *= c` in place — the forward-only counterpart of the
+/// tape's `scale` op, bit-identical to it (one mul rounding per element).
+pub fn scale_fwd(x: &mut [f32], c: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // SAFETY: `available()` checked.
+        unsafe { avx::scale_inplace(x, c) };
+        return;
+    }
+    for o in x.iter_mut() {
+        *o *= c;
+    }
+}
+
+/// One softmax row, replicating the tape's `softmax_row` bit-for-bit:
+/// max-shift over `v + m` (mask value `m`, or `+ 0.0` when unmasked),
+/// scalar `exp` and sum in index order, then a uniform `1/sum` scale.
+/// Returns `(max, sum)` — the pieces a cross-entropy epilogue needs for
+/// `lse = sum.ln() + max`.
+///
+/// The SIMD tier vectorizes only the order-independent or elementwise
+/// stages (the additive mask shift, the max reduction, the final scale);
+/// the order-sensitive `exp`-and-accumulate stage stays scalar, so both
+/// tiers produce identical bits.
+pub fn softmax_row_fwd(row: &[f32], mask: Option<&[f32]>, out: &mut [f32]) -> (f32, f32) {
+    let n = row.len();
+    debug_assert_eq!(out.len(), n);
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // Shifted logits go in `out` (overwritten by the exp pass below).
+        match mask {
+            Some(mm) => {
+                debug_assert_eq!(mm.len(), n);
+                unsafe { avx::add_into(row, mm, out) };
+            }
+            None => unsafe { avx::add_scalar_into(row, 0.0, out) },
+        }
+        let max = unsafe { avx::max_val(out) };
+        let mut sum = 0.0f32;
+        for o in out.iter_mut() {
+            let e = (*o - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        unsafe { avx::scale_inplace(out, inv) };
+        return (max, sum);
+    }
+    let mut max = f32::NEG_INFINITY;
+    for (j, &v) in row.iter().enumerate() {
+        let m = mask.map_or(0.0, |mm| mm[j]);
+        max = max.max(v + m);
+    }
+    let mut sum = 0.0f32;
+    for (j, &v) in row.iter().enumerate() {
+        let m = mask.map_or(0.0, |mm| mm[j]);
+        let e = (v + m - max).exp();
+        out[j] = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+    (max, sum)
+}
+
+/// Row-wise softmax over a `rows×cols` buffer with an optional additive
+/// `rows×cols` mask — the forward-only counterpart of the tape's
+/// `softmax` / `masked_softmax` ops, bit-identical to both.
+pub fn softmax_fwd(x: &[f32], mask: Option<&[f32]>, rows: usize, cols: usize, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    if let Some(mm) = mask {
+        debug_assert_eq!(mm.len(), rows * cols);
+    }
+    #[cfg(target_arch = "x86_64")]
+    let simd = avx::available();
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd = false;
+    profile::bump(if simd {
+        &profile::SOFTMAX_SIMD
+    } else {
+        &profile::SOFTMAX_SCALAR
+    });
+    for i in 0..rows {
+        let row = &x[i * cols..(i + 1) * cols];
+        let mrow = mask.map(|mm| &mm[i * cols..(i + 1) * cols]);
+        softmax_row_fwd(row, mrow, &mut out[i * cols..(i + 1) * cols]);
+    }
+}
+
+/// Row-wise layer norm over a `rows×n` buffer — the forward-only
+/// counterpart of the tape's `layer_norm` op, bit-identical to it.
+///
+/// The mean and variance folds are order-sensitive and stay scalar in the
+/// tape's index order; the affine transform `((v-mean)·inv_std)·γ + β` is
+/// elementwise with one rounding per step and takes the SIMD tier.
+pub fn layernorm_fwd(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    rows: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), rows * n);
+    debug_assert_eq!(gamma.len(), n);
+    debug_assert_eq!(beta.len(), n);
+    debug_assert_eq!(out.len(), rows * n);
+    #[cfg(target_arch = "x86_64")]
+    let simd = avx::available();
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd = false;
+    profile::bump(if simd {
+        &profile::LAYERNORM_SIMD
+    } else {
+        &profile::LAYERNORM_SCALAR
+    });
+    let nf = n as f32;
+    for i in 0..rows {
+        let row = &x[i * n..(i + 1) * n];
+        let mean = row.iter().sum::<f32>() / nf;
+        let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / nf;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let orow = &mut out[i * n..(i + 1) * n];
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            unsafe { avx::ln_affine_into(row, mean, inv_std, gamma, beta, orow) };
+            continue;
+        }
+        for (j, (&v, o)) in row.iter().zip(orow.iter_mut()).enumerate() {
+            *o = (v - mean) * inv_std * gamma[j] + beta[j];
+        }
+    }
+}
+
+/// Elementwise tanh-approximation GELU — the forward-only counterpart of
+/// the tape's `gelu` op, bit-identical to it on both tiers (the SIMD tier
+/// keeps every polynomial step a separate rounding and evaluates `tanh`
+/// with the scalar libm call per lane).
+pub fn gelu_fwd(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        profile::bump(&profile::GELU_SIMD);
+        // SAFETY: `available()` checked; disjoint borrows of valid length.
+        unsafe { avx::gelu_ptr(x.as_ptr(), x.len(), GELU_C, GELU_A, out.as_mut_ptr()) };
+        return;
+    }
+    profile::bump(&profile::GELU_SCALAR);
+    for (&v, o) in x.iter().zip(out.iter_mut()) {
+        let th = (GELU_C * (v + GELU_A * v * v * v)).tanh();
+        *o = 0.5 * v * (1.0 + th);
+    }
+}
+
+/// In-place [`gelu_fwd`].
+fn gelu_fwd_inplace(x: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        profile::bump(&profile::GELU_SIMD);
+        // SAFETY: `available()` checked; equal src/dst pointers are allowed
+        // by `gelu_ptr` (each lane is read before written). Both pointers
+        // derive from the same mutable borrow.
+        let p = x.as_mut_ptr();
+        unsafe { avx::gelu_ptr(p, x.len(), GELU_C, GELU_A, p) };
+        return;
+    }
+    profile::bump(&profile::GELU_SCALAR);
+    for o in x.iter_mut() {
+        let v = *o;
+        let th = (GELU_C * (v + GELU_A * v * v * v)).tanh();
+        *o = 0.5 * v * (1.0 + th);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1275,5 +1916,229 @@ mod tests {
         assert!(matmul(&[], &[1.0, 2.0], 0, 1, 2).is_empty());
         let out = matmul(&[1.0, 2.0], &[], 1, 2, 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn band_rows_partitions_all_rows() {
+        for full_m in [1usize, 2, 3, 4, 5, 7, 8, 11, 64, 70] {
+            for row in 0..full_m {
+                let (start, len) = band_rows(full_m, row);
+                assert!(start <= row && row < start + len, "{full_m}/{row}");
+                assert!(len <= MR && start + len <= full_m);
+                if start + len < full_m {
+                    assert_eq!(len, MR, "interior bands are full tiles");
+                    assert_eq!(start % MR, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_replay_matches_full_product_bitwise() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4ea, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let pk = PackedB::pack_row_major(&b, k, n);
+            for threads in [1, 2, 8] {
+                let full = matmul_with_pool(&a, &b, m, k, n, &RotomPool::new(threads));
+                for row in [0, m / 2, m - 1] {
+                    let (start, len) = band_rows(m, row);
+                    let a_band = &a[start * k..(start + len) * k];
+                    let mut band = vec![0.0f32; len * n];
+                    matmul_band_into(a_band, &b, None, m, len, k, n, &mut band);
+                    assert_eq!(
+                        band,
+                        &full[start * n..(start + len) * n],
+                        "band {m}x{k}x{n} row={row} threads={threads}"
+                    );
+                    matmul_band_into(a_band, &b, Some(&pk), m, len, k, n, &mut band);
+                    assert_eq!(
+                        band,
+                        &full[start * n..(start + len) * n],
+                        "packed band {m}x{k}x{n} row={row} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_b_band_replay_matches_full_product_bitwise() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4eb, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, n, k);
+            for threads in [1, 2, 8] {
+                let full = matmul_transpose_b_with_pool(&a, &b, m, k, n, &RotomPool::new(threads));
+                for row in [0, m / 2, m - 1] {
+                    let (start, len) = band_rows(m, row);
+                    let a_band = &a[start * k..(start + len) * k];
+                    let mut band = vec![0.0f32; len * n];
+                    matmul_transpose_b_band_into(a_band, &b, m, len, k, n, &mut band);
+                    assert_eq!(
+                        band,
+                        &full[start * n..(start + len) * n],
+                        "tb band {m}x{k}x{n} row={row} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scalar references below replicate the tape ops verbatim (graph.rs) —
+    /// the forward kernels must match them bit-for-bit on every tier.
+    fn softmax_ref(x: &[f32], mask: Option<&[f32]>, rows: usize, cols: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            let row = &x[i * cols..(i + 1) * cols];
+            let orow = &mut out[i * cols..(i + 1) * cols];
+            let mrow = mask.map(|mm| &mm[i * cols..(i + 1) * cols]);
+            let mut max = f32::NEG_INFINITY;
+            for (j, &v) in row.iter().enumerate() {
+                let m = mrow.map_or(0.0, |mm| mm[j]);
+                max = max.max(v + m);
+            }
+            let mut sum = 0.0f32;
+            for (j, &v) in row.iter().enumerate() {
+                let m = mrow.map_or(0.0, |mm| mm[j]);
+                let e = (v + m - max).exp();
+                orow[j] = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn softmax_fwd_matches_tape_formula_bitwise() {
+        for (case, &(rows, cols)) in [(1usize, 5usize), (3, 17), (8, 33), (12, 40)]
+            .iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4ec, case as u64));
+            let x = random_matrix(&mut rng, rows, cols);
+            let mut mask = vec![0.0f32; rows * cols];
+            for mv in mask.iter_mut() {
+                if rng.random_range(0.0f32..1.0) < 0.3 {
+                    *mv = -1e9;
+                }
+            }
+            let mut out = vec![0.0f32; rows * cols];
+            softmax_fwd(&x, None, rows, cols, &mut out);
+            assert_eq!(
+                out,
+                softmax_ref(&x, None, rows, cols),
+                "unmasked {rows}x{cols}"
+            );
+            softmax_fwd(&x, Some(&mask), rows, cols, &mut out);
+            assert_eq!(
+                out,
+                softmax_ref(&x, Some(&mask), rows, cols),
+                "masked {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_fwd_matches_tape_formula_bitwise() {
+        for (case, &(rows, n)) in [(1usize, 7usize), (4, 16), (9, 24), (13, 33)]
+            .iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4ed, case as u64));
+            let x = random_matrix(&mut rng, rows, n);
+            let gamma = random_matrix(&mut rng, 1, n);
+            let beta = random_matrix(&mut rng, 1, n);
+            let eps = 1e-5f32;
+            let mut out = vec![0.0f32; rows * n];
+            layernorm_fwd(&x, &gamma, &beta, eps, rows, n, &mut out);
+            let mut expect = vec![0.0f32; rows * n];
+            for i in 0..rows {
+                let row = &x[i * n..(i + 1) * n];
+                let mean = row.iter().sum::<f32>() / n as f32;
+                let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+                let inv_std = 1.0 / (var + eps).sqrt();
+                for (j, &v) in row.iter().enumerate() {
+                    expect[i * n + j] = (v - mean) * inv_std * gamma[j] + beta[j];
+                }
+            }
+            assert_eq!(out, expect, "layernorm {rows}x{n}");
+        }
+    }
+
+    #[test]
+    fn gelu_fwd_matches_tape_formula_bitwise() {
+        let mut rng = StdRng::seed_from_u64(0x4ee);
+        for len in [1usize, 7, 8, 31, 256] {
+            let x = random_matrix(&mut rng, 1, len);
+            let mut out = vec![0.0f32; len];
+            gelu_fwd(&x, &mut out);
+            for (j, (&v, &o)) in x.iter().zip(&out).enumerate() {
+                let th = (0.797_884_6f32 * (v + 0.044_715 * v * v * v)).tanh();
+                let expect = 0.5 * v * (1.0 + th);
+                assert_eq!(o, expect, "gelu len={len} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_act_matches_unfused_sequence_bitwise() {
+        for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(split_seed(0x4ef, case as u64));
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let bias = random_matrix(&mut rng, 1, n);
+            let pk = PackedB::pack_row_major(&b, k, n);
+            for threads in [1, 8] {
+                let pool = RotomPool::new(threads);
+                // Unfused reference: matmul, then add_row, then gelu — the
+                // tape's exact op sequence.
+                let mut expect = matmul_with_pool(&a, &b, m, k, n, &pool);
+                for i in 0..m {
+                    for j in 0..n {
+                        expect[i * n + j] += bias[j];
+                    }
+                }
+                let mut expect_gelu = expect.clone();
+                gelu_fwd(&expect, &mut expect_gelu);
+                for pk_opt in [None, Some(&pk)] {
+                    let mut fused = vec![0.0f32; m * n];
+                    matmul_bias_act_into(
+                        &a,
+                        &b,
+                        pk_opt,
+                        Some(&bias),
+                        Act::None,
+                        m,
+                        k,
+                        n,
+                        &pool,
+                        &mut fused,
+                    );
+                    assert_eq!(fused, expect, "fused none {m}x{k}x{n} threads={threads}");
+                    matmul_bias_act_into(
+                        &a,
+                        &b,
+                        pk_opt,
+                        Some(&bias),
+                        Act::Gelu,
+                        m,
+                        k,
+                        n,
+                        &pool,
+                        &mut fused,
+                    );
+                    assert_eq!(
+                        fused, expect_gelu,
+                        "fused gelu {m}x{k}x{n} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -47,6 +47,17 @@ impl Embedding {
         debug_assert!(ids.iter().all(|&i| i < self.vocab), "token id out of range");
         tape.embedding(self.table, store, ids)
     }
+
+    /// Forward-only gather into `out` (`ids.len() × dim`), bit-identical to
+    /// the tape's `embedding` op (a row copy either way).
+    pub fn infer_gather(&self, store: &ParamStore, ids: &[usize], out: &mut [f32]) {
+        debug_assert!(ids.iter().all(|&i| i < self.vocab), "token id out of range");
+        debug_assert_eq!(out.len(), ids.len() * self.dim);
+        let table = store.value(self.table);
+        for (i, &id) in ids.iter().enumerate() {
+            out[i * self.dim..(i + 1) * self.dim].copy_from_slice(table.row_slice(id));
+        }
+    }
 }
 
 #[cfg(test)]

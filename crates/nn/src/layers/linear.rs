@@ -2,6 +2,7 @@
 
 use crate::graph::{NodeId, Tape};
 use crate::init::Initializer;
+use crate::kernels;
 use crate::params::{ParamId, ParamStore};
 use rotom_rng::rngs::StdRng;
 
@@ -76,6 +77,77 @@ impl Linear {
             }
             None => y,
         }
+    }
+
+    /// Forward-only `y = act(x·W + b)` over `rows` input rows into `out`
+    /// (`rows × out_dim`), bit-identical to the tape's `matmul → add_row →
+    /// gelu` chain: the packed-panel decision replicates `Tape::matmul`
+    /// exactly (panels only above the tiled threshold), and the fused
+    /// epilogue applies the same per-element roundings.
+    pub fn infer_forward(
+        &self,
+        x: &[f32],
+        rows: usize,
+        act: kernels::Act,
+        store: &ParamStore,
+        pool: &crate::pool::RotomPool,
+        out: &mut [f32],
+    ) {
+        let w = store.value(self.w);
+        let packs = store.packs(self.w);
+        let pk = if rows * self.in_dim * self.out_dim >= kernels::SMALL_FLOPS {
+            packs.direct(w)
+        } else {
+            None
+        };
+        let bias = self.b.map(|b| store.value(b));
+        kernels::matmul_bias_act_into(
+            x,
+            w.data(),
+            pk,
+            bias.map(|t| t.data()),
+            act,
+            rows,
+            self.in_dim,
+            self.out_dim,
+            pool,
+            out,
+        );
+    }
+
+    /// Band replay of [`infer_forward`](Self::infer_forward): compute only
+    /// the `band_len` output rows whose inputs are `x_band`, exactly as a
+    /// `full_rows`-row forward would have computed them (see
+    /// [`kernels::band_rows`]). The bias/activation epilogue is per-row, so
+    /// it composes with the band without affecting values.
+    pub fn infer_forward_band(
+        &self,
+        x_band: &[f32],
+        full_rows: usize,
+        band_len: usize,
+        act: kernels::Act,
+        store: &ParamStore,
+        out: &mut [f32],
+    ) {
+        let w = store.value(self.w);
+        let packs = store.packs(self.w);
+        let pk = if full_rows * self.in_dim * self.out_dim >= kernels::SMALL_FLOPS {
+            packs.direct(w)
+        } else {
+            None
+        };
+        kernels::matmul_band_into(
+            x_band,
+            w.data(),
+            pk,
+            full_rows,
+            band_len,
+            self.in_dim,
+            self.out_dim,
+            out,
+        );
+        let bias = self.b.map(|b| store.value(b));
+        kernels::bias_act_apply(out, band_len, self.out_dim, bias.map(|t| t.data()), act);
     }
 }
 

@@ -18,8 +18,8 @@ pub use linear::Linear;
 pub use norm::LayerNorm;
 pub use rnn::Gru;
 pub use transformer::{
-    causal_mask, DecoderLayer, EncoderLayer, FeedForward, TransformerConfig, TransformerDecoder,
-    TransformerEncoder,
+    causal_mask, DecoderKvCache, DecoderLayer, EncoderLayer, FeedForward, TransformerConfig,
+    TransformerDecoder, TransformerEncoder,
 };
 
 use rotom_rng::rngs::StdRng;

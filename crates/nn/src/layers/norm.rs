@@ -30,6 +30,15 @@ impl LayerNorm {
         let b = tape.param(self.beta, store);
         tape.layer_norm(x, g, b, self.eps)
     }
+
+    /// Forward-only row-wise normalization of a `rows × dim` buffer into
+    /// `out`, bit-identical to the tape's `layer_norm` op. Layer norm is
+    /// per-row, so this also serves row bands directly.
+    pub fn infer_forward(&self, x: &[f32], rows: usize, store: &ParamStore, out: &mut [f32]) {
+        let g = store.value(self.gamma);
+        let b = store.value(self.beta);
+        crate::kernels::layernorm_fwd(x, g.data(), b.data(), self.eps, rows, g.cols(), out);
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@ use super::linear::Linear;
 use super::norm::LayerNorm;
 use super::FwdCtx;
 use crate::graph::{AttnMask, NodeId, Tape};
+use crate::infer::InferScratch;
+use crate::kernels::{self, Act};
 use crate::params::ParamStore;
+use crate::pool::RotomPool;
 use crate::tensor::Tensor;
 use rotom_rng::rngs::StdRng;
 
@@ -89,6 +92,46 @@ impl FeedForward {
         let h = tape.gelu(h);
         self.l2.forward(tape, h, store)
     }
+
+    /// Forward-only application over a `rows × d_model` buffer into `out`,
+    /// bit-identical to [`forward`](Self::forward) (the GELU is fused into
+    /// the first GEMM's epilogue, which applies the same per-element ops).
+    pub fn infer_forward(
+        &self,
+        x: &[f32],
+        rows: usize,
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+        out: &mut [f32],
+    ) {
+        let mut h = scratch.take(rows * self.l1.out_dim());
+        self.l1
+            .infer_forward(x, rows, Act::Gelu, store, pool, &mut h);
+        self.l2.infer_forward(&h, rows, Act::None, store, pool, out);
+        scratch.put(h);
+    }
+
+    /// Band replay of [`infer_forward`](Self::infer_forward): only the
+    /// `band_len` rows starting at a [`kernels::band_rows`] boundary of a
+    /// `full_rows`-row input are computed, bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_forward_band(
+        &self,
+        x_band: &[f32],
+        full_rows: usize,
+        band_len: usize,
+        store: &ParamStore,
+        scratch: &mut InferScratch,
+        out: &mut [f32],
+    ) {
+        let mut h = scratch.take(band_len * self.l1.out_dim());
+        self.l1
+            .infer_forward_band(x_band, full_rows, band_len, Act::Gelu, store, &mut h);
+        self.l2
+            .infer_forward_band(&h, full_rows, band_len, Act::None, store, out);
+        scratch.put(h);
+    }
 }
 
 /// Pre-norm Transformer encoder layer.
@@ -131,6 +174,78 @@ impl EncoderLayer {
         let f = self.ff.forward(tape, n2, ctx.store);
         let f = apply_dropout(tape, f, ctx);
         tape.add(x, f)
+    }
+
+    /// Forward-only application, updating the `t × d` buffer `x` in place.
+    /// Bit-identical to [`forward`](Self::forward) in eval mode (dropout at
+    /// probability 0 is the identity and consumes no randomness).
+    pub fn infer_forward(
+        &self,
+        x: &mut [f32],
+        t: usize,
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+    ) {
+        let d = self.attn.d_model();
+        let mut n = scratch.take(t * d);
+        let mut a = scratch.take(t * d);
+        self.ln1.infer_forward(x, t, store, &mut n);
+        self.attn
+            .infer_forward(&n, &n, t, t, None, store, pool, scratch, &mut a);
+        kernels::add_assign_fwd(x, &a);
+        self.ln2.infer_forward(x, t, store, &mut n);
+        self.ff.infer_forward(&n, t, store, pool, scratch, &mut a);
+        kernels::add_assign_fwd(x, &a);
+        scratch.put(n);
+        scratch.put(a);
+    }
+
+    /// Band replay: given the full `t × d` input `x`, compute only the
+    /// `band_len` output rows starting at `band_start` (a
+    /// [`kernels::band_rows`] boundary) into `out_band`. The first layer
+    /// norm still runs over all rows because every query row attends to
+    /// every key; everything after the attention is per-row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_forward_band_tail(
+        &self,
+        x: &[f32],
+        t: usize,
+        band_start: usize,
+        band_len: usize,
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+        out_band: &mut [f32],
+    ) {
+        let d = self.attn.d_model();
+        let band = band_start * d..(band_start + band_len) * d;
+        let mut n1 = scratch.take(t * d);
+        let mut a = scratch.take(band_len * d);
+        let mut x2 = scratch.take(band_len * d);
+        let mut n2 = scratch.take(band_len * d);
+        self.ln1.infer_forward(x, t, store, &mut n1);
+        self.attn.infer_forward_band(
+            &n1[band.clone()],
+            &n1,
+            t,
+            band_len,
+            t,
+            None,
+            store,
+            pool,
+            scratch,
+            &mut a,
+        );
+        kernels::add_fwd(&x[band], &a, &mut x2);
+        self.ln2.infer_forward(&x2, band_len, store, &mut n2);
+        self.ff
+            .infer_forward_band(&n2, t, band_len, store, scratch, &mut a);
+        kernels::add_fwd(&x2, &a, out_band);
+        scratch.put(n1);
+        scratch.put(a);
+        scratch.put(x2);
+        scratch.put(n2);
     }
 }
 
@@ -198,6 +313,100 @@ impl DecoderLayer {
         let f = self.ff.forward(tape, n3, ctx.store);
         let f = apply_dropout(tape, f, ctx);
         tape.add(x, f)
+    }
+
+    /// Forward-only application, updating the `t × d` buffer `x` in place.
+    /// Cross-attention keys/values come precomputed (`cross_k`/`cross_v`,
+    /// `mem_rows × d` each — see
+    /// [`MultiHeadAttention::infer_project_kv`]); `self_mask` is the full
+    /// `t × t` causal mask data. Bit-identical to
+    /// [`forward`](Self::forward) in eval mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_forward(
+        &self,
+        x: &mut [f32],
+        t: usize,
+        cross_k: &[f32],
+        cross_v: &[f32],
+        mem_rows: usize,
+        self_mask: &[f32],
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+    ) {
+        let d = self.self_attn.d_model();
+        let mut n = scratch.take(t * d);
+        let mut a = scratch.take(t * d);
+        self.ln1.infer_forward(x, t, store, &mut n);
+        self.self_attn
+            .infer_forward(&n, &n, t, t, Some(self_mask), store, pool, scratch, &mut a);
+        kernels::add_assign_fwd(x, &a);
+        self.ln2.infer_forward(x, t, store, &mut n);
+        self.cross_attn.infer_forward_cached(
+            &n, t, cross_k, cross_v, mem_rows, None, store, pool, scratch, &mut a,
+        );
+        kernels::add_assign_fwd(x, &a);
+        self.ln3.infer_forward(x, t, store, &mut n);
+        self.ff.infer_forward(&n, t, store, pool, scratch, &mut a);
+        kernels::add_assign_fwd(x, &a);
+        scratch.put(n);
+        scratch.put(a);
+    }
+
+    /// Band replay: compute only the `band_len` output rows starting at
+    /// `band_start` from the full `t × d` input `x`. `self_mask_band` holds
+    /// the band's rows of the full causal mask (`band_len × t`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_forward_band_tail(
+        &self,
+        x: &[f32],
+        t: usize,
+        band_start: usize,
+        band_len: usize,
+        cross_k: &[f32],
+        cross_v: &[f32],
+        mem_rows: usize,
+        self_mask_band: &[f32],
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+        out_band: &mut [f32],
+    ) {
+        let d = self.self_attn.d_model();
+        let band = band_start * d..(band_start + band_len) * d;
+        let mut n1 = scratch.take(t * d);
+        let mut a = scratch.take(band_len * d);
+        let mut x2 = scratch.take(band_len * d);
+        let mut nb = scratch.take(band_len * d);
+        let mut x3 = scratch.take(band_len * d);
+        self.ln1.infer_forward(x, t, store, &mut n1);
+        self.self_attn.infer_forward_band(
+            &n1[band.clone()],
+            &n1,
+            t,
+            band_len,
+            t,
+            Some(self_mask_band),
+            store,
+            pool,
+            scratch,
+            &mut a,
+        );
+        kernels::add_fwd(&x[band], &a, &mut x2);
+        self.ln2.infer_forward(&x2, band_len, store, &mut nb);
+        self.cross_attn.infer_forward_band_cached(
+            &nb, t, band_len, cross_k, cross_v, mem_rows, None, store, pool, scratch, &mut a,
+        );
+        kernels::add_fwd(&x2, &a, &mut x3);
+        self.ln3.infer_forward(&x3, band_len, store, &mut nb);
+        self.ff
+            .infer_forward_band(&nb, t, band_len, store, scratch, &mut a);
+        kernels::add_fwd(&x3, &a, out_band);
+        scratch.put(n1);
+        scratch.put(a);
+        scratch.put(x2);
+        scratch.put(nb);
+        scratch.put(x3);
     }
 }
 
@@ -301,6 +510,90 @@ impl TransformerEncoder {
         let h = self.forward_with(tape, ids, extras, ctx);
         tape.slice_rows(h, 0, 1)
     }
+
+    /// Sum token + positional (+ extra feature) embeddings into a fresh
+    /// `t × d` buffer, exactly as the tape forward does in eval mode.
+    fn infer_embed(
+        &self,
+        ids: &[usize],
+        extras: &[(&Embedding, &[usize])],
+        store: &ParamStore,
+        scratch: &mut InferScratch,
+    ) -> (Vec<f32>, usize) {
+        let d = self.cfg.d_model;
+        let t = ids.len().min(self.cfg.max_len);
+        let ids = &ids[..t];
+        let mut x = scratch.take(t * d);
+        self.tok.infer_gather(store, ids, &mut x);
+        // Positions are 0..t, so the gather is the table's leading rows.
+        kernels::add_assign_fwd(&mut x, &store.value(self.pos.table()).data()[..t * d]);
+        let mut fe = scratch.take(t * d);
+        for (table, feats) in extras {
+            assert!(feats.len() >= t, "feature ids shorter than input");
+            table.infer_gather(store, &feats[..t], &mut fe);
+            kernels::add_assign_fwd(&mut x, &fe);
+        }
+        scratch.put(fe);
+        (x, t)
+    }
+
+    /// Forward-only, tape-free encoding of `ids` (truncated to `max_len`):
+    /// returns the `t × d` hidden states and `t`. Bit-identical to
+    /// [`forward_with`](Self::forward_with) under [`FwdCtx::eval`]. The
+    /// returned buffer comes from `scratch`; hand it back with
+    /// [`InferScratch::put`] when done.
+    pub fn infer_forward_with(
+        &self,
+        ids: &[usize],
+        extras: &[(&Embedding, &[usize])],
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+    ) -> (Vec<f32>, usize) {
+        let (mut x, t) = self.infer_embed(ids, extras, store, scratch);
+        for layer in &self.layers {
+            layer.infer_forward(&mut x, t, store, pool, scratch);
+        }
+        let mut out = scratch.take(t * self.cfg.d_model);
+        self.ln_f.infer_forward(&x, t, store, &mut out);
+        scratch.put(x);
+        (out, t)
+    }
+
+    /// Forward-only [CLS] encoding into `cls_out` (`d_model` floats),
+    /// bit-identical to [`encode_cls_with`](Self::encode_cls_with) under
+    /// [`FwdCtx::eval`]. Only the final layer is band-restricted to the
+    /// leading rows (earlier layers feed every position into the next
+    /// attention, so they must run in full).
+    pub fn infer_encode_cls_with(
+        &self,
+        ids: &[usize],
+        extras: &[(&Embedding, &[usize])],
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+        cls_out: &mut [f32],
+    ) {
+        let d = self.cfg.d_model;
+        let (mut x, t) = self.infer_embed(ids, extras, store, scratch);
+        let (band_start, band_len) = kernels::band_rows(t, 0);
+        debug_assert_eq!(band_start, 0);
+        let mut band = scratch.take(band_len * d);
+        if let Some((last, init)) = self.layers.split_last() {
+            for layer in init {
+                layer.infer_forward(&mut x, t, store, pool, scratch);
+            }
+            last.infer_forward_band_tail(&x, t, 0, band_len, store, pool, scratch, &mut band);
+        } else {
+            band.copy_from_slice(&x[..band_len * d]);
+        }
+        let mut normed = scratch.take(band_len * d);
+        self.ln_f.infer_forward(&band, band_len, store, &mut normed);
+        cls_out.copy_from_slice(&normed[..d]);
+        scratch.put(x);
+        scratch.put(band);
+        scratch.put(normed);
+    }
 }
 
 /// Decoder stack with output projection tied to its own token embedding.
@@ -366,6 +659,125 @@ impl TransformerDecoder {
         let x = self.ln_f.forward(tape, x, ctx.store);
         self.proj.forward(tape, x, ctx.store)
     }
+
+    /// Precompute each layer's cross-attention K/V projections of `memory`
+    /// (`mem_rows × d`). During autoregressive decoding the encoder memory
+    /// is fixed, so these projections are identical at every step — caching
+    /// them is a pure reuse of bit-identical values.
+    pub fn infer_prepare(
+        &self,
+        memory: &[f32],
+        mem_rows: usize,
+        store: &ParamStore,
+        pool: &RotomPool,
+    ) -> DecoderKvCache {
+        let d = self.cfg.d_model;
+        let per_layer = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let mut k = vec![0.0f32; mem_rows * d];
+                let mut v = vec![0.0f32; mem_rows * d];
+                layer
+                    .cross_attn
+                    .infer_project_kv(memory, mem_rows, store, pool, &mut k, &mut v);
+                (k, v)
+            })
+            .collect();
+        DecoderKvCache {
+            per_layer,
+            mem_rows,
+        }
+    }
+
+    /// Forward-only decode of the prefix `ids` returning only the LAST
+    /// position's logits (`vocab` floats) — the row every sampling and beam
+    /// step consumes. Bit-identical to that row of
+    /// [`forward`](Self::forward) under [`FwdCtx::eval`]: all but the final
+    /// layer run in full (their outputs feed every later position), while
+    /// the final layer, final norm, and the vocab projection — by far the
+    /// widest GEMM — replay only the last row's band.
+    pub fn infer_last_logits(
+        &self,
+        ids: &[usize],
+        cache: &DecoderKvCache,
+        store: &ParamStore,
+        pool: &RotomPool,
+        scratch: &mut InferScratch,
+        logits_out: &mut [f32],
+    ) {
+        let d = self.cfg.d_model;
+        let t = ids.len().min(self.cfg.max_len);
+        let ids = &ids[..t];
+        let mut x = scratch.take(t * d);
+        self.tok.infer_gather(store, ids, &mut x);
+        kernels::add_assign_fwd(&mut x, &store.value(self.pos.table()).data()[..t * d]);
+        let mut mask = scratch.take(t * t);
+        mask.fill(0.0);
+        for i in 0..t {
+            for j in (i + 1)..t {
+                mask[i * t + j] = -1e9;
+            }
+        }
+        let (band_start, band_len) = kernels::band_rows(t, t - 1);
+        let mut band = scratch.take(band_len * d);
+        if let Some((last, init)) = self.layers.split_last() {
+            for (li, layer) in init.iter().enumerate() {
+                let (ck, cv) = &cache.per_layer[li];
+                layer.infer_forward(
+                    &mut x,
+                    t,
+                    ck,
+                    cv,
+                    cache.mem_rows,
+                    &mask,
+                    store,
+                    pool,
+                    scratch,
+                );
+            }
+            let li = self.layers.len() - 1;
+            let (ck, cv) = &cache.per_layer[li];
+            last.infer_forward_band_tail(
+                &x,
+                t,
+                band_start,
+                band_len,
+                ck,
+                cv,
+                cache.mem_rows,
+                &mask[band_start * t..(band_start + band_len) * t],
+                store,
+                pool,
+                scratch,
+                &mut band,
+            );
+        } else {
+            band.copy_from_slice(&x[band_start * d..(band_start + band_len) * d]);
+        }
+        let mut normed = scratch.take(band_len * d);
+        self.ln_f.infer_forward(&band, band_len, store, &mut normed);
+        let mut proj_band = scratch.take(band_len * self.cfg.vocab);
+        self.proj
+            .infer_forward_band(&normed, t, band_len, Act::None, store, &mut proj_band);
+        let last_row = t - 1 - band_start;
+        logits_out.copy_from_slice(
+            &proj_band[last_row * self.cfg.vocab..(last_row + 1) * self.cfg.vocab],
+        );
+        scratch.put(x);
+        scratch.put(mask);
+        scratch.put(band);
+        scratch.put(normed);
+        scratch.put(proj_band);
+    }
+}
+
+/// Per-layer cross-attention K/V projections of a fixed encoder memory,
+/// built by [`TransformerDecoder::infer_prepare`] and reused across the
+/// steps of one generation.
+pub struct DecoderKvCache {
+    per_layer: Vec<(Vec<f32>, Vec<f32>)>,
+    mem_rows: usize,
 }
 
 #[cfg(test)]
@@ -416,6 +828,68 @@ mod tests {
             (tape.value(logits).rows(), tape.value(logits).cols()),
             (2, 50)
         );
+    }
+
+    #[test]
+    fn encoder_infer_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig::tiny(50);
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", cfg);
+        let mut scratch = InferScratch::new();
+        for threads in [1usize, 8] {
+            let pool = RotomPool::new(threads);
+            for ids in [
+                vec![1usize],
+                vec![4, 9, 2],
+                (0..23).map(|i| i % 50).collect(),
+            ] {
+                let mut tape = Tape::new();
+                let mut ctx = FwdCtx::eval(&store);
+                let h = enc.forward(&mut tape, &ids, &mut ctx);
+                let expect = tape.value(h).data().to_vec();
+                let cls = enc.encode_cls(&mut tape, &ids, &mut ctx);
+                let expect_cls = tape.value(cls).data().to_vec();
+
+                let (got, t) = enc.infer_forward_with(&ids, &[], &store, &pool, &mut scratch);
+                assert_eq!(t, ids.len());
+                assert_eq!(expect, got, "full ids={ids:?} threads={threads}");
+                scratch.put(got);
+
+                let mut got_cls = vec![0.0f32; 32];
+                enc.infer_encode_cls_with(&ids, &[], &store, &pool, &mut scratch, &mut got_cls);
+                assert_eq!(expect_cls, got_cls, "cls ids={ids:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_infer_last_logits_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig::tiny(50);
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", cfg.clone());
+        let dec = TransformerDecoder::new(&mut store, &mut rng, "dec", cfg);
+        let src: Vec<usize> = vec![5, 6, 7, 8, 9];
+        let mut scratch = InferScratch::new();
+        for threads in [1usize, 8] {
+            let pool = RotomPool::new(threads);
+            let (memory, mem_rows) = enc.infer_forward_with(&src, &[], &store, &pool, &mut scratch);
+            let cache = dec.infer_prepare(&memory, mem_rows, &store, &pool);
+            for prefix_len in [1usize, 2, 5, 9] {
+                let prefix: Vec<usize> = (0..prefix_len).map(|i| (i * 3 + 1) % 50).collect();
+                let mut tape = Tape::new();
+                let mut ctx = FwdCtx::eval(&store);
+                let mem = enc.forward(&mut tape, &src, &mut ctx);
+                let logits = dec.forward(&mut tape, &prefix, mem, &mut ctx);
+                let expect = tape.value(logits).row_slice(prefix_len - 1).to_vec();
+
+                let mut got = vec![0.0f32; 50];
+                dec.infer_last_logits(&prefix, &cache, &store, &pool, &mut scratch, &mut got);
+                assert_eq!(expect, got, "prefix_len={prefix_len} threads={threads}");
+            }
+            scratch.put(memory);
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod faultpoint;
 pub mod gradcheck;
 mod graph;
 pub mod health;
+pub mod infer;
 mod init;
 pub mod kernels;
 pub mod layers;
@@ -59,13 +60,16 @@ mod tensor;
 pub use checkpoint::{CheckpointError, NonFinitePolicy, StateBag, StateEntry};
 pub use faultpoint::{FaultKilled, FaultKind};
 pub use graph::{
-    pooled_tape_stats, recycle_tape, take_pooled_tape, with_pooled_tape, AttnMask, NodeId, Tape,
+    pooled_tape_stats, recycle_tape, take_pooled_tape, tape_eviction_count, with_pooled_tape,
+    AttnMask, NodeId, Tape,
 };
 pub use health::{Halt, HealthConfig, HealthEvent, HealthMonitor, Verdict};
+pub use infer::{with_infer_scratch, InferScratch, ScoreCache};
 pub use init::Initializer;
 pub use layers::{
-    causal_mask, DecoderLayer, Embedding, EncoderLayer, FeedForward, FwdCtx, Gru, LayerNorm,
-    Linear, MultiHeadAttention, TransformerConfig, TransformerDecoder, TransformerEncoder,
+    causal_mask, DecoderKvCache, DecoderLayer, Embedding, EncoderLayer, FeedForward, FwdCtx, Gru,
+    LayerNorm, Linear, MultiHeadAttention, TransformerConfig, TransformerDecoder,
+    TransformerEncoder,
 };
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamPacks, ParamStore};

@@ -181,6 +181,14 @@ impl ParamStore {
         self.entries[id.0].generation
     }
 
+    /// Sum of all parameter generations — a cheap fingerprint of "has any
+    /// value possibly changed". Monotonically non-decreasing (generations
+    /// only ever grow), so value-derived caches such as the inference-plane
+    /// score cache can compare one `u64` instead of walking every entry.
+    pub fn generation_sum(&self) -> u64 {
+        self.entries.iter().map(|e| e.generation).sum()
+    }
+
     /// The current generation's pack slot for a parameter. Tapes clone the
     /// `Arc` when they snapshot the value, then fill panels lazily through
     /// [`ParamPacks::direct`]/[`ParamPacks::transposed`] only when a GEMM

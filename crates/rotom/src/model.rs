@@ -14,8 +14,8 @@ use crate::config::ModelConfig;
 use rotom_augment::mixda::sample_lambda;
 use rotom_meta::{MetaTarget, WeightedItem};
 use rotom_nn::{
-    recycle_tape, take_pooled_tape, with_pooled_tape, Adam, Embedding, FwdCtx, Linear, NodeId,
-    ParamStore, Tape, TransformerEncoder,
+    kernels, recycle_tape, take_pooled_tape, with_infer_scratch, with_pooled_tape, Adam, Embedding,
+    FwdCtx, Linear, NodeId, ParamStore, RotomPool, ScoreCache, Tape, TransformerEncoder,
 };
 use rotom_rng::rngs::StdRng;
 use rotom_rng::{RngExt, SeedableRng};
@@ -44,6 +44,10 @@ pub struct TinyLm {
     rng: StdRng,
     /// Losses recorded during MLM pre-training (diagnostics).
     pub pretrain_losses: Vec<f32>,
+    /// Optional memoization of tape-free logits (`ROTOM_SCORE_CACHE=<cap>`,
+    /// or [`set_score_cache`](Self::set_score_cache)). Invalidated whenever
+    /// any parameter changes, so hits are always bit-identical to recompute.
+    score_cache: Option<ScoreCache>,
 }
 
 impl TinyLm {
@@ -73,6 +77,7 @@ impl TinyLm {
             lr,
             rng,
             pretrain_losses: Vec::new(),
+            score_cache: ScoreCache::from_env(),
         }
     }
 
@@ -354,6 +359,98 @@ impl TinyLm {
         rotom_nn::argmax(&self.predict_proba(tokens))
     }
 
+    /// Enable (capacity > 0) or disable the score cache, replacing any
+    /// environment-derived setting. Mainly for benchmarks and tests, which
+    /// should not mutate process-wide environment variables.
+    pub fn set_score_cache(&mut self, capacity: usize) {
+        self.score_cache = (capacity > 0).then(|| ScoreCache::with_capacity(capacity));
+    }
+
+    /// The score cache, if enabled (telemetry / diagnostics).
+    pub fn score_cache(&self) -> Option<&ScoreCache> {
+        self.score_cache.as_ref()
+    }
+
+    /// Tape-free class logits for a sequence — the inference plane's entry
+    /// point. No graph nodes or gradient buffers are built; activations live
+    /// in recycled per-thread workspaces and the forward GEMMs reuse the
+    /// store's packed-panel weight cache read-only. Bit-identical to the
+    /// tape forward in eval mode.
+    fn infer_logits(&self, tokens: &[String]) -> Vec<f32> {
+        let (ids, segs, dups) = self.encode_input(tokens);
+        // Cache key: the full encoded input. `ids` alone is not sufficient
+        // (segment/duplicate features are separate model inputs), so all
+        // three streams are joined with an out-of-vocabulary separator.
+        let key: Option<Vec<usize>> = self.score_cache.as_ref().map(|_| {
+            let mut k = Vec::with_capacity(3 * ids.len() + 2);
+            k.extend_from_slice(&ids);
+            k.push(usize::MAX);
+            k.extend_from_slice(&segs);
+            k.push(usize::MAX);
+            k.extend_from_slice(&dups);
+            k
+        });
+        if let (Some(cache), Some(key)) = (&self.score_cache, &key) {
+            if let Some(hit) = cache.lookup(self.store.generation_sum(), key) {
+                return hit;
+            }
+        }
+        let pool = RotomPool::global();
+        let logits = with_infer_scratch(|scratch| {
+            let mut cls = scratch.take(self.cfg.d_model);
+            let extras: [(&Embedding, &[usize]); 2] =
+                [(&self.seg_emb, &segs), (&self.dup_emb, &dups)];
+            self.encoder
+                .infer_encode_cls_with(&ids, &extras, &self.store, pool, scratch, &mut cls);
+            let mut logits = vec![0.0f32; self.num_classes];
+            self.head
+                .infer_forward(&cls, 1, kernels::Act::None, &self.store, pool, &mut logits);
+            scratch.put(cls);
+            logits
+        });
+        if let (Some(cache), Some(key)) = (&self.score_cache, &key) {
+            cache.insert(self.store.generation_sum(), key, &logits);
+        }
+        logits
+    }
+
+    /// Tape-free class probabilities for a whole batch, fanned out over
+    /// `pool` (input order preserved). Equivalent to mapping
+    /// [`predict_proba`](MetaTarget::predict_proba) but named to make the
+    /// execution plane explicit at call sites.
+    pub fn score_batch(&self, batch: &[Vec<String>], pool: &RotomPool) -> Vec<Vec<f32>> {
+        pool.map(batch.len(), |i| {
+            rotom_nn::softmax_slice(&self.infer_logits(&batch[i]))
+        })
+    }
+
+    /// Class probabilities via the original tape-building forward. Kept for
+    /// the inference-plane equivalence tests and benchmarks; regular callers
+    /// should use [`predict_proba`](MetaTarget::predict_proba).
+    pub fn predict_proba_tape(&self, tokens: &[String]) -> Vec<f32> {
+        with_pooled_tape(|tape| {
+            let mut ctx = FwdCtx::eval(&self.store);
+            let cls = self.cls_node(tape, tokens, &mut ctx);
+            let logits = self.head.forward(tape, cls, &self.store);
+            rotom_nn::softmax_slice(tape.value(logits).row_slice(0))
+        })
+    }
+
+    /// Per-example cross-entropy losses via the tape forward (equivalence
+    /// baseline for [`MetaTarget::per_example_losses`]).
+    pub fn per_example_losses_tape(&self, items: &[WeightedItem]) -> Vec<f32> {
+        RotomPool::global().map(items.len(), |i| {
+            let item = &items[i];
+            with_pooled_tape(|tape| {
+                let mut ctx = FwdCtx::eval(&self.store);
+                let cls = self.cls_node(tape, &item.tokens, &mut ctx);
+                let logits = self.head.forward(tape, cls, &self.store);
+                let ce = tape.cross_entropy(logits, &item.target);
+                tape.value(ce).item()
+            })
+        })
+    }
+
     /// MixDA training step: interpolate the `[CLS]` representations of the
     /// original and augmented sequences with `λ ~ Beta(α, α)` folded to
     /// `[0.5, 1]`, classify the mix, and backpropagate. Returns the loss.
@@ -490,12 +587,7 @@ impl MetaTarget for TinyLm {
     }
 
     fn predict_proba(&self, tokens: &[String]) -> Vec<f32> {
-        with_pooled_tape(|tape| {
-            let mut ctx = FwdCtx::eval(&self.store);
-            let cls = self.cls_node(tape, tokens, &mut ctx);
-            let logits = self.head.forward(tape, cls, &self.store);
-            rotom_nn::softmax_slice(tape.value(logits).row_slice(0))
-        })
+        rotom_nn::softmax_slice(&self.infer_logits(tokens))
     }
 
     fn weighted_loss_backward(
@@ -531,18 +623,27 @@ impl MetaTarget for TinyLm {
     }
 
     fn per_example_losses(&self, items: &[WeightedItem]) -> Vec<f32> {
-        // Forward-only and per-example independent: fan out across the pool.
-        // Each worker draws a pooled tape (warm arenas survive the scoped
-        // workers because the pool is global); results return in input order.
-        rotom_nn::RotomPool::global().map(items.len(), |i| {
+        // Forward-only and per-example independent: fan out across the pool
+        // on the tape-free inference plane, then apply the tape's exact
+        // cross-entropy arithmetic (shared softmax statistics, f64 target
+        // accumulation) to the logits.
+        RotomPool::global().map(items.len(), |i| {
             let item = &items[i];
-            with_pooled_tape(|tape| {
-                let mut ctx = FwdCtx::eval(&self.store);
-                let cls = self.cls_node(tape, &item.tokens, &mut ctx);
-                let logits = self.head.forward(tape, cls, &self.store);
-                let ce = tape.cross_entropy(logits, &item.target);
-                tape.value(ce).item()
-            })
+            let logits = self.infer_logits(&item.tokens);
+            let (max, sum) = with_infer_scratch(|scratch| {
+                let mut probs = scratch.take(logits.len());
+                let stats = kernels::softmax_row_fwd(&logits, None, &mut probs);
+                scratch.put(probs);
+                stats
+            });
+            let lse = sum.ln() + max;
+            let mut loss = 0.0f64;
+            for (j, &t) in item.target.iter().enumerate() {
+                if t != 0.0 {
+                    loss -= (t * (logits[j] - lse)) as f64;
+                }
+            }
+            loss as f32
         })
     }
 
@@ -692,6 +793,69 @@ mod tests {
         other.load_checkpoint(&path).unwrap();
         assert_eq!(other.snapshot(), m.snapshot());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn infer_plane_matches_tape_bitwise() {
+        let mut m = model();
+        // Train a few steps so weights are not at init.
+        let items: Vec<WeightedItem> = vec![
+            WeightedItem::hard(tokenize("the quick brown fox jumps"), 0, 2),
+            WeightedItem::hard(tokenize("a lazy dog sleeps all day"), 1, 2),
+        ];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            m.weighted_loss_backward(&items, true, &mut rng);
+            m.optimizer_step();
+        }
+        for text in [
+            "the quick fox",
+            "a lazy dog sleeps [SEP] a lazy dog sleeps",
+            "brown",
+        ] {
+            let toks = tokenize(text);
+            assert_eq!(
+                m.predict_proba(&toks),
+                m.predict_proba_tape(&toks),
+                "{text}"
+            );
+        }
+        assert_eq!(
+            m.per_example_losses(&items),
+            m.per_example_losses_tape(&items)
+        );
+    }
+
+    #[test]
+    fn score_cache_hits_are_bit_identical_and_invalidate_on_update() {
+        let mut m = model();
+        m.set_score_cache(64);
+        let toks = tokenize("the quick brown fox jumps");
+        let cold = m.predict_proba(&toks);
+        let warm = m.predict_proba(&toks);
+        assert_eq!(cold, warm);
+        let (hits, misses) = m.score_cache().unwrap().hit_miss();
+        assert_eq!((hits, misses), (1, 1));
+        // A parameter update must invalidate: the next score recomputes.
+        let items = vec![WeightedItem::hard(tokenize("the quick fox"), 0, 2)];
+        let mut rng = StdRng::seed_from_u64(4);
+        m.weighted_loss_backward(&items, true, &mut rng);
+        m.optimizer_step();
+        let updated = m.predict_proba(&toks);
+        assert_eq!(updated, m.predict_proba_tape(&toks));
+        let (_, misses_after) = m.score_cache().unwrap().hit_miss();
+        assert!(misses_after > misses, "post-update score must be a miss");
+    }
+
+    #[test]
+    fn score_batch_matches_serial_predictions() {
+        let m = model();
+        let batch: Vec<Vec<String>> = corpus();
+        let pool = RotomPool::new(4);
+        let scores = m.score_batch(&batch, &pool);
+        for (toks, probs) in batch.iter().zip(&scores) {
+            assert_eq!(probs, &m.predict_proba(toks));
+        }
     }
 
     #[test]

@@ -718,6 +718,10 @@ fn run_epoch_loop(
                     let (tapes, retained) = rotom_nn::pooled_tape_stats();
                     telemetry::gauge("arena.pooled_tapes", tapes as f64);
                     telemetry::gauge("arena.retained_floats", retained as f64);
+                    telemetry::gauge(
+                        "arena.tape_evictions",
+                        rotom_nn::tape_eviction_count() as f64,
+                    );
                     rotom_nn::kernels::profile::emit_gemm_gauges();
                 }
                 if m > best.0 {

@@ -1,0 +1,76 @@
+//! Shared helpers for the inference-plane equivalence test binaries
+//! (`infer_equivalence.rs` runs them with telemetry off,
+//! `infer_equivalence_telemetry.rs` with a live sink installed first).
+
+use rotom::{ModelConfig, TinyLm};
+use rotom_meta::{MetaTarget, WeightedItem};
+use rotom_nn::RotomPool;
+use rotom_rng::rngs::StdRng;
+use rotom_rng::SeedableRng;
+use rotom_text::tokenize;
+
+/// A small mixed corpus (single sequences and a [SEP] pair).
+pub fn corpus() -> Vec<Vec<String>> {
+    vec![
+        tokenize("the quick brown fox jumps over the lazy dog"),
+        tokenize("a lazy dog sleeps all day in the warm sun"),
+        tokenize("the brown dog jumps high [SEP] the brown dog leaps"),
+        tokenize("a quick fox runs away fast from the loud farm"),
+        tokenize("rain falls softly on the quiet empty street tonight"),
+        tokenize("bright stars shine over the cold mountain lake"),
+    ]
+}
+
+/// A TinyLm fine-tuned a few steps so weights are away from init.
+pub fn trained_model() -> TinyLm {
+    let corpus = corpus();
+    let mut m = TinyLm::from_corpus(&corpus, 2, &ModelConfig::test_tiny(), 1e-3, 42);
+    let items: Vec<WeightedItem> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, toks)| WeightedItem::hard(toks.clone(), i % 2, 2))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..4 {
+        m.weighted_loss_backward(&items, true, &mut rng);
+        m.optimizer_step();
+    }
+    m
+}
+
+/// Assert the tape-free plane matches the tape forward bit-for-bit:
+/// probabilities, argmax, per-example losses, and pooled batch scoring at
+/// 1 and 8 threads. The acceptance bound (per-logit |Δ| ≤ 1e-5) is implied
+/// by the exact equality but asserted in its stated form too.
+pub fn check_equivalence(m: &TinyLm) {
+    let corpus = corpus();
+    for toks in &corpus {
+        let tape = m.predict_proba_tape(toks);
+        let infer = m.predict_proba(toks);
+        assert_eq!(tape, infer, "proba mismatch for {toks:?}");
+        assert_eq!(
+            rotom_nn::argmax(&tape),
+            rotom_nn::argmax(&infer),
+            "argmax mismatch for {toks:?}"
+        );
+        for (a, b) in tape.iter().zip(&infer) {
+            assert!((a - b).abs() <= 1e-5);
+        }
+    }
+    let items: Vec<WeightedItem> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, toks)| WeightedItem::hard(toks.clone(), i % 2, 2))
+        .collect();
+    assert_eq!(
+        m.per_example_losses(&items),
+        m.per_example_losses_tape(&items)
+    );
+    for threads in [1usize, 8] {
+        let pool = RotomPool::new(threads);
+        let scores = m.score_batch(&corpus, &pool);
+        for (toks, probs) in corpus.iter().zip(&scores) {
+            assert_eq!(probs, &m.predict_proba_tape(toks), "threads={threads}");
+        }
+    }
+}

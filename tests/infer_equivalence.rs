@@ -1,0 +1,51 @@
+//! Inference-plane equivalence (telemetry off).
+//!
+//! The tape-free forward path (`TinyLm::predict_proba` / `score_batch`,
+//! InvDA decoding) must match the tape-building forward **bit-for-bit**:
+//! identical kernel dispatch decisions and identical scalar reduction
+//! orders make the equality exact. Covered here: explicit 1- and 8-thread
+//! pools, score cache off and on, trained (non-init) weights, and batch vs
+//! serial scoring. The same checks run with a live telemetry sink in
+//! `infer_equivalence_telemetry.rs` — counters must be purely
+//! observational.
+
+mod common;
+
+use common::{corpus, trained_model};
+use rotom::pipeline;
+use rotom_nn::RotomPool;
+
+#[test]
+fn infer_matches_tape_cache_off() {
+    let m = trained_model();
+    assert!(m.score_cache().is_none());
+    common::check_equivalence(&m);
+}
+
+#[test]
+fn infer_matches_tape_cache_on() {
+    let mut m = trained_model();
+    m.set_score_cache(256);
+    // Two passes: the second is served from the cache and must still match
+    // the tape recompute exactly.
+    common::check_equivalence(&m);
+    common::check_equivalence(&m);
+    let (hits, misses) = m.score_cache().unwrap().hit_miss();
+    assert!(hits > 0, "second pass must hit the cache");
+    assert!(misses > 0);
+}
+
+#[test]
+fn evaluation_is_pool_invariant_on_infer_plane() {
+    let m = trained_model();
+    let examples: Vec<rotom_text::example::Example> = corpus()
+        .into_iter()
+        .enumerate()
+        .map(|(i, tokens)| rotom_text::example::Example::new(tokens, i % 2))
+        .collect();
+    let serial = pipeline::evaluate_with_pool(&m, &examples, &RotomPool::new(1));
+    for threads in [2usize, 8] {
+        let parallel = pipeline::evaluate_with_pool(&m, &examples, &RotomPool::new(threads));
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
