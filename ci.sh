@@ -68,6 +68,29 @@ done
 echo "== inferbench (writes BENCH_infer.json, gates scoring throughput)"
 cargo run --release --offline -p rotom-bench --bin inferbench -- --check
 
+# Serving plane gates. The HTTP/1.1 parser property suite (torn reads,
+# oversized heads, Content-Length abuse, pipelining, byte-level fuzz) and
+# the batcher/plane unit tests live in the rotom-serve crate; the e2e suite
+# boots the server on an ephemeral port and requires responses bit-identical
+# to direct score_batch; the swap suite hammers /match while checkpoints hot
+# swap underneath. The server's scoring pool width is explicit per batcher
+# (no ROTOM_THREADS re-exec needed): the e2e test covers widths 1 and 8
+# internally.
+echo "== serving plane: HTTP parser property suite + unit tests"
+cargo test -q --offline -p rotom-serve
+
+echo "== serving plane: e2e over real sockets (score threads 1 and 8)"
+cargo test -q --offline --test serve_e2e
+
+echo "== serving plane: concurrent hot swap under load"
+cargo test -q --offline --test serve_swap
+
+# Regenerates BENCH_serve.json (p50/p99 request latency + req/sec at scoring
+# widths 1 and 8) and exits non-zero on a >20% req/sec regression or a p99
+# step-function blowup.
+echo "== servebench (writes BENCH_serve.json, gates serving throughput)"
+cargo run --release --offline -p rotom-bench --bin servebench -- --check
+
 # Telemetry smoke: a short Rotom training with the observability plane live
 # must emit schema-valid JSONL covering the step, meta-decision,
 # augmentation, and pool record kinds — at 1 worker (inline paths) and at 8

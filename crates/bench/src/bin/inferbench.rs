@@ -131,8 +131,36 @@ fn run_child() {
     });
     let (hits, misses) = model.score_cache().expect("cache enabled").hit_miss();
     assert!(hits > 0, "repeat scoring must hit the cache");
+    assert_eq!(
+        model.score_cache().expect("cache enabled").evictions(),
+        0,
+        "capacity 4096 holds the whole batch-64 working set"
+    );
     let cache_hit_rate = hits as f64 / (hits + misses) as f64;
     let cache_eps = batch.len() as f64 / cache_s;
+
+    // Eviction path: shrink the cache below the working set so every pass
+    // churns through LRU eviction, and pin the capacity/eviction behavior
+    // the steady-state row above never exercises (its 4096-entry cache
+    // holds all 64 inputs). Scoring stays bit-identical either way; this
+    // guards the bookkeeping, not the numbers.
+    model.set_score_cache(BATCH / 2);
+    let full = model.score_batch(&batch, pool);
+    let evicting = model.score_batch(&batch, pool);
+    assert_eq!(full, evicting, "eviction churn must not change scores");
+    let cache = model.score_cache().expect("cache enabled");
+    assert!(
+        cache.evictions() > 0,
+        "batch-64 through a {}-entry cache must evict",
+        BATCH / 2
+    );
+    assert!(
+        cache.len() <= BATCH / 2,
+        "cache must stay within capacity ({} entries)",
+        cache.len()
+    );
+    cache.emit_gauges();
+    model.set_score_cache(0);
 
     println!(
         "INFERBENCH threads={} tape_eps={:.2} infer_eps={:.2} speedup={:.3} decode_tok_s={:.2} cache_eps={:.2} cache_hit_rate={:.4}",

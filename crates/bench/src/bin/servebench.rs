@@ -1,0 +1,270 @@
+//! Serving benchmark: end-to-end request latency (p50/p99) and sustained
+//! requests/sec through `rotom-serve` — real sockets, real HTTP, the
+//! windowed batcher, and the tape-free scoring plane — written to
+//! `BENCH_serve.json`.
+//!
+//! The server runs **in-process** on an ephemeral port at scoring-pool
+//! widths 1 and 8 (the pool width is a per-batcher setting, so unlike
+//! `inferbench` no child re-exec is needed). Four client threads issue
+//! keep-alive `POST /classify` requests as fast as the server answers
+//! them; per-request wall times give exact p50/p99 (sorted samples, not
+//! histogram buckets). The first run records the `baseline` section;
+//! later runs update `current` and the `trajectory` ratios.
+//!
+//! Usage:
+//!   cargo run --release --offline --bin servebench            # regenerate
+//!   cargo run --release --offline --bin servebench -- --check # + fail on
+//!     >20% req/sec regression or p99 latency tripling
+//!
+//! `ROTOM_BENCH_SCALE=quick` shrinks the request count for CI smoke runs.
+
+use rotom_serve::{Client, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+const CLIENTS: usize = 4;
+const OUT_FILE: &str = "BENCH_serve.json";
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    threads: usize,
+    req_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_batch_fill: f64,
+}
+
+/// Run one measured configuration: boot the server with a `threads`-wide
+/// scoring pool, hammer it from `CLIENTS` keep-alive connections, and
+/// return throughput + exact latency quantiles.
+fn run_config(threads: usize, requests_per_client: usize) -> Sample {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        window: Duration::from_millis(1),
+        max_batch: 32,
+        score_threads: threads,
+        score_cache: 0, // measure scoring, not memoization
+        seed: 7,
+        ..ServerConfig::default()
+    })
+    .expect("servebench: server boots");
+    let addr = server.local_addr();
+
+    // A small rotating input set: realistic token lengths, no cache to
+    // help, every request does real forward work.
+    let bodies: Arc<Vec<String>> = Arc::new(
+        [
+            "a luminous heartfelt film with a stunning lead performance",
+            "tedious and shapeless beyond any hope of rescue",
+            "the plot works even when the pacing does not",
+            "crisp writing elevates familiar material",
+        ]
+        .iter()
+        .map(|t| format!("{{\"inputs\": [{}]}}", rotom_serve::json::quote(t)))
+        .collect(),
+    );
+
+    // Warmup: one request per client count so connection setup and first
+    // forward passes stay out of the measured window.
+    {
+        let mut c = Client::connect(addr).expect("warmup connect");
+        for body in bodies.iter() {
+            let resp = c.post("/classify", body).expect("warmup request");
+            assert_eq!(resp.status, 200, "warmup failed: {}", resp.body);
+        }
+    }
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|ci| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut latencies_us = Vec::with_capacity(requests_per_client);
+                for i in 0..requests_per_client {
+                    let body = &bodies[(ci + i) % bodies.len()];
+                    let t = Instant::now();
+                    let resp = client.post("/classify", body).expect("request");
+                    latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let quantile = |q: f64| -> f64 {
+        let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx]
+    };
+    let total = latencies.len();
+    let m = server.metrics();
+    let batches = m.batches.load(std::sync::atomic::Ordering::Relaxed);
+    let jobs = m.batched_jobs.load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+
+    Sample {
+        threads,
+        req_per_sec: total as f64 / elapsed,
+        p50_us: quantile(0.5),
+        p99_us: quantile(0.99),
+        mean_batch_fill: if batches == 0 {
+            0.0
+        } else {
+            jobs as f64 / batches as f64
+        },
+    }
+}
+
+/// Pull samples out of one JSON section of a previous `BENCH_serve.json`.
+/// Hand-rolled: the workspace carries no serde.
+fn parse_section(json: &str, section: &str) -> Vec<Sample> {
+    let key = format!("\"{section}\": [");
+    let Some(start) = json.find(&key) else {
+        return Vec::new();
+    };
+    let body = &json[start + key.len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for obj in body[..end].split('}') {
+        if !obj.contains("\"threads\"") {
+            continue;
+        }
+        let num = |k: &str| -> Option<f64> {
+            let pat = format!("\"{k}\": ");
+            let s = obj.find(&pat)? + pat.len();
+            let rest = &obj[s..];
+            let e = rest
+                .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..e].parse().ok()
+        };
+        if let (Some(t), Some(rps), Some(p50), Some(p99), Some(fill)) = (
+            num("threads"),
+            num("requests_per_sec"),
+            num("p50_latency_us"),
+            num("p99_latency_us"),
+            num("mean_batch_fill"),
+        ) {
+            out.push(Sample {
+                threads: t as usize,
+                req_per_sec: rps,
+                p50_us: p50,
+                p99_us: p99,
+                mean_batch_fill: fill,
+            });
+        }
+    }
+    out
+}
+
+fn write_section(json: &mut String, name: &str, samples: &[Sample]) {
+    let _ = writeln!(json, "  \"{name}\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"requests_per_sec\": {:.2}, \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \"mean_batch_fill\": {:.2}}}",
+            s.threads, s.req_per_sec, s.p50_us, s.p99_us, s.mean_batch_fill
+        );
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let quick = std::env::var("ROTOM_BENCH_SCALE").as_deref() == Ok("quick");
+    let requests_per_client = if quick { 24 } else { 96 };
+
+    let current: Vec<Sample> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let s = run_config(t, requests_per_client);
+            println!(
+                "serve /classify, {} score thread(s), {} clients: {:.0} req/s | p50 {:.0}µs p99 {:.0}µs | batch fill {:.2}",
+                s.threads, CLIENTS, s.req_per_sec, s.p50_us, s.p99_us, s.mean_batch_fill
+            );
+            s
+        })
+        .collect();
+
+    let old = std::fs::read_to_string(OUT_FILE).unwrap_or_default();
+    let baseline = {
+        let b = parse_section(&old, "baseline");
+        if b.is_empty() {
+            println!("no existing baseline; recording this run as the baseline");
+            current.clone()
+        } else {
+            b
+        }
+    };
+
+    // Regression gate (ci.sh): sustained req/sec within 20% of the
+    // checked-in current numbers. The p99 gate is deliberately loose (3x):
+    // at a few hundred samples the tail is scheduler noise, so it only
+    // catches step-function regressions (a lost batch window, a stall),
+    // while throughput — averaged over every request — carries the tight
+    // bound.
+    if check {
+        let prev = parse_section(&old, "current");
+        let mut failed = false;
+        for p in &prev {
+            let Some(now) = current.iter().find(|s| s.threads == p.threads) else {
+                continue;
+            };
+            if now.req_per_sec < 0.8 * p.req_per_sec {
+                eprintln!(
+                    "servebench: req/sec regression at {} thread(s): {:.0} -> {:.0} (>20%)",
+                    p.threads, p.req_per_sec, now.req_per_sec
+                );
+                failed = true;
+            }
+            if now.p99_us > 3.0 * p.p99_us {
+                eprintln!(
+                    "servebench: p99 latency regression at {} thread(s): {:.0}µs -> {:.0}µs (>3x)",
+                    p.threads, p.p99_us, now.p99_us
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"workload\": \"rotom-serve POST /classify, 4 keep-alive clients, 1ms batch window, demo SST-2 model\",\n",
+    );
+    write_section(&mut json, "baseline", &baseline);
+    write_section(&mut json, "current", &current);
+    json.push_str("  \"trajectory\": [\n");
+    for (i, s) in current.iter().enumerate() {
+        let b = baseline
+            .iter()
+            .find(|x| x.threads == s.threads)
+            .copied()
+            .unwrap_or(*s);
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"throughput_ratio\": {:.3}, \"p99_ratio\": {:.3}}}",
+            s.threads,
+            s.req_per_sec / b.req_per_sec,
+            s.p99_us / b.p99_us
+        );
+        json.push_str(if i + 1 < current.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(OUT_FILE, &json).expect("write BENCH_serve.json");
+    println!("wrote {OUT_FILE}");
+}

@@ -127,13 +127,25 @@ fn fnv1a_tokens(tokens: &[usize]) -> u64 {
     h
 }
 
+/// One cached scoring: full key (the FNV hash is only a bucket index),
+/// logits, and the logical tick of the last touch (insert or hit) for LRU
+/// eviction.
+struct CacheEntry {
+    key: Box<[usize]>,
+    logits: Vec<f32>,
+    last_use: u64,
+}
+
 struct CacheInner {
     /// Parameter-store generation fingerprint the entries were computed
     /// under; any mismatch wipes the map (weights changed).
     gen_sum: u64,
     /// FNV key → entries (full serialized key kept to guard collisions).
-    map: HashMap<u64, Vec<(Box<[usize]>, Vec<f32>)>>,
+    map: HashMap<u64, Vec<CacheEntry>>,
     entries: usize,
+    /// Logical clock: bumped on every lookup/insert, stamped into
+    /// `last_use`.
+    tick: u64,
 }
 
 /// Memoization cache for forward-only scoring: serialized input tokens →
@@ -152,15 +164,19 @@ struct CacheInner {
 ///   that fingerprint is monotone, so stale entries can never resurface.
 ///
 /// Off by default; enabled per-model via `ROTOM_SCORE_CACHE=<capacity>`
-/// (entries). At capacity the map is cleared wholesale — simple, and the
-/// duplicative workloads the cache targets re-fill it within one pass.
-/// Cloning a `ScoreCache` yields a fresh *empty* cache with the same
-/// capacity: clones of a model diverge under training, so sharing entries
-/// across them would be unsound.
+/// (entries). At capacity the least-recently-used entry is evicted — an
+/// O(capacity) scan for the oldest touch tick, which is noise next to the
+/// forward pass each eviction makes room for — and the [`evictions`]
+/// counter records it. Cloning a `ScoreCache` yields a fresh *empty* cache
+/// with the same capacity: clones of a model diverge under training, so
+/// sharing entries across them would be unsound.
+///
+/// [`evictions`]: ScoreCache::evictions
 pub struct ScoreCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     inner: Mutex<CacheInner>,
 }
 
@@ -177,10 +193,12 @@ impl ScoreCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             inner: Mutex::new(CacheInner {
                 gen_sum: 0,
                 map: HashMap::new(),
                 entries: 0,
+                tick: 0,
             }),
         }
     }
@@ -198,20 +216,22 @@ impl ScoreCache {
 
     /// Look up the logits for `tokens` computed under parameter fingerprint
     /// `gen_sum`. Counts a hit or miss; a mismatched fingerprint clears the
-    /// cache first (weights changed since the entries were stored).
+    /// cache first (weights changed since the entries were stored). A hit
+    /// refreshes the entry's LRU position.
     pub fn lookup(&self, gen_sum: u64, tokens: &[usize]) -> Option<Vec<f32>> {
         let mut inner = self.inner.lock().unwrap();
-        if inner.gen_sum != gen_sum {
-            inner.map.clear();
-            inner.entries = 0;
-            inner.gen_sum = gen_sum;
-        }
+        Self::sync_generation(&mut inner, gen_sum);
+        inner.tick += 1;
+        let tick = inner.tick;
         let key = fnv1a_tokens(tokens);
-        let hit = inner.map.get(&key).and_then(|bucket| {
+        let hit = inner.map.get_mut(&key).and_then(|bucket| {
             bucket
-                .iter()
-                .find(|(k, _)| k.as_ref() == tokens)
-                .map(|(_, v)| v.clone())
+                .iter_mut()
+                .find(|e| e.key.as_ref() == tokens)
+                .map(|e| {
+                    e.last_use = tick;
+                    e.logits.clone()
+                })
         });
         drop(inner);
         if hit.is_some() {
@@ -223,25 +243,64 @@ impl ScoreCache {
     }
 
     /// Store the logits for `tokens` computed under `gen_sum`. At capacity
-    /// the map is cleared wholesale before inserting.
+    /// the least-recently-used entry is evicted to make room.
     pub fn insert(&self, gen_sum: u64, tokens: &[usize], logits: &[f32]) {
         let mut inner = self.inner.lock().unwrap();
+        Self::sync_generation(&mut inner, gen_sum);
+        let key = fnv1a_tokens(tokens);
+        if inner
+            .map
+            .get(&key)
+            .is_some_and(|bucket| bucket.iter().any(|e| e.key.as_ref() == tokens))
+        {
+            return;
+        }
+        if inner.entries >= self.capacity {
+            Self::evict_lru(&mut inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.entry(key).or_default().push(CacheEntry {
+            key: tokens.to_vec().into_boxed_slice(),
+            logits: logits.to_vec(),
+            last_use: tick,
+        });
+        inner.entries += 1;
+    }
+
+    /// Wipe the map if `gen_sum` moved since the entries were stored.
+    fn sync_generation(inner: &mut CacheInner, gen_sum: u64) {
         if inner.gen_sum != gen_sum {
             inner.map.clear();
             inner.entries = 0;
             inner.gen_sum = gen_sum;
         }
-        if inner.entries >= self.capacity {
-            inner.map.clear();
-            inner.entries = 0;
+    }
+
+    /// Remove the entry with the oldest touch tick. O(entries) scan; callers
+    /// only pay it when the cache is full, right before a forward pass.
+    fn evict_lru(inner: &mut CacheInner) {
+        let victim = inner
+            .map
+            .iter()
+            .flat_map(|(&h, bucket)| bucket.iter().map(move |e| (e.last_use, h)))
+            .min()
+            .map(|(_, h)| h);
+        if let Some(h) = victim {
+            let bucket = inner.map.get_mut(&h).expect("victim bucket exists");
+            let idx = bucket
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("victim bucket non-empty");
+            bucket.swap_remove(idx);
+            if bucket.is_empty() {
+                inner.map.remove(&h);
+            }
+            inner.entries -= 1;
         }
-        let key = fnv1a_tokens(tokens);
-        let bucket = inner.map.entry(key).or_default();
-        if bucket.iter().any(|(k, _)| k.as_ref() == tokens) {
-            return;
-        }
-        bucket.push((tokens.to_vec().into_boxed_slice(), logits.to_vec()));
-        inner.entries += 1;
     }
 
     /// Cumulative `(hits, misses)` since construction.
@@ -250,6 +309,17 @@ impl ScoreCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Cumulative LRU evictions since construction (capacity pressure only;
+    /// generation-change wipes are not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Entries currently stored.
@@ -277,6 +347,7 @@ impl ScoreCache {
                 ("misses", Value::U64(misses)),
                 ("entries", Value::U64(self.len() as u64)),
                 ("capacity", Value::U64(self.capacity as u64)),
+                ("evictions", Value::U64(self.evictions())),
             ],
         );
     }
@@ -333,15 +404,52 @@ mod tests {
     }
 
     #[test]
-    fn score_cache_clears_wholesale_at_capacity() {
+    fn score_cache_evicts_lru_at_capacity() {
         let cache = ScoreCache::with_capacity(2);
         cache.insert(1, &[1], &[1.0]);
         cache.insert(1, &[2], &[2.0]);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // Touch [1] so [2] becomes the LRU victim.
+        assert_eq!(cache.lookup(1, &[1]), Some(vec![1.0]));
         cache.insert(1, &[3], &[3.0]);
-        assert_eq!(cache.len(), 1, "wholesale clear then insert");
-        assert!(cache.lookup(1, &[1]).is_none());
+        assert_eq!(cache.len(), 2, "stays at capacity");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.lookup(1, &[1]), Some(vec![1.0]), "recently used kept");
+        assert!(cache.lookup(1, &[2]).is_none(), "LRU entry evicted");
         assert_eq!(cache.lookup(1, &[3]), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn score_cache_eviction_order_follows_touches() {
+        let cache = ScoreCache::with_capacity(3);
+        for t in 1u64..=3 {
+            cache.insert(1, &[t as usize], &[t as f32]);
+        }
+        // Refresh insertion order 1,2,3 into touch order 2,3,1.
+        cache.lookup(1, &[2]);
+        cache.lookup(1, &[3]);
+        cache.lookup(1, &[1]);
+        cache.insert(1, &[4], &[4.0]);
+        assert!(cache.lookup(1, &[2]).is_none(), "oldest touch evicted");
+        cache.insert(1, &[5], &[5.0]);
+        assert!(cache.lookup(1, &[3]).is_none(), "next-oldest evicted");
+        assert_eq!(cache.lookup(1, &[1]), Some(vec![1.0]));
+        assert_eq!(cache.evictions(), 2);
+        // A duplicate insert of a live key neither grows nor evicts.
+        cache.insert(1, &[1], &[1.0]);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn generation_wipe_is_not_an_eviction() {
+        let cache = ScoreCache::with_capacity(2);
+        cache.insert(1, &[1], &[1.0]);
+        cache.insert(1, &[2], &[2.0]);
+        cache.insert(2, &[1], &[10.0]);
+        assert_eq!(cache.evictions(), 0, "wipe on generation change is free");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

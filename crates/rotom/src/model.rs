@@ -371,6 +371,20 @@ impl TinyLm {
         self.score_cache.as_ref()
     }
 
+    /// Number of classes in the classification head's output.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The parameter store's monotone generation fingerprint: the sum of
+    /// every tensor's write-generation. Any parameter mutation — an
+    /// optimizer step or a checkpoint load — strictly increases it, which
+    /// is what lets score caches and serving planes attribute results to
+    /// one exact parameter state.
+    pub fn generation_sum(&self) -> u64 {
+        self.store.generation_sum()
+    }
+
     /// Tape-free class logits for a sequence — the inference plane's entry
     /// point. No graph nodes or gradient buffers are built; activations live
     /// in recycled per-thread workspaces and the forward GEMMs reuse the

@@ -1,0 +1,346 @@
+//! Windowed request batcher: the piece that turns N concurrent HTTP
+//! requests into one [`TinyLm::score_batch`](rotom::TinyLm::score_batch)
+//! pass.
+//!
+//! Connection handlers [`submit`](Batcher::submit) jobs into a shared queue
+//! and block on a reply channel. A single batcher thread waits for the
+//! first job, then collects same-endpoint jobs for a short window (or until
+//! `max_batch`), concatenates their inputs, scores them in one pool pass
+//! under the plane's read lock, and splits the scores back out to each
+//! job's reply channel. Batches never mix endpoints — each endpoint is a
+//! different model.
+//!
+//! The scoring call is wrapped in `catch_unwind`: a panic inside the
+//! forward pass (poisoned pool, bad input) becomes an `Err` reply (a 500)
+//! for the jobs in that batch, and the batcher thread survives to serve the
+//! next one.
+
+use crate::metrics::ServeMetrics;
+use crate::plane::{Endpoint, TaskPlane};
+use rotom_nn::RotomPool;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scores for one job, stamped with the plane generation that produced
+/// them (see [`ScoredBatch`](crate::plane::ScoredBatch)).
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// One probability row per input, input order preserved.
+    pub scores: Vec<Vec<f32>>,
+    /// Plane swap counter at scoring time.
+    pub generation: u64,
+    /// Parameter store fingerprint at scoring time.
+    pub param_generation: u64,
+}
+
+/// The reply a submitted job eventually receives.
+pub type JobReply = Result<JobResult, String>;
+
+struct Job {
+    endpoint: Endpoint,
+    inputs: Vec<Vec<String>>,
+    enqueued: Instant,
+    reply: mpsc::Sender<JobReply>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+}
+
+/// Batcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// How long the batcher waits after the first job for more of the same
+    /// endpoint before dispatching.
+    pub window: Duration,
+    /// Dispatch immediately once this many jobs are collected.
+    pub max_batch: usize,
+    /// Thread width of the scoring pool.
+    pub score_threads: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_millis(2),
+            max_batch: 32,
+            score_threads: 1,
+        }
+    }
+}
+
+/// Handle to the batcher thread. Dropping it shuts the thread down; jobs
+/// still queued at shutdown receive an `Err` reply.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawn the batcher thread over `planes` (indexed by
+    /// [`Endpoint`] route order).
+    pub fn spawn(
+        planes: Arc<[TaskPlane; 3]>,
+        metrics: Arc<ServeMetrics>,
+        cfg: BatcherConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("rotom-serve-batcher".into())
+            .spawn(move || run_batcher(thread_shared, planes, metrics, cfg))
+            .expect("spawn batcher thread");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Queue a scoring job and return the channel its reply arrives on.
+    /// The caller blocks on `recv()`; a dropped sender (batcher died) shows
+    /// up as a `RecvError`, which callers should treat as a 500.
+    pub fn submit(&self, endpoint: Endpoint, inputs: Vec<Vec<String>>) -> mpsc::Receiver<JobReply> {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.shutdown {
+            let _ = tx.send(Err("server shutting down".into()));
+            return rx;
+        }
+        q.jobs.push_back(Job {
+            endpoint,
+            inputs,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        drop(q);
+        self.shared.cond.notify_one();
+        rx
+    }
+
+    /// Signal shutdown and join the batcher thread.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_batcher(
+    shared: Arc<Shared>,
+    planes: Arc<[TaskPlane; 3]>,
+    metrics: Arc<ServeMetrics>,
+    cfg: BatcherConfig,
+) {
+    let pool = RotomPool::new(cfg.score_threads.max(1));
+    let max_batch = cfg.max_batch.max(1);
+    loop {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        // Wait for work.
+        while q.jobs.is_empty() && !q.shutdown {
+            q = shared.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if q.shutdown {
+            // Drain: every queued job gets a definitive reply, never a hang.
+            for job in q.jobs.drain(..) {
+                let _ = job.reply.send(Err("server shutting down".into()));
+            }
+            return;
+        }
+        // Collect same-endpoint jobs for one window.
+        let endpoint = q.jobs[0].endpoint;
+        let deadline = Instant::now() + cfg.window;
+        loop {
+            let matching = q.jobs.iter().filter(|j| j.endpoint == endpoint).count();
+            if matching >= max_batch || q.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .cond
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        // Pull up to max_batch matching jobs, preserving arrival order.
+        let mut batch: Vec<Job> = Vec::new();
+        let mut i = 0;
+        while i < q.jobs.len() && batch.len() < max_batch {
+            if q.jobs[i].endpoint == endpoint {
+                batch.push(q.jobs.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        drop(q);
+
+        let dispatched = Instant::now();
+        let mut all_inputs: Vec<Vec<String>> = Vec::new();
+        for job in &batch {
+            all_inputs.extend(job.inputs.iter().cloned());
+        }
+        metrics
+            .batches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        metrics
+            .batched_jobs
+            .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let wait_us: u64 = batch
+            .iter()
+            .map(|j| dispatched.duration_since(j.enqueued).as_micros() as u64)
+            .sum();
+        metrics
+            .queue_wait_us
+            .fetch_add(wait_us, std::sync::atomic::Ordering::Relaxed);
+
+        let plane = &planes[endpoint_index(endpoint)];
+        let scored = catch_unwind(AssertUnwindSafe(|| plane.score(&all_inputs, &pool)));
+        match scored {
+            Ok(out) => {
+                let mut offset = 0;
+                for job in batch {
+                    let n = job.inputs.len();
+                    let scores = out.scores[offset..offset + n].to_vec();
+                    offset += n;
+                    let _ = job.reply.send(Ok(JobResult {
+                        scores,
+                        generation: out.generation,
+                        param_generation: out.param_generation,
+                    }));
+                }
+            }
+            Err(_) => {
+                for job in batch {
+                    let _ = job.reply.send(Err("scoring panicked".into()));
+                }
+            }
+        }
+    }
+}
+
+/// Route-order index of an endpoint (matches `ServeMetrics::endpoints`).
+pub fn endpoint_index(endpoint: Endpoint) -> usize {
+    Endpoint::ALL
+        .iter()
+        .position(|e| *e == endpoint)
+        .expect("endpoint in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::{demo_model, demo_model_config};
+
+    fn test_planes() -> Arc<[TaskPlane; 3]> {
+        let cfg = demo_model_config();
+        let planes = Endpoint::ALL.map(|e| {
+            let (model, name) = demo_model(e.task_kind(), &cfg, 11);
+            TaskPlane::new(e, name, model)
+        });
+        Arc::new(planes)
+    }
+
+    #[test]
+    fn batcher_scores_match_direct_plane_scoring() {
+        let planes = test_planes();
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = Batcher::spawn(
+            Arc::clone(&planes),
+            Arc::clone(&metrics),
+            BatcherConfig {
+                window: Duration::from_millis(1),
+                max_batch: 8,
+                score_threads: 2,
+            },
+        );
+        let inputs = vec![
+            rotom_text::tokenize("vivid and moving picture"),
+            rotom_text::tokenize("dull lifeless slog"),
+        ];
+        let rx = batcher.submit(Endpoint::Classify, inputs.clone());
+        let reply = rx.recv().expect("reply").expect("scores");
+        let direct = planes[endpoint_index(Endpoint::Classify)].score(&inputs, &RotomPool::new(2));
+        assert_eq!(reply.scores, direct.scores, "batched == direct, bit-exact");
+        assert_eq!(reply.generation, 0);
+        assert_eq!(
+            metrics.batches.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn concurrent_submissions_ride_one_or_few_batches() {
+        let planes = test_planes();
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = Arc::new(Batcher::spawn(
+            Arc::clone(&planes),
+            Arc::clone(&metrics),
+            BatcherConfig {
+                window: Duration::from_millis(20),
+                max_batch: 64,
+                score_threads: 2,
+            },
+        ));
+        let mut rxs = Vec::new();
+        for i in 0..12 {
+            let text = format!("sample number {i} with shared phrasing");
+            rxs.push((
+                i,
+                batcher.submit(Endpoint::Match, vec![rotom_text::tokenize(&text)]),
+            ));
+        }
+        for (_, rx) in rxs {
+            let reply = rx.recv().expect("reply").expect("scores");
+            assert_eq!(reply.scores.len(), 1);
+        }
+        let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+        let jobs = metrics
+            .batched_jobs
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(jobs, 12);
+        assert!(
+            batches <= 12,
+            "jobs must not outnumber batches ({batches} batches)"
+        );
+    }
+
+    #[test]
+    fn shutdown_fails_pending_and_new_jobs_cleanly() {
+        let planes = test_planes();
+        let metrics = Arc::new(ServeMetrics::default());
+        let mut batcher = Batcher::spawn(planes, metrics, BatcherConfig::default());
+        batcher.shutdown();
+        let rx = batcher.submit(Endpoint::Clean, vec![vec!["x".to_string()]]);
+        let reply = rx.recv().expect("channel alive");
+        assert!(reply.is_err(), "post-shutdown submit must fail, not hang");
+    }
+}

@@ -1,0 +1,87 @@
+//! `rotom-serve` — boot the model server from the command line.
+//!
+//! ```text
+//! cargo run --release --bin rotom-serve -- --addr 127.0.0.1:8080
+//! curl -s localhost:8080/healthz
+//! curl -s localhost:8080/match -d '{"inputs": ["title acme phone COL price VAL 99"]}'
+//! ```
+
+use rotom_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rotom-serve [--addr HOST:PORT] [--window-ms N] [--max-batch N]\n\
+         \x20                  [--threads N] [--score-cache N] [--seed N]\n\
+         \n\
+         Serves POST /match, /clean, /classify; GET /healthz, /metrics;\n\
+         POST /admin/swap {{\"endpoint\": ..., \"checkpoint\": ...}}.\n\
+         \n\
+         defaults: --addr 127.0.0.1:8080 --window-ms 2 --max-batch 32\n\
+         \x20         --threads {} --score-cache 4096 --seed 7",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:8080".into(),
+        score_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        score_cache: 4096,
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--window-ms" => match value("--window-ms").parse::<u64>() {
+                Ok(ms) => cfg.window = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--max-batch" => match value("--max-batch").parse() {
+                Ok(n) => cfg.max_batch = n,
+                Err(_) => usage(),
+            },
+            "--threads" => match value("--threads").parse() {
+                Ok(n) => cfg.score_threads = n,
+                Err(_) => usage(),
+            },
+            "--score-cache" => match value("--score-cache").parse() {
+                Ok(n) => cfg.score_cache = n,
+                Err(_) => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rotom-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("rotom-serve listening on http://{}", server.local_addr());
+    println!("  POST /match /clean /classify   {{\"inputs\": [\"text\", ...]}}");
+    println!("  POST /admin/swap               {{\"endpoint\": ..., \"checkpoint\": ...}}");
+    println!("  GET  /healthz /metrics");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

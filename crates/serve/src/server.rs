@@ -1,0 +1,467 @@
+//! The HTTP server: accept loop, connection handling, routing.
+//!
+//! Thread-per-connection over `std::net::TcpListener` — the workloads this
+//! serves are model-bound, not connection-bound, so the simple topology is
+//! the right one. Request *scoring* is still batched: handlers submit jobs
+//! to the shared [`Batcher`] and block on the reply, so a burst of
+//! concurrent connections rides one `score_batch` pass per window.
+//!
+//! ## Routes
+//!
+//! | Route | Method | Body |
+//! |---|---|---|
+//! | `/healthz` | GET | — |
+//! | `/metrics` | GET | — |
+//! | `/match`, `/clean`, `/classify` | POST | `{"inputs": ["text", ["tok", ...], ...]}` |
+//! | `/admin/swap` | POST | `{"endpoint": "match", "checkpoint": "path"}` |
+//!
+//! ## Error taxonomy
+//!
+//! Parse-level failures map through [`HttpError`]: 400 malformed syntax,
+//! 408 idle timeout mid-request, 411 missing Content-Length, 413 oversized
+//! body, 431 oversized head, 501 chunked transfer-encoding, 505 bad
+//! version. Route-level failures: 404 unknown path, 405 wrong method,
+//! 400 malformed JSON body or wrong shape, 422 checkpoint rejected on swap,
+//! 500 scoring failure. Every error body is JSON: `{"error": ..., "status": ...}`.
+
+use crate::batcher::{endpoint_index, Batcher, BatcherConfig};
+use crate::http::{self, Request};
+use crate::json::{self, Json};
+use crate::metrics::ServeMetrics;
+use crate::plane::{demo_model, demo_model_config, Endpoint, TaskPlane};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Most inputs a single scoring request may carry; more is a 400 (split
+/// the request) so one client cannot monopolize a batch window.
+pub const MAX_INPUTS_PER_REQUEST: usize = 256;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Batching window.
+    pub window: Duration,
+    /// Max jobs per batch.
+    pub max_batch: usize,
+    /// Scoring pool width.
+    pub score_threads: usize,
+    /// Score-cache capacity per plane (0 = disabled).
+    pub score_cache: usize,
+    /// Seed for the demo models the planes boot with.
+    pub seed: u64,
+    /// Close connections idle longer than this between requests; a
+    /// connection idle mid-request gets a 408 first.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            window: Duration::from_millis(2),
+            max_batch: 32,
+            score_threads: 1,
+            score_cache: 0,
+            seed: 7,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Inner {
+    planes: Arc<[TaskPlane; 3]>,
+    metrics: Arc<ServeMetrics>,
+    batcher: Batcher,
+    shutdown: AtomicBool,
+    idle_timeout: Duration,
+}
+
+/// A running server. Dropping it (or calling [`shutdown`](Server::shutdown))
+/// stops the accept loop, fails queued jobs, and joins the accept thread.
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Build planes (demo models for all three endpoints), spawn the
+    /// batcher and the accept loop, and return once the listener is bound.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let model_cfg = demo_model_config();
+        let planes = Endpoint::ALL.map(|e| {
+            let (model, name) = demo_model(e.task_kind(), &model_cfg, cfg.seed);
+            let plane = TaskPlane::new(e, name, model);
+            if cfg.score_cache > 0 {
+                plane.set_score_cache(cfg.score_cache);
+            }
+            plane
+        });
+        Self::start_with_planes(cfg, Arc::new(planes))
+    }
+
+    /// Like [`start`](Server::start), but serve caller-provided planes —
+    /// tests use this to compare server responses against direct scoring on
+    /// a bit-identical model.
+    pub fn start_with_planes(
+        cfg: ServerConfig,
+        planes: Arc<[TaskPlane; 3]>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = Batcher::spawn(
+            Arc::clone(&planes),
+            Arc::clone(&metrics),
+            BatcherConfig {
+                window: cfg.window,
+                max_batch: cfg.max_batch,
+                score_threads: cfg.score_threads,
+            },
+        );
+        let inner = Arc::new(Inner {
+            planes,
+            metrics,
+            batcher,
+            shutdown: AtomicBool::new(false),
+            idle_timeout: cfg.idle_timeout,
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::Builder::new()
+            .name("rotom-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(Server {
+            inner,
+            local_addr,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The serving metrics (shared with handlers).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.inner.metrics
+    }
+
+    /// The planes being served.
+    pub fn planes(&self) -> &Arc<[TaskPlane; 3]> {
+        &self.inner.planes
+    }
+
+    /// Stop accepting, fail queued jobs, join the accept thread. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = Arc::clone(&inner);
+                let _ = std::thread::Builder::new()
+                    .name("rotom-serve-conn".into())
+                    .spawn(move || handle_connection(stream, conn_inner));
+            }
+            Err(_) if inner.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Read tick: short enough that shutdown and idle checks stay responsive,
+/// long enough that the poll loop is cheap.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8 * 1024];
+    let mut last_activity = Instant::now();
+    loop {
+        // Serve every complete pipelined request already buffered.
+        loop {
+            match http::parse_request(&buf) {
+                Ok(Some((req, consumed))) => {
+                    buf.drain(..consumed);
+                    last_activity = Instant::now();
+                    let keep_alive = !req.wants_close();
+                    let response = route(&req, &inner);
+                    let close = !keep_alive || inner.shutdown.load(Ordering::SeqCst);
+                    let bytes = finalize(response, &inner, close);
+                    if stream.write_all(&bytes).is_err() {
+                        return;
+                    }
+                    if close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    inner.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.record_status(err.status().0);
+                    let _ = stream.write_all(&http::error_response(&err));
+                    return;
+                }
+            }
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if last_activity.elapsed() >= inner.idle_timeout {
+                    if !buf.is_empty() {
+                        // Mid-request stall: tell the peer before closing.
+                        let body = b"{\"error\":\"request timed out\",\"status\":408}";
+                        let bytes = http::response_bytes(
+                            408,
+                            "Request Timeout",
+                            "application/json",
+                            body,
+                            false,
+                        );
+                        inner.metrics.record_status(408);
+                        let _ = stream.write_all(&bytes);
+                    }
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// A routed response before status accounting.
+struct Routed {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+impl Routed {
+    fn ok(body: String) -> Self {
+        Self {
+            status: 200,
+            reason: "OK",
+            body,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, detail: &str) -> Self {
+        Self {
+            status,
+            reason,
+            body: format!("{{\"error\":{},\"status\":{status}}}", json::quote(detail)),
+        }
+    }
+}
+
+fn finalize(routed: Routed, inner: &Inner, close: bool) -> Vec<u8> {
+    inner.metrics.record_status(routed.status);
+    http::response_bytes(
+        routed.status,
+        routed.reason,
+        "application/json",
+        routed.body.as_bytes(),
+        !close,
+    )
+}
+
+fn route(req: &Request, inner: &Inner) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Routed::ok("{\"status\":\"ok\"}".into()),
+        ("GET", "/metrics") => {
+            let stats: Vec<(&str, Option<(u64, u64, u64, usize)>)> = inner
+                .planes
+                .iter()
+                .map(|p| (p.endpoint().name(), p.cache_stats()))
+                .collect();
+            inner.metrics.emit_telemetry();
+            Routed::ok(inner.metrics.render_json(&stats))
+        }
+        ("POST", "/admin/swap") => handle_swap(req, inner),
+        (method, path) => match Endpoint::ALL.iter().find(|e| e.path() == path) {
+            Some(&endpoint) if method == "POST" => handle_score(req, inner, endpoint),
+            Some(_) => Routed::error(405, "Method Not Allowed", "scoring endpoints take POST"),
+            None if path == "/healthz" || path == "/metrics" => {
+                Routed::error(405, "Method Not Allowed", "use GET")
+            }
+            None => Routed::error(404, "Not Found", "unknown route"),
+        },
+    }
+}
+
+fn handle_score(req: &Request, inner: &Inner, endpoint: Endpoint) -> Routed {
+    let start = Instant::now();
+    let idx = endpoint_index(endpoint);
+    inner.metrics.endpoints[idx]
+        .requests
+        .fetch_add(1, Ordering::Relaxed);
+    let inputs = match parse_inputs(&req.body) {
+        Ok(inputs) => inputs,
+        Err(detail) => return Routed::error(400, "Bad Request", &detail),
+    };
+    inner.metrics.endpoints[idx]
+        .inputs
+        .fetch_add(inputs.len() as u64, Ordering::Relaxed);
+    let rx = inner.batcher.submit(endpoint, inputs);
+    let reply = match rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => return Routed::error(500, "Internal Server Error", "batcher unavailable"),
+    };
+    let result = match reply {
+        Ok(result) => result,
+        Err(detail) => return Routed::error(500, "Internal Server Error", &detail),
+    };
+    let plane = &inner.planes[idx];
+    let mut body = String::with_capacity(64 + result.scores.len() * 32);
+    body.push_str("{\"model\":");
+    body.push_str(&json::quote(plane.model_name()));
+    body.push_str(",\"scores\":");
+    body.push_str(&json::render_scores(&result.scores));
+    body.push_str(&format!(
+        ",\"generation\":{},\"param_generation\":{}}}",
+        result.generation, result.param_generation
+    ));
+    inner.metrics.endpoints[idx]
+        .latency
+        .record_us(start.elapsed().as_micros() as u64);
+    Routed::ok(body)
+}
+
+fn handle_swap(req: &Request, inner: &Inner) -> Routed {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Routed::error(400, "Bad Request", "body is not UTF-8"),
+    };
+    let doc = match json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return Routed::error(400, "Bad Request", &format!("bad JSON: {e}")),
+    };
+    let endpoint = match doc.get("endpoint").and_then(Json::as_str) {
+        Some(name) => match Endpoint::from_name(name) {
+            Some(e) => e,
+            None => return Routed::error(404, "Not Found", &format!("unknown endpoint: {name:?}")),
+        },
+        None => return Routed::error(400, "Bad Request", "missing \"endpoint\""),
+    };
+    let checkpoint = match doc.get("checkpoint").and_then(Json::as_str) {
+        Some(p) => p,
+        None => return Routed::error(400, "Bad Request", "missing \"checkpoint\""),
+    };
+    let plane = &inner.planes[endpoint_index(endpoint)];
+    match plane.swap(checkpoint) {
+        Ok(info) => {
+            inner.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+            Routed::ok(format!(
+                "{{\"endpoint\":{},\"generation\":{},\"param_generation\":{}}}",
+                json::quote(endpoint.name()),
+                info.generation,
+                info.param_generation
+            ))
+        }
+        Err(e) => Routed::error(
+            422,
+            "Unprocessable Entity",
+            &format!("checkpoint rejected: {e}"),
+        ),
+    }
+}
+
+/// Parse a scoring request body: `{"inputs": [...]}` where each element is
+/// a string (tokenized server-side) or an array of token strings (used
+/// verbatim — what the equivalence tests send to sidestep tokenizer
+/// drift).
+fn parse_inputs(body: &[u8]) -> Result<Vec<Vec<String>>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let arr = doc
+        .get("inputs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"inputs\" array".to_string())?;
+    if arr.is_empty() {
+        return Err("\"inputs\" must be non-empty".into());
+    }
+    if arr.len() > MAX_INPUTS_PER_REQUEST {
+        return Err(format!(
+            "too many inputs: {} > {MAX_INPUTS_PER_REQUEST}",
+            arr.len()
+        ));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, item)| match item {
+            Json::Str(s) => Ok(rotom_text::tokenize(s)),
+            Json::Arr(tokens) => tokens
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("inputs[{i}]: tokens must be strings"))
+                })
+                .collect(),
+            _ => Err(format!("inputs[{i}]: expected string or token array")),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_inputs_accepts_strings_and_token_arrays() {
+        let got = parse_inputs(br#"{"inputs": ["Hello world", ["pre", "tokenized"]]}"#).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], rotom_text::tokenize("Hello world"));
+        assert_eq!(got[1], vec!["pre".to_string(), "tokenized".to_string()]);
+    }
+
+    #[test]
+    fn parse_inputs_rejects_bad_shapes() {
+        assert!(parse_inputs(b"not json").is_err());
+        assert!(parse_inputs(br#"{"inputs": []}"#).is_err());
+        assert!(parse_inputs(br#"{"inputs": [42]}"#).is_err());
+        assert!(parse_inputs(br#"{"inputs": [[1, 2]]}"#).is_err());
+        assert!(parse_inputs(br#"{"other": ["x"]}"#).is_err());
+        let huge = format!(
+            "{{\"inputs\": [{}]}}",
+            vec!["\"x\""; MAX_INPUTS_PER_REQUEST + 1].join(",")
+        );
+        assert!(parse_inputs(huge.as_bytes()).is_err());
+    }
+}

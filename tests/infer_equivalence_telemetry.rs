@@ -49,6 +49,14 @@ fn infer_matches_tape_with_telemetry_enabled() {
         text.contains("infer.score_cache"),
         "score-cache gauge missing from sink"
     );
+    let cache_gauge = text
+        .lines()
+        .find(|l| l.contains("infer.score_cache"))
+        .unwrap();
+    assert!(
+        cache_gauge.contains("\"evictions\""),
+        "score-cache gauge must report the LRU eviction counter: {cache_gauge}"
+    );
     assert!(
         text.contains("kernels.forward_dispatch"),
         "forward-dispatch gauge missing from sink"
