@@ -64,9 +64,23 @@ done
 
 # Regenerates BENCH_infer.json and exits non-zero if tape-free scoring or
 # decode throughput regresses more than 20%, or the tape-free speedup over
-# the tape path drops below its 2x floor.
+# the tape path drops below its 2x floor, or the quantized i8 tier drops
+# below its 1.5x-over-f32 floor.
 echo "== inferbench (writes BENCH_infer.json, gates scoring throughput)"
 cargo run --release --offline -p rotom-bench --bin inferbench -- --check
+
+# Quantized i8 inference tier gates: kernel-level round-trip and GEMM
+# relative-error property tests, then the accuracy-delta gate (a trained
+# model's task metrics must not move when scored on the i8 tier, and
+# switching back to f32 must be bit-exact). Both at worker counts 1 and 8 —
+# the quant GEMM fans out over the pool on MR-row boundaries like the f32
+# kernel, so each count exercises a different dispatch path.
+for t in 1 8; do
+    echo "== quant i8 property tests (ROTOM_THREADS=$t)"
+    ROTOM_THREADS=$t cargo test -q --offline -p rotom-nn quant
+    echo "== quant i8 accuracy-delta gate (ROTOM_THREADS=$t)"
+    ROTOM_THREADS=$t cargo test -q --release --offline --test quant_accuracy
+done
 
 # Serving plane gates. The HTTP/1.1 parser property suite (torn reads,
 # oversized heads, Content-Length abuse, pipelining, byte-level fuzz) and

@@ -9,7 +9,9 @@
 //! keep-alive `POST /classify` requests as fast as the server answers
 //! them; per-request wall times give exact p50/p99 (sorted samples, not
 //! histogram buckets). The first run records the `baseline` section;
-//! later runs update `current` and the `trajectory` ratios.
+//! later runs update `current` and the `trajectory` ratios. A separate
+//! `quant` section compares f32 vs i8 serving throughput and latency on
+//! 40-token inputs (long enough that the i8 tier engages).
 //!
 //! Usage:
 //!   cargo run --release --offline --bin servebench            # regenerate
@@ -18,7 +20,9 @@
 //!
 //! `ROTOM_BENCH_SCALE=quick` shrinks the request count for CI smoke runs.
 
-use rotom_serve::{Client, Server, ServerConfig};
+use rotom_serve::{
+    demo_model, demo_model_config, Client, Endpoint, Server, ServerConfig, TaskPlane,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,35 +40,100 @@ struct Sample {
     mean_batch_fill: f64,
 }
 
-/// Run one measured configuration: boot the server with a `threads`-wide
-/// scoring pool, hammer it from `CLIENTS` keep-alive connections, and
-/// return throughput + exact latency quantiles.
-fn run_config(threads: usize, requests_per_client: usize) -> Sample {
-    let server = Server::start(ServerConfig {
+/// A small rotating input set: realistic token lengths, no cache to
+/// help, every request does real forward work.
+fn short_bodies() -> Vec<String> {
+    [
+        "a luminous heartfelt film with a stunning lead performance",
+        "tedious and shapeless beyond any hope of rescue",
+        "the plot works even when the pacing does not",
+        "crisp writing elevates familiar material",
+    ]
+    .iter()
+    .map(|t| format!("{{\"inputs\": [{}]}}", rotom_serve::json::quote(t)))
+    .collect()
+}
+
+/// Heavier bodies for the quant on/off comparison: 8 inputs of 40 tokens
+/// per request, so each round trip is dominated by scoring rather than the
+/// batch window + HTTP overhead the short set measures.
+fn long_bodies() -> Vec<String> {
+    let words = [
+        "a", "movie", "of", "rare", "depth", "and", "feeling", "that", "never", "loses",
+    ];
+    (0..4)
+        .map(|i| {
+            let inputs: Vec<String> = (0..8)
+                .map(|k| {
+                    let text: Vec<&str> =
+                        (0..40).map(|j| words[(i + k + j) % words.len()]).collect();
+                    rotom_serve::json::quote(&text.join(" "))
+                })
+                .collect();
+            format!("{{\"inputs\": [{}]}}", inputs.join(", "))
+        })
+        .collect()
+}
+
+fn bench_config(threads: usize, window: Duration) -> ServerConfig {
+    ServerConfig {
         addr: "127.0.0.1:0".into(),
-        window: Duration::from_millis(1),
+        window,
         max_batch: 32,
         score_threads: threads,
         score_cache: 0, // measure scoring, not memoization
         seed: 7,
         ..ServerConfig::default()
-    })
-    .expect("servebench: server boots");
-    let addr = server.local_addr();
+    }
+}
 
-    // A small rotating input set: realistic token lengths, no cache to
-    // help, every request does real forward work.
-    let bodies: Arc<Vec<String>> = Arc::new(
-        [
-            "a luminous heartfelt film with a stunning lead performance",
-            "tedious and shapeless beyond any hope of rescue",
-            "the plot works even when the pacing does not",
-            "crisp writing elevates familiar material",
-        ]
-        .iter()
-        .map(|t| format!("{{\"inputs\": [{}]}}", rotom_serve::json::quote(t)))
-        .collect(),
-    );
+/// Run one measured configuration: boot the server with a `threads`-wide
+/// scoring pool over the default demo model and the standard 1ms window,
+/// hammer it from `CLIENTS` keep-alive connections, and return throughput
+/// + exact latency quantiles.
+fn run_config(threads: usize, requests_per_client: usize) -> Sample {
+    let server = Server::start(bench_config(threads, Duration::from_millis(1)))
+        .expect("servebench: server boots");
+    measure(server, threads, requests_per_client, short_bodies())
+}
+
+/// Quant on/off configuration: an inference-scale classifier (d_model 128,
+/// matching `inferbench`) served via [`Server::start_with_planes`], with a
+/// 100µs window so the round trip is scoring-bound rather than
+/// window-bound. The stock demo model (d_model 32) sits right at the i8
+/// tier's size threshold, where quantize overhead cancels the GEMM win —
+/// this row measures the tier on a model shaped like what serving is for.
+fn run_quant_config(threads: usize, requests_per_client: usize, quant: bool) -> Sample {
+    let mut model_cfg = demo_model_config();
+    model_cfg.d_model = 128;
+    model_cfg.heads = 8;
+    model_cfg.d_ff = 256;
+    let planes = Endpoint::ALL.map(|e| {
+        let (model, name) = demo_model(e.task_kind(), &model_cfg, 7);
+        let plane = TaskPlane::new(e, name, model);
+        if quant {
+            plane.set_quant_mode(rotom_nn::QuantMode::I8);
+        }
+        plane
+    });
+    let server = Server::start_with_planes(
+        bench_config(threads, Duration::from_micros(100)),
+        Arc::new(planes),
+    )
+    .expect("servebench: quant server boots");
+    measure(server, threads, requests_per_client, long_bodies())
+}
+
+/// Hammer a booted server from `CLIENTS` keep-alive connections and return
+/// throughput + exact latency quantiles. Shuts the server down.
+fn measure(
+    server: Server,
+    threads: usize,
+    requests_per_client: usize,
+    bodies: Vec<String>,
+) -> Sample {
+    let addr = server.local_addr();
+    let bodies: Arc<Vec<String>> = Arc::new(bodies);
 
     // Warmup: one request per client count so connection setup and first
     // forward passes stay out of the measured window.
@@ -198,6 +267,29 @@ fn main() {
         })
         .collect();
 
+    // Quant on/off comparison: inference-scale model, 40-token inputs,
+    // scoring-bound window (see `run_quant_config`). Informational, not
+    // gated: the serving ratio is diluted by HTTP + batching overhead, so
+    // the hard speedup floor lives in `inferbench --check` where the GEMMs
+    // are measured directly.
+    let quant_rows: Vec<(Sample, Sample)> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let f = run_quant_config(t, requests_per_client, false);
+            let q = run_quant_config(t, requests_per_client, true);
+            println!(
+                "serve /classify 40-token, {} score thread(s): f32 {:.0} req/s (p99 {:.0}µs) | i8 {:.0} req/s (p99 {:.0}µs) | {:.2}x",
+                t,
+                f.req_per_sec,
+                f.p99_us,
+                q.req_per_sec,
+                q.p99_us,
+                q.req_per_sec / f.req_per_sec
+            );
+            (f, q)
+        })
+        .collect();
+
     let old = std::fs::read_to_string(OUT_FILE).unwrap_or_default();
     let baseline = {
         let b = parse_section(&old, "baseline");
@@ -248,6 +340,27 @@ fn main() {
     );
     write_section(&mut json, "baseline", &baseline);
     write_section(&mut json, "current", &current);
+    json.push_str("  \"quant\": [\n");
+    for (i, (f, q)) in quant_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"f32_requests_per_sec\": {:.2}, \"i8_requests_per_sec\": {:.2}, \"i8_speedup\": {:.3}, \"f32_p50_latency_us\": {:.1}, \"i8_p50_latency_us\": {:.1}, \"f32_p99_latency_us\": {:.1}, \"i8_p99_latency_us\": {:.1}}}",
+            f.threads,
+            f.req_per_sec,
+            q.req_per_sec,
+            q.req_per_sec / f.req_per_sec,
+            f.p50_us,
+            q.p50_us,
+            f.p99_us,
+            q.p99_us
+        );
+        json.push_str(if i + 1 < quant_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"trajectory\": [\n");
     for (i, s) in current.iter().enumerate() {
         let b = baseline

@@ -127,25 +127,73 @@ fn fnv1a_tokens(tokens: &[usize]) -> u64 {
     h
 }
 
+/// Sentinel slab index for "no entry" in the intrusive recency list.
+const NIL: u32 = u32::MAX;
+
 /// One cached scoring: full key (the FNV hash is only a bucket index),
-/// logits, and the logical tick of the last touch (insert or hit) for LRU
-/// eviction.
+/// logits, and intrusive doubly-linked recency pointers (slab indices) —
+/// most-recently-used at the list head, eviction victim at the tail.
 struct CacheEntry {
     key: Box<[usize]>,
     logits: Vec<f32>,
-    last_use: u64,
+    hash: u64,
+    prev: u32,
+    next: u32,
 }
 
 struct CacheInner {
     /// Parameter-store generation fingerprint the entries were computed
     /// under; any mismatch wipes the map (weights changed).
     gen_sum: u64,
-    /// FNV key → entries (full serialized key kept to guard collisions).
-    map: HashMap<u64, Vec<CacheEntry>>,
-    entries: usize,
-    /// Logical clock: bumped on every lookup/insert, stamped into
-    /// `last_use`.
-    tick: u64,
+    /// FNV key → slab indices (full serialized key kept to guard
+    /// collisions).
+    map: HashMap<u64, Vec<u32>>,
+    /// Entry storage; `free` lists recycled slots, so the slab never grows
+    /// past capacity once warm.
+    slab: Vec<CacheEntry>,
+    free: Vec<u32>,
+    /// Recency list endpoints: `head` = most recent touch, `tail` = LRU
+    /// eviction victim.
+    head: u32,
+    tail: u32,
+}
+
+impl CacheInner {
+    /// Unlink slot `idx` from the recency list (O(1)).
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = &self.slab[idx as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n as usize].prev = prev,
+        }
+    }
+
+    /// Link slot `idx` at the head (most-recently-used) position (O(1)).
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[idx as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = idx,
+            h => self.slab[h as usize].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    /// Entries currently stored.
+    fn len(&self) -> usize {
+        self.slab.len() - self.free.len()
+    }
 }
 
 /// Memoization cache for forward-only scoring: serialized input tokens →
@@ -164,12 +212,13 @@ struct CacheInner {
 ///   that fingerprint is monotone, so stale entries can never resurface.
 ///
 /// Off by default; enabled per-model via `ROTOM_SCORE_CACHE=<capacity>`
-/// (entries). At capacity the least-recently-used entry is evicted — an
-/// O(capacity) scan for the oldest touch tick, which is noise next to the
-/// forward pass each eviction makes room for — and the [`evictions`]
-/// counter records it. Cloning a `ScoreCache` yields a fresh *empty* cache
-/// with the same capacity: clones of a model diverge under training, so
-/// sharing entries across them would be unsound.
+/// (entries). At capacity the least-recently-used entry is evicted in O(1):
+/// entries live in a slab threaded onto an intrusive doubly-linked recency
+/// list (head = most recent touch, tail = victim), so a hit is one unlink +
+/// one relink and an eviction pops the tail — no scan at any capacity — and
+/// the [`evictions`] counter records it. Cloning a `ScoreCache` yields a
+/// fresh *empty* cache with the same capacity: clones of a model diverge
+/// under training, so sharing entries across them would be unsound.
 ///
 /// [`evictions`]: ScoreCache::evictions
 pub struct ScoreCache {
@@ -197,8 +246,10 @@ impl ScoreCache {
             inner: Mutex::new(CacheInner {
                 gen_sum: 0,
                 map: HashMap::new(),
-                entries: 0,
-                tick: 0,
+                slab: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
             }),
         }
     }
@@ -221,17 +272,18 @@ impl ScoreCache {
     pub fn lookup(&self, gen_sum: u64, tokens: &[usize]) -> Option<Vec<f32>> {
         let mut inner = self.inner.lock().unwrap();
         Self::sync_generation(&mut inner, gen_sum);
-        inner.tick += 1;
-        let tick = inner.tick;
         let key = fnv1a_tokens(tokens);
-        let hit = inner.map.get_mut(&key).and_then(|bucket| {
+        let found = inner.map.get(&key).and_then(|bucket| {
             bucket
-                .iter_mut()
-                .find(|e| e.key.as_ref() == tokens)
-                .map(|e| {
-                    e.last_use = tick;
-                    e.logits.clone()
-                })
+                .iter()
+                .copied()
+                .find(|&idx| inner.slab[idx as usize].key.as_ref() == tokens)
+        });
+        let hit = found.map(|idx| {
+            // Refresh recency: unlink and relink at the head, both O(1).
+            inner.detach(idx);
+            inner.push_front(idx);
+            inner.slab[idx as usize].logits.clone()
         });
         drop(inner);
         if hit.is_some() {
@@ -248,59 +300,74 @@ impl ScoreCache {
         let mut inner = self.inner.lock().unwrap();
         Self::sync_generation(&mut inner, gen_sum);
         let key = fnv1a_tokens(tokens);
-        if inner
-            .map
-            .get(&key)
-            .is_some_and(|bucket| bucket.iter().any(|e| e.key.as_ref() == tokens))
-        {
+        if inner.map.get(&key).is_some_and(|bucket| {
+            bucket
+                .iter()
+                .any(|&idx| inner.slab[idx as usize].key.as_ref() == tokens)
+        }) {
             return;
         }
-        if inner.entries >= self.capacity {
-            Self::evict_lru(&mut inner);
+        if inner.len() >= self.capacity && Self::evict_lru(&mut inner) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.entry(key).or_default().push(CacheEntry {
+        let entry = CacheEntry {
             key: tokens.to_vec().into_boxed_slice(),
             logits: logits.to_vec(),
-            last_use: tick,
-        });
-        inner.entries += 1;
+            hash: key,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match inner.free.pop() {
+            Some(idx) => {
+                inner.slab[idx as usize] = entry;
+                idx
+            }
+            None => {
+                inner.slab.push(entry);
+                (inner.slab.len() - 1) as u32
+            }
+        };
+        inner.push_front(idx);
+        inner.map.entry(key).or_default().push(idx);
     }
 
     /// Wipe the map if `gen_sum` moved since the entries were stored.
     fn sync_generation(inner: &mut CacheInner, gen_sum: u64) {
         if inner.gen_sum != gen_sum {
             inner.map.clear();
-            inner.entries = 0;
+            inner.slab.clear();
+            inner.free.clear();
+            inner.head = NIL;
+            inner.tail = NIL;
             inner.gen_sum = gen_sum;
         }
     }
 
-    /// Remove the entry with the oldest touch tick. O(entries) scan; callers
-    /// only pay it when the cache is full, right before a forward pass.
-    fn evict_lru(inner: &mut CacheInner) {
-        let victim = inner
-            .map
-            .iter()
-            .flat_map(|(&h, bucket)| bucket.iter().map(move |e| (e.last_use, h)))
-            .min()
-            .map(|(_, h)| h);
-        if let Some(h) = victim {
-            let bucket = inner.map.get_mut(&h).expect("victim bucket exists");
-            let idx = bucket
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
-                .expect("victim bucket non-empty");
-            bucket.swap_remove(idx);
-            if bucket.is_empty() {
-                inner.map.remove(&h);
-            }
-            inner.entries -= 1;
+    /// Pop the recency-list tail — the least-recently-touched entry — in
+    /// O(1) (plus a short bucket walk for the hash index, bounded by FNV
+    /// collisions on 64-bit hashes, i.e. effectively 1). Returns whether a
+    /// victim was actually removed.
+    fn evict_lru(inner: &mut CacheInner) -> bool {
+        let victim = inner.tail;
+        if victim == NIL {
+            return false;
         }
+        inner.detach(victim);
+        let hash = inner.slab[victim as usize].hash;
+        if let Some(bucket) = inner.map.get_mut(&hash) {
+            if let Some(pos) = bucket.iter().position(|&i| i == victim) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                inner.map.remove(&hash);
+            }
+        }
+        // Drop the payload now; the slot itself is recycled via `free`.
+        let e = &mut inner.slab[victim as usize];
+        e.key = Box::default();
+        e.logits = Vec::new();
+        inner.free.push(victim);
+        true
     }
 
     /// Cumulative `(hits, misses)` since construction.
@@ -324,7 +391,7 @@ impl ScoreCache {
 
     /// Entries currently stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries
+        self.inner.lock().unwrap().len()
     }
 
     /// Whether the cache is empty.
@@ -450,6 +517,62 @@ mod tests {
         cache.insert(2, &[1], &[10.0]);
         assert_eq!(cache.evictions(), 0, "wipe on generation change is free");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_matches_reference_model_under_random_churn() {
+        // Drive the intrusive-list LRU with a few thousand random
+        // lookup/insert operations and mirror every step in an obviously
+        // correct Vec-based reference (touch moves to back, evict pops
+        // front). Occupancy, eviction count, and membership must agree at
+        // every step.
+        use rotom_rng::rngs::StdRng;
+        use rotom_rng::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x10c);
+        for capacity in [1usize, 2, 7, 32] {
+            let cache = ScoreCache::with_capacity(capacity);
+            let mut reference: Vec<usize> = Vec::new(); // front = LRU
+            let mut ref_evictions = 0u64;
+            for _ in 0..4000 {
+                let token = rng.random_range(0..64usize);
+                if rng.random_range(0.0f32..1.0) < 0.5 {
+                    let hit = cache.lookup(1, &[token]).is_some();
+                    let ref_hit = reference.contains(&token);
+                    assert_eq!(hit, ref_hit, "cap {capacity}: hit status for {token}");
+                    if ref_hit {
+                        reference.retain(|&t| t != token);
+                        reference.push(token);
+                    }
+                } else {
+                    cache.insert(1, &[token], &[token as f32]);
+                    if !reference.contains(&token) {
+                        if reference.len() >= capacity && !reference.is_empty() {
+                            reference.remove(0);
+                            ref_evictions += 1;
+                        }
+                        reference.push(token);
+                    }
+                }
+                assert_eq!(cache.len(), reference.len(), "cap {capacity}: occupancy");
+                assert_eq!(
+                    cache.evictions(),
+                    ref_evictions,
+                    "cap {capacity}: eviction count"
+                );
+            }
+            // Final membership check (hit/miss per possible token), without
+            // perturbing what we assert: every lookup of a present token
+            // refreshes both sides identically.
+            for token in 0..64usize {
+                let hit = cache.lookup(1, &[token]).is_some();
+                let ref_hit = reference.contains(&token);
+                assert_eq!(hit, ref_hit, "cap {capacity}: final membership {token}");
+                if ref_hit {
+                    reference.retain(|&t| t != token);
+                    reference.push(token);
+                }
+            }
+        }
     }
 
     #[test]

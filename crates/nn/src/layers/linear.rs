@@ -3,7 +3,7 @@
 use crate::graph::{NodeId, Tape};
 use crate::init::Initializer;
 use crate::kernels;
-use crate::params::{ParamId, ParamStore};
+use crate::params::{ParamId, ParamStore, QuantMode};
 use rotom_rng::rngs::StdRng;
 
 /// `y = x W + b` with Xavier-initialized `W` and zero-initialized `b`.
@@ -95,12 +95,29 @@ impl Linear {
     ) {
         let w = store.value(self.w);
         let packs = store.packs(self.w);
-        let pk = if rows * self.in_dim * self.out_dim >= kernels::SMALL_FLOPS {
-            packs.direct(w)
-        } else {
-            None
-        };
+        let above_small = rows * self.in_dim * self.out_dim >= kernels::SMALL_FLOPS;
         let bias = self.b.map(|b| store.value(b));
+        // Quantized tier: opt-in per store, and only for GEMMs the f32 path
+        // would tile anyway — sub-threshold shapes stay on the (cheaper
+        // there) f32 naive kernel, so tiny heads/meta-models never pay
+        // quantization overhead.
+        if store.quant_mode() == QuantMode::I8 && above_small {
+            if let Some(qb) = packs.quant(w) {
+                kernels::matmul_bias_act_i8_into(
+                    x,
+                    qb,
+                    bias.map(|t| t.data()),
+                    act,
+                    rows,
+                    self.in_dim,
+                    self.out_dim,
+                    pool,
+                    out,
+                );
+                return;
+            }
+        }
+        let pk = if above_small { packs.direct(w) } else { None };
         kernels::matmul_bias_act_into(
             x,
             w.data(),
@@ -131,11 +148,27 @@ impl Linear {
     ) {
         let w = store.value(self.w);
         let packs = store.packs(self.w);
-        let pk = if full_rows * self.in_dim * self.out_dim >= kernels::SMALL_FLOPS {
-            packs.direct(w)
-        } else {
-            None
-        };
+        let above_small = full_rows * self.in_dim * self.out_dim >= kernels::SMALL_FLOPS;
+        let bias = self.b.map(|b| store.value(b));
+        // Same quant gate as `infer_forward`, on the *full* logical shape —
+        // band and full replay must agree on the tier or band replay would
+        // not be self-consistent with full scoring.
+        if store.quant_mode() == QuantMode::I8 && above_small {
+            if let Some(qb) = packs.quant(w) {
+                kernels::matmul_band_i8_into(
+                    x_band,
+                    qb,
+                    bias.map(|t| t.data()),
+                    act,
+                    band_len,
+                    self.in_dim,
+                    self.out_dim,
+                    out,
+                );
+                return;
+            }
+        }
+        let pk = if above_small { packs.direct(w) } else { None };
         kernels::matmul_band_into(
             x_band,
             w.data(),
@@ -146,7 +179,6 @@ impl Linear {
             self.out_dim,
             out,
         );
-        let bias = self.b.map(|b| store.value(b));
         kernels::bias_act_apply(out, band_len, self.out_dim, bias.map(|t| t.data()), act);
     }
 }

@@ -72,7 +72,7 @@ pub use layers::{
     TransformerEncoder,
 };
 pub use optim::{Adam, Sgd};
-pub use params::{ParamId, ParamPacks, ParamStore};
+pub use params::{ParamId, ParamPacks, ParamStore, QuantMode};
 pub use pool::RotomPool;
 pub use schedule::{LrSchedule, LrStepper};
 pub use tensor::Tensor;

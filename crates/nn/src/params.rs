@@ -7,10 +7,47 @@
 //! walks rather than per-layer bookkeeping.
 
 use crate::init::Initializer;
-use crate::kernels::{PackedB, NR};
+use crate::kernels::{PackedB, QuantizedB, NR};
 use crate::tensor::Tensor;
 use rotom_rng::rngs::StdRng;
 use std::sync::{Arc, OnceLock};
+
+/// Numeric mode of the inference plane for one model (one [`ParamStore`]).
+///
+/// Consulted only by the forward-only layer twins (`Linear::infer_forward*`)
+/// — the training tape never reads it, so training stays bit-exact f32
+/// regardless of the mode. [`QuantMode::I8`] routes large-enough inference
+/// GEMMs through the quantized i8 kernel with per-output-row weight scales
+/// (see `kernels::matmul_bias_act_i8_into`); results then carry a bounded
+/// quantization error instead of bit-identity with the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Full-precision inference, bit-identical to the tape forward.
+    #[default]
+    F32,
+    /// Quantized i8 inference GEMMs (opt-in; `ROTOM_QUANT=i8` or
+    /// `set_quant_mode`).
+    I8,
+}
+
+impl QuantMode {
+    /// Read the process-default mode from `ROTOM_QUANT` (`i8` enables the
+    /// quantized tier; anything else, or unset, stays f32).
+    pub fn from_env() -> Self {
+        match std::env::var("ROTOM_QUANT") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("i8") => QuantMode::I8,
+            _ => QuantMode::F32,
+        }
+    }
+
+    /// Short label for metrics/telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuantMode::F32 => "f32",
+            QuantMode::I8 => "i8",
+        }
+    }
+}
 
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +73,7 @@ pub struct ParamId(pub(crate) usize);
 pub struct ParamPacks {
     direct: OnceLock<PackedB>,
     transposed: OnceLock<PackedB>,
+    quant: OnceLock<QuantizedB>,
 }
 
 impl ParamPacks {
@@ -67,6 +105,24 @@ impl ParamPacks {
         Some(
             self.transposed
                 .get_or_init(|| PackedB::pack_transposed(value.data(), cols, rows)),
+        )
+    }
+
+    /// Quantized i8 panels of `value` as the direct `B` operand, built on
+    /// first use under the same snapshot contract as
+    /// [`direct`](Self::direct) — the slot lives and dies with the
+    /// parameter generation, so a hot checkpoint swap (or any value
+    /// mutation) invalidates the quantized weights exactly like the f32
+    /// panels. Shape gate matches `direct` so quant and f32 dispatch agree
+    /// on which weights are pack-eligible.
+    pub fn quant(&self, value: &Tensor) -> Option<&QuantizedB> {
+        let (rows, cols) = (value.rows(), value.cols());
+        if rows < 2 || cols < NR {
+            return None;
+        }
+        Some(
+            self.quant
+                .get_or_init(|| QuantizedB::quantize_row_major(value.data(), rows, cols)),
         )
     }
 }
@@ -102,12 +158,33 @@ impl ParamEntry {
 #[derive(Default)]
 pub struct ParamStore {
     entries: Vec<ParamEntry>,
+    /// Inference-plane numeric mode for the model owning this store (the
+    /// training tape never reads it). Per-store, so e.g. each serving
+    /// `TaskPlane` toggles quantization independently.
+    quant_mode: QuantMode,
 }
 
 impl ParamStore {
-    /// Create an empty store.
+    /// Create an empty store. The inference quant mode starts from the
+    /// `ROTOM_QUANT` process default ([`QuantMode::from_env`]).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            entries: Vec::new(),
+            quant_mode: QuantMode::from_env(),
+        }
+    }
+
+    /// Inference-plane numeric mode (see [`QuantMode`]).
+    pub fn quant_mode(&self) -> QuantMode {
+        self.quant_mode
+    }
+
+    /// Set the inference-plane numeric mode. Takes effect on the next
+    /// inference call; training is unaffected. Quantized panels are built
+    /// lazily per generation, so toggling costs nothing until a quantized
+    /// GEMM actually runs.
+    pub fn set_quant_mode(&mut self, mode: QuantMode) {
+        self.quant_mode = mode;
     }
 
     /// Register a parameter initialized by `init`.

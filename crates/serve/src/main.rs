@@ -12,10 +12,12 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: rotom-serve [--addr HOST:PORT] [--window-ms N] [--max-batch N]\n\
-         \x20                  [--threads N] [--score-cache N] [--seed N]\n\
+         \x20                  [--threads N] [--score-cache N] [--seed N] [--quant]\n\
          \n\
          Serves POST /match, /clean, /classify; GET /healthz, /metrics;\n\
          POST /admin/swap {{\"endpoint\": ..., \"checkpoint\": ...}}.\n\
+         --quant boots every plane on the i8 inference GEMM tier\n\
+         (ROTOM_QUANT=i8 sets the same default process-wide).\n\
          \n\
          defaults: --addr 127.0.0.1:8080 --window-ms 2 --max-batch 32\n\
          \x20         --threads {} --score-cache 4096 --seed 7",
@@ -61,6 +63,7 @@ fn main() {
                 Ok(n) => cfg.seed = n,
                 Err(_) => usage(),
             },
+            "--quant" => cfg.quant = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");

@@ -127,21 +127,23 @@ impl ServeMetrics {
     }
 
     /// Render the `/metrics` JSON document. `planes` supplies per-endpoint
-    /// cache statistics as `(endpoint_name, Option<(hits, misses,
+    /// state as `(endpoint_name, quant_tier_label, Option<(hits, misses,
     /// evictions, entries)>)`.
-    pub fn render_json(&self, planes: &[(&str, Option<(u64, u64, u64, usize)>)]) -> String {
+    pub fn render_json(&self, planes: &[(&str, &str, Option<(u64, u64, u64, usize)>)]) -> String {
+        use rotom_nn::kernels::profile;
         let mut out = String::with_capacity(1024);
         out.push_str("{\"endpoints\":{");
-        for (i, (name, cache)) in planes.iter().enumerate() {
+        for (i, (name, quant, cache)) in planes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let m = &self.endpoints[i];
             out.push_str(&format!(
-                "\"{}\":{{\"requests\":{},\"inputs\":{},\"latency_us\":{{\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                "\"{}\":{{\"requests\":{},\"inputs\":{},\"quant\":\"{}\",\"latency_us\":{{\"mean\":{},\"p50\":{},\"p99\":{}}}",
                 name,
                 m.requests.load(Ordering::Relaxed),
                 m.inputs.load(Ordering::Relaxed),
+                quant,
                 m.latency.mean_us(),
                 m.latency.quantile_us(0.5),
                 m.latency.quantile_us(0.99),
@@ -154,7 +156,7 @@ impl ServeMetrics {
             }
         }
         out.push_str(&format!(
-            "}},\"status\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\"connections\":{},\"parse_errors\":{},\"batcher\":{{\"batches\":{},\"jobs\":{},\"queue_wait_us\":{}}},\"swaps\":{}}}",
+            "}},\"status\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\"connections\":{},\"parse_errors\":{},\"batcher\":{{\"batches\":{},\"jobs\":{},\"queue_wait_us\":{}}},\"swaps\":{},\"gemm\":{{\"quant_i8_calls\":{},\"fma\":{},\"quant_simd\":{}}}}}",
             self.status_2xx.load(Ordering::Relaxed),
             self.status_4xx.load(Ordering::Relaxed),
             self.status_5xx.load(Ordering::Relaxed),
@@ -164,6 +166,9 @@ impl ServeMetrics {
             self.batched_jobs.load(Ordering::Relaxed),
             self.queue_wait_us.load(Ordering::Relaxed),
             self.swaps.load(Ordering::Relaxed),
+            profile::quant_i8_count(),
+            profile::fma_active(),
+            profile::quant_simd_active(),
         ));
         out
     }
@@ -202,6 +207,10 @@ impl ServeMetrics {
                     Value::U64(self.batched_jobs.load(Ordering::Relaxed)),
                 ),
                 ("swaps", Value::U64(self.swaps.load(Ordering::Relaxed))),
+                (
+                    "quant_i8_calls",
+                    Value::U64(rotom_nn::kernels::profile::quant_i8_count()),
+                ),
             ],
         );
     }
@@ -245,9 +254,9 @@ mod tests {
         m.record_status(404);
         m.record_status(500);
         let doc = m.render_json(&[
-            ("match", Some((1, 2, 3, 4))),
-            ("clean", None),
-            ("classify", None),
+            ("match", "i8", Some((1, 2, 3, 4))),
+            ("clean", "f32", None),
+            ("classify", "f32", None),
         ]);
         let parsed = crate::json::parse(&doc).expect("valid JSON");
         assert_eq!(
@@ -273,6 +282,22 @@ mod tests {
                 .and_then(|s| s.get("4xx"))
                 .and_then(|v| v.as_u64()),
             Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("endpoints")
+                .and_then(|e| e.get("match"))
+                .and_then(|m| m.get("quant"))
+                .and_then(|q| q.as_str()),
+            Some("i8")
+        );
+        assert!(
+            parsed
+                .get("gemm")
+                .and_then(|g| g.get("quant_i8_calls"))
+                .and_then(|v| v.as_u64())
+                .is_some(),
+            "gemm dispatch-tier counters present"
         );
     }
 }

@@ -1,0 +1,132 @@
+//! End-to-end serving tests for the quantized i8 inference tier: a server
+//! booted with `quant: true` serves valid scores close to the f32 tier,
+//! reports the tier in `/metrics`, and a plane's score cache never returns
+//! a stale f32 score after the tier is toggled.
+
+use rotom_datasets::TaskKind;
+use rotom_serve::{
+    demo_model, demo_model_config, Client, Endpoint, Server, ServerConfig, TaskPlane,
+};
+use std::time::Duration;
+
+/// A token sequence long enough that the demo model's encoder GEMMs clear
+/// the tiled-kernel threshold, so the i8 tier actually engages.
+fn long_input() -> String {
+    let words = [
+        "a", "movie", "of", "rare", "depth", "and", "feeling", "that", "never", "loses",
+    ];
+    let tokens: Vec<&str> = (0..40).map(|i| words[i % words.len()]).collect();
+    tokens.join(" ")
+}
+
+fn boot(quant: bool) -> Server {
+    Server::start(ServerConfig {
+        window: Duration::from_millis(1),
+        score_cache: 0,
+        seed: 11,
+        quant,
+        ..ServerConfig::default()
+    })
+    .expect("server boots")
+}
+
+fn scores_of(body: &str) -> Vec<Vec<f64>> {
+    let doc = rotom_serve::json::parse(body).expect("valid JSON");
+    doc.get("scores")
+        .and_then(rotom_serve::json::Json::as_arr)
+        .expect("scores array")
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .expect("score row")
+                .iter()
+                .map(|v| v.as_f64().expect("score number"))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn quant_server_scores_match_f32_closely_and_reports_tier() {
+    let f32_server = boot(false);
+    let i8_server = boot(true);
+    let body = format!(
+        "{{\"inputs\": [{}]}}",
+        rotom_serve::json::quote(&long_input())
+    );
+
+    let mut f32_client = Client::connect(f32_server.local_addr()).unwrap();
+    let mut i8_client = Client::connect(i8_server.local_addr()).unwrap();
+    let f32_resp = f32_client.post("/classify", &body).unwrap();
+    let i8_resp = i8_client.post("/classify", &body).unwrap();
+    assert_eq!(f32_resp.status, 200);
+    assert_eq!(i8_resp.status, 200);
+
+    let f32_scores = scores_of(&f32_resp.body);
+    let i8_scores = scores_of(&i8_resp.body);
+    assert_eq!(f32_scores.len(), 1);
+    assert_eq!(i8_scores.len(), 1);
+    for (f, q) in f32_scores[0].iter().zip(&i8_scores[0]) {
+        assert!(q.is_finite() && *q >= 0.0 && *q <= 1.0);
+        assert!(
+            (f - q).abs() < 0.05,
+            "i8 probability drifted from f32: {f} vs {q}"
+        );
+    }
+    let sum: f64 = i8_scores[0].iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4, "i8 scores are a distribution");
+
+    // /metrics reports the tier per endpoint plus the dispatch counter.
+    let metrics = i8_client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let doc = rotom_serve::json::parse(&metrics.body).expect("metrics JSON parses");
+    for name in ["match", "clean", "classify"] {
+        assert_eq!(
+            doc.get("endpoints")
+                .and_then(|e| e.get(name))
+                .and_then(|m| m.get("quant"))
+                .and_then(|q| q.as_str()),
+            Some("i8"),
+            "endpoint {name} reports the i8 tier"
+        );
+    }
+    let calls = doc
+        .get("gemm")
+        .and_then(|g| g.get("quant_i8_calls"))
+        .and_then(|v| v.as_u64())
+        .expect("gemm.quant_i8_calls present");
+    assert!(calls >= 1, "quantized GEMMs were actually dispatched");
+}
+
+#[test]
+fn toggling_quant_mode_invalidates_plane_score_cache() {
+    let cfg = demo_model_config();
+    let (model, name) = demo_model(TaskKind::TextClassification, &cfg, 5);
+    let plane = TaskPlane::new(Endpoint::Classify, name, model);
+    plane.set_score_cache(64);
+    let pool = rotom_nn::RotomPool::new(1);
+    let inputs = vec![rotom_text::tokenize(&long_input())];
+
+    let f32_scores = plane.score(&inputs, &pool).scores;
+    assert_eq!(plane.score(&inputs, &pool).scores, f32_scores);
+    let (hits, _, _, _) = plane.cache_stats().unwrap();
+    assert_eq!(hits, 1, "second f32 score is a cache hit");
+
+    plane.set_quant_mode(rotom_nn::QuantMode::I8);
+    assert_eq!(plane.quant_mode(), rotom_nn::QuantMode::I8);
+    let i8_scores = plane.score(&inputs, &pool).scores;
+    let (hits_after, misses_after, _, _) = plane.cache_stats().unwrap();
+    assert_eq!(
+        hits_after, 1,
+        "i8 score after the toggle must not hit the stale f32 entry"
+    );
+    assert!(misses_after >= 2);
+    // And the i8 result is itself cached under the new fingerprint.
+    assert_eq!(plane.score(&inputs, &pool).scores, i8_scores);
+    let (hits_final, _, _, _) = plane.cache_stats().unwrap();
+    assert_eq!(hits_final, 2);
+
+    // Toggling back restores the f32 scores bit-exactly.
+    plane.set_quant_mode(rotom_nn::QuantMode::F32);
+    assert_eq!(plane.score(&inputs, &pool).scores, f32_scores);
+}

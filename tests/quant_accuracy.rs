@@ -1,0 +1,148 @@
+//! Accuracy-delta gate for the quantized i8 inference tier (run by `ci.sh`
+//! at `ROTOM_THREADS=1` and `8`).
+//!
+//! Policy: quantization may perturb individual logits, but on a trained
+//! model it must not move task metrics. The gate trains a model to
+//! above-chance accuracy on synthetic SST-2, scores the held-out split on
+//! both tiers, and fails if accuracy or F1 drifts by more than one
+//! test-set example's worth, or any class probability moves by more than
+//! 0.05. It also asserts the i8 tier actually dispatched (the gate must
+//! never pass vacuously because the model fell below the tiled-kernel
+//! threshold).
+
+use rotom::{ModelConfig, TinyLm};
+use rotom_datasets::textcls::{self, TextClsConfig, TextClsFlavor};
+use rotom_meta::{MetaTarget, WeightedItem};
+use rotom_nn::{kernels::profile, QuantMode};
+use rotom_rng::rngs::StdRng;
+use rotom_rng::SeedableRng;
+
+/// Wide enough that every encoder GEMM clears `SMALL_FLOPS` even on short
+/// sequences, so the i8 tier engages exactly where serving models would.
+fn gate_config() -> ModelConfig {
+    ModelConfig {
+        d_model: 64,
+        heads: 4,
+        d_ff: 128,
+        layers: 1,
+        max_len: 32,
+        vocab_size: 2048,
+        pretrain_epochs: 0,
+        pair_pretrain_epochs: 0,
+        ..ModelConfig::default()
+    }
+}
+
+struct Metrics {
+    accuracy: f64,
+    f1: f64,
+}
+
+fn evaluate(m: &TinyLm, test: &[(Vec<String>, usize)]) -> (Metrics, Vec<Vec<f32>>) {
+    let mut correct = 0usize;
+    let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+    let mut probas = Vec::with_capacity(test.len());
+    for (tokens, label) in test {
+        let p = m.predict_proba(tokens);
+        let pred = rotom_nn::argmax(&p);
+        if pred == *label {
+            correct += 1;
+        }
+        match (pred, *label) {
+            (1, 1) => tp += 1,
+            (1, 0) => fp += 1,
+            (0, 1) => fne += 1,
+            _ => {}
+        }
+        probas.push(p);
+    }
+    let f1 = if 2 * tp + fp + fne == 0 {
+        1.0
+    } else {
+        2.0 * tp as f64 / (2 * tp + fp + fne) as f64
+    };
+    (
+        Metrics {
+            accuracy: correct as f64 / test.len() as f64,
+            f1,
+        },
+        probas,
+    )
+}
+
+#[test]
+fn quant_accuracy_delta_gate() {
+    let data = textcls::generate(
+        TextClsFlavor::Sst2,
+        &TextClsConfig {
+            train_pool: 96,
+            test: 40,
+            unlabeled: 0,
+            seed: 23,
+        },
+    );
+    let corpus: Vec<Vec<String>> = data.train_pool.iter().map(|e| e.tokens.clone()).collect();
+    let mut m = TinyLm::from_corpus(&corpus, data.num_classes, &gate_config(), 2e-3, 23);
+    let items: Vec<WeightedItem> = data
+        .train_pool
+        .iter()
+        .map(|e| WeightedItem::hard(e.tokens.clone(), e.label, data.num_classes))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..12 {
+        m.weighted_loss_backward(&items, true, &mut rng);
+        m.optimizer_step();
+    }
+
+    let test: Vec<(Vec<String>, usize)> = data
+        .test
+        .iter()
+        .map(|e| (e.tokens.clone(), e.label))
+        .collect();
+    assert_eq!(m.quant_mode(), QuantMode::F32);
+    let (f32_metrics, f32_probas) = evaluate(&m, &test);
+    assert!(
+        f32_metrics.accuracy > 0.6,
+        "gate needs an above-chance model, got accuracy {}",
+        f32_metrics.accuracy
+    );
+
+    let calls_before = profile::quant_i8_count();
+    m.set_quant_mode(QuantMode::I8);
+    let (i8_metrics, i8_probas) = evaluate(&m, &test);
+    assert!(
+        profile::quant_i8_count() > calls_before,
+        "i8 tier never dispatched — the gate would be vacuous"
+    );
+
+    // One test example of headroom on each metric (40 examples -> 0.025),
+    // rounded up to a stable bound.
+    let delta = 1.0 / test.len() as f64 + 1e-9;
+    assert!(
+        (f32_metrics.accuracy - i8_metrics.accuracy).abs() <= delta,
+        "accuracy drifted: f32 {} vs i8 {}",
+        f32_metrics.accuracy,
+        i8_metrics.accuracy
+    );
+    assert!(
+        (f32_metrics.f1 - i8_metrics.f1).abs() <= 2.0 * delta,
+        "F1 drifted: f32 {} vs i8 {}",
+        f32_metrics.f1,
+        i8_metrics.f1
+    );
+    for (f, q) in f32_probas.iter().zip(&i8_probas) {
+        for (a, b) in f.iter().zip(q) {
+            assert!(b.is_finite());
+            assert!(
+                (a - b).abs() <= 0.05,
+                "probability moved more than 0.05: f32 {a} vs i8 {b}"
+            );
+        }
+    }
+
+    // Switching back restores f32 scoring bit-exactly (the tier never
+    // touches the f32 weights or panels).
+    m.set_quant_mode(QuantMode::F32);
+    let (_, back) = evaluate(&m, &test);
+    assert_eq!(back, f32_probas, "f32 tier unchanged after i8 excursion");
+}
