@@ -99,10 +99,25 @@ cargo test -q --offline --test serve_e2e
 echo "== serving plane: concurrent hot swap under load"
 cargo test -q --offline --test serve_swap
 
+# Chaos suite: serve-side ROTOM_FAULT faultpoints drive overload shedding
+# (503 + Retry-After), graceful drain, batcher watchdog respawn, torn
+# writes, and the connection cap — deterministically, over real sockets.
+# Scoring-pool widths 1 and 8 are iterated inside each test; the two
+# ROTOM_THREADS invocations additionally pin the process-global pool
+# default at both widths (pool sized once per process, like the golden
+# stanzas).
+for t in 1 8; do
+    echo "== serving plane: chaos suite (ROTOM_THREADS=$t)"
+    ROTOM_THREADS=$t cargo test -q --offline --test serve_chaos
+done
+
 # Regenerates BENCH_serve.json (p50/p99 request latency + req/sec at scoring
 # widths 1 and 8) and exits non-zero on a >20% req/sec regression or a p99
-# step-function blowup.
-echo "== servebench (writes BENCH_serve.json, gates serving throughput)"
+# step-function blowup. The overload rows gate degradation shape under
+# 2x+-capacity offered load: excess requests must shed (never silently
+# queue) and the p99 of accepted requests must stay within 4x the deadline
+# budget.
+echo "== servebench (writes BENCH_serve.json, gates serving throughput + overload shape)"
 cargo run --release --offline -p rotom-bench --bin servebench -- --check
 
 # Telemetry smoke: a short Rotom training with the observability plane live

@@ -193,6 +193,103 @@ fn measure(
     }
 }
 
+/// How hard the overload row leans on the server: clients vs. a
+/// deliberately capacity-starved config (see `run_overload_config`).
+const OVERLOAD_CLIENTS: usize = 8;
+/// The deadline budget the overload row serves under; the p99 gate for
+/// accepted requests is a multiple of this.
+const OVERLOAD_DEADLINE: Duration = Duration::from_millis(50);
+
+#[derive(Debug, Clone, Copy)]
+struct OverloadSample {
+    threads: usize,
+    offered_rps: f64,
+    accepted_rps: f64,
+    accepted: u64,
+    shed: u64,
+    p99_accepted_us: f64,
+}
+
+/// Overload row: offered load far above capacity (8 hammering clients, a
+/// queue capped at 4 jobs, a 50ms deadline budget) — the point is not
+/// throughput but *degradation shape*. Admission control must shed the
+/// excess with `503` + `Retry-After` while the p99 latency of **accepted**
+/// requests stays bounded by the deadline budget instead of collapsing
+/// into an unbounded queue wait. Every response must be a 200 or a shed —
+/// anything else fails the bench.
+fn run_overload_config(threads: usize, requests_per_client: usize) -> OverloadSample {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        window: Duration::from_millis(1),
+        max_batch: 4,
+        score_threads: threads,
+        score_cache: 0,
+        seed: 7,
+        max_queue: 4,
+        deadline: OVERLOAD_DEADLINE,
+        ..ServerConfig::default()
+    })
+    .expect("servebench: overload server boots");
+    let addr = server.local_addr();
+    let bodies: Arc<Vec<String>> = Arc::new(long_bodies());
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+        .map(|ci| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("overload connect");
+                let mut latencies_us = Vec::with_capacity(requests_per_client);
+                let mut shed = 0u64;
+                for i in 0..requests_per_client {
+                    let body = &bodies[(ci + i) % bodies.len()];
+                    let t = Instant::now();
+                    let resp = client.post("/classify", body).expect("overload request");
+                    match resp.status {
+                        200 => latencies_us.push(t.elapsed().as_secs_f64() * 1e6),
+                        503 => {
+                            assert!(
+                                resp.retry_after_secs.is_some(),
+                                "sheds must carry Retry-After: {}",
+                                resp.body
+                            );
+                            shed += 1;
+                        }
+                        other => panic!("overload run saw status {other}: {}", resp.body),
+                    }
+                }
+                (latencies_us, shed)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    for h in handles {
+        let (lat, s) = h.join().expect("overload client thread");
+        latencies.extend(lat);
+        shed += s;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let accepted = latencies.len() as u64;
+    let p99 = if latencies.is_empty() {
+        0.0
+    } else {
+        let idx = ((0.99 * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx]
+    };
+    OverloadSample {
+        threads,
+        offered_rps: (accepted + shed) as f64 / elapsed,
+        accepted_rps: accepted as f64 / elapsed,
+        accepted,
+        shed,
+        p99_accepted_us: p99,
+    }
+}
+
 /// Pull samples out of one JSON section of a previous `BENCH_serve.json`.
 /// Hand-rolled: the workspace carries no serde.
 fn parse_section(json: &str, section: &str) -> Vec<Sample> {
@@ -290,6 +387,19 @@ fn main() {
         })
         .collect();
 
+    // Overload rows: offered load > capacity; gated on shape, not speed.
+    let overload_rows: Vec<OverloadSample> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let o = run_overload_config(t, requests_per_client);
+            println!(
+                "serve overload, {} score thread(s), {} clients: offered {:.0} req/s | accepted {:.0} req/s ({}) | shed {} | accepted p99 {:.0}µs",
+                o.threads, OVERLOAD_CLIENTS, o.offered_rps, o.accepted_rps, o.accepted, o.shed, o.p99_accepted_us
+            );
+            o
+        })
+        .collect();
+
     let old = std::fs::read_to_string(OUT_FILE).unwrap_or_default();
     let baseline = {
         let b = parse_section(&old, "baseline");
@@ -329,6 +439,36 @@ fn main() {
                 failed = true;
             }
         }
+        // Overload gates are absolute (no baseline): under 2x+ capacity
+        // offered load, excess must actually shed, and the p99 of accepted
+        // requests must stay within a small multiple of the deadline budget
+        // — the signature of admission control working. The 4x headroom
+        // absorbs scheduler noise; latency *collapse* (unbounded queueing)
+        // is orders of magnitude, not 4x.
+        let p99_bound_us = 4.0 * OVERLOAD_DEADLINE.as_secs_f64() * 1e6;
+        for o in &overload_rows {
+            if o.shed == 0 {
+                eprintln!(
+                    "servebench: overload at {} thread(s) shed nothing — queue cap not enforced",
+                    o.threads
+                );
+                failed = true;
+            }
+            if o.accepted == 0 {
+                eprintln!(
+                    "servebench: overload at {} thread(s) accepted nothing — shedding everything",
+                    o.threads
+                );
+                failed = true;
+            }
+            if o.p99_accepted_us > p99_bound_us {
+                eprintln!(
+                    "servebench: overload at {} thread(s): accepted p99 {:.0}µs exceeds {:.0}µs bound",
+                    o.threads, o.p99_accepted_us, p99_bound_us
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
@@ -355,6 +495,26 @@ fn main() {
             q.p99_us
         );
         json.push_str(if i + 1 < quant_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"overload\": [\n");
+    for (i, o) in overload_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"clients\": {OVERLOAD_CLIENTS}, \"deadline_ms\": {}, \"offered_requests_per_sec\": {:.2}, \"accepted_requests_per_sec\": {:.2}, \"accepted\": {}, \"shed\": {}, \"p99_accepted_latency_us\": {:.1}}}",
+            o.threads,
+            OVERLOAD_DEADLINE.as_millis(),
+            o.offered_rps,
+            o.accepted_rps,
+            o.accepted,
+            o.shed,
+            o.p99_accepted_us
+        );
+        json.push_str(if i + 1 < overload_rows.len() {
             ",\n"
         } else {
             "\n"

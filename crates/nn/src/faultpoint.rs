@@ -26,8 +26,34 @@
 //! killed it. Arming the same fault N times makes it fire on N distinct
 //! occasions (used to exhaust the rollback budget in tests). State is
 //! thread-local so parallel tests cannot contaminate each other.
+//!
+//! ## Serving faults (process-global)
+//!
+//! The serving plane (`rotom-serve`) runs its work on internal threads —
+//! the batcher, the watchdog, connection handlers — so thread-local arming
+//! cannot reach it. Serve faults therefore live in a second, **process-
+//! global** plan with the same spec grammar and one-shot semantics, armed
+//! via [`arm_global`] (or `ROTOM_FAULT` on first global check):
+//!
+//! * [`FaultKind::ScorePanic`] — panic inside a plane's forward pass
+//!   (exercises the batcher's `catch_unwind` → 500 path).
+//! * [`FaultKind::SlowScore`] — stall the forward pass; the `@step=N`
+//!   condition is reinterpreted as the stall duration in **milliseconds**
+//!   (default 200). Exercises the batcher watchdog's wedge detection.
+//! * [`FaultKind::BatcherDie`] — panic the batcher thread *outside* its
+//!   `catch_unwind`, simulating supervisor-visible thread death.
+//! * [`FaultKind::TornWrite`] — truncate one HTTP response mid-write,
+//!   simulating a torn socket (client sees an unexpected EOF).
+//! * [`FaultKind::QueueFull`] — force one `Batcher::submit` to report a
+//!   full queue, driving the 503 + `Retry-After` shed path determinis-
+//!   tically regardless of actual queue depth.
+//!
+//! Training kinds are only checked through the thread-local API and serve
+//! kinds only through the global one, so a single `ROTOM_FAULT` spec naming
+//! both never double-fires.
 
 use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// The kinds of injectable faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +66,20 @@ pub enum FaultKind {
     NanLoss,
     /// Truncated (torn) checkpoint write.
     TornCheckpoint,
+    /// Serving: panic inside a plane's forward pass (global plan only).
+    ScorePanic,
+    /// Serving: stall the forward pass; the `@step=N` field is the stall in
+    /// milliseconds (global plan only).
+    SlowScore,
+    /// Serving: panic the batcher thread outside its `catch_unwind`
+    /// (global plan only).
+    BatcherDie,
+    /// Serving: truncate one HTTP response write mid-body (global plan
+    /// only).
+    TornWrite,
+    /// Serving: force one `Batcher::submit` to report a full queue (global
+    /// plan only).
+    QueueFull,
 }
 
 impl FaultKind {
@@ -49,6 +89,11 @@ impl FaultKind {
             FaultKind::NanGrad => "nan_grad",
             FaultKind::NanLoss => "nan_loss",
             FaultKind::TornCheckpoint => "torn_checkpoint",
+            FaultKind::ScorePanic => "score_panic",
+            FaultKind::SlowScore => "slow_score",
+            FaultKind::BatcherDie => "batcher_die",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::QueueFull => "queue_full",
         }
     }
 
@@ -58,6 +103,11 @@ impl FaultKind {
             "nan_grad" => Some(FaultKind::NanGrad),
             "nan_loss" => Some(FaultKind::NanLoss),
             "torn_checkpoint" => Some(FaultKind::TornCheckpoint),
+            "score_panic" => Some(FaultKind::ScorePanic),
+            "slow_score" => Some(FaultKind::SlowScore),
+            "batcher_die" => Some(FaultKind::BatcherDie),
+            "torn_write" => Some(FaultKind::TornWrite),
+            "queue_full" => Some(FaultKind::QueueFull),
             _ => None,
         }
     }
@@ -101,7 +151,9 @@ impl FaultPlan {
             };
             let kind = FaultKind::from_name(name).ok_or_else(|| {
                 format!(
-                    "unknown fault kind {name:?} (want kill, nan_grad, nan_loss, torn_checkpoint)"
+                    "unknown fault kind {name:?} (want kill, nan_grad, nan_loss, \
+                     torn_checkpoint, score_panic, slow_score, batcher_die, \
+                     torn_write, queue_full)"
                 )
             })?;
             points.push(FaultPoint {
@@ -156,6 +208,61 @@ pub fn clear() {
 /// Number of faults still armed on the calling thread.
 pub fn armed() -> usize {
     with_plan(|plan| plan.armed())
+}
+
+/// The process-global plan serving faults are checked against. Lazily
+/// initialized from `ROTOM_FAULT` on first use, like the thread-local plan.
+static GLOBAL_PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+fn with_global_plan<R>(f: impl FnOnce(&mut FaultPlan) -> R) -> R {
+    let mut guard = GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.is_none() {
+        let plan = std::env::var("ROTOM_FAULT")
+            .ok()
+            .map(|spec| {
+                FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("invalid ROTOM_FAULT spec: {e}"))
+            })
+            .unwrap_or_default();
+        *guard = Some(plan);
+    }
+    f(guard.as_mut().unwrap())
+}
+
+/// Arm the **process-global** faultpoints (serving faults) from a spec
+/// string, replacing any previously armed global plan.
+pub fn arm_global(spec: &str) -> Result<(), String> {
+    let plan = FaultPlan::parse(spec)?;
+    let mut guard = GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(plan);
+    Ok(())
+}
+
+/// Disarm all process-global faultpoints.
+pub fn clear_global() {
+    let mut guard = GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(FaultPlan::default());
+}
+
+/// Number of faults still armed in the global plan.
+pub fn armed_global() -> usize {
+    with_global_plan(|plan| plan.armed())
+}
+
+/// Check-and-fire against the global plan: if a fault of `kind` is armed,
+/// disarm one occurrence and return its `@step=` field (serving faults
+/// reuse it as a free argument, e.g. the stall milliseconds for
+/// `slow_score`); unconditional arming returns `Some(0)`. Returns `None`
+/// when nothing is armed.
+pub fn fire_global(kind: FaultKind) -> Option<u64> {
+    with_global_plan(|plan| {
+        for p in &mut plan.points {
+            if p.armed && p.kind == kind {
+                p.armed = false;
+                return Some(p.step.unwrap_or(0));
+            }
+        }
+        None
+    })
 }
 
 /// Check-and-fire: returns `true` if a fault of `kind` is armed for `step`
@@ -241,6 +348,34 @@ mod tests {
         assert!(fires(FaultKind::TornCheckpoint, 0));
         assert!(!fires(FaultKind::TornCheckpoint, 0));
         clear();
+    }
+
+    #[test]
+    fn global_plan_fires_once_with_argument() {
+        arm_global("slow_score@step=250;queue_full").unwrap();
+        assert_eq!(armed_global(), 2);
+        // The @step field comes back as the fault argument (stall millis).
+        assert_eq!(fire_global(FaultKind::SlowScore), Some(250));
+        assert_eq!(fire_global(FaultKind::SlowScore), None, "one-shot");
+        assert_eq!(fire_global(FaultKind::QueueFull), Some(0));
+        assert_eq!(armed_global(), 0);
+        // Global arming never leaks into the thread-local plan.
+        clear();
+        assert!(!fires(FaultKind::QueueFull, 0));
+        clear_global();
+    }
+
+    #[test]
+    fn serve_kind_names_roundtrip() {
+        for kind in [
+            FaultKind::ScorePanic,
+            FaultKind::SlowScore,
+            FaultKind::BatcherDie,
+            FaultKind::TornWrite,
+            FaultKind::QueueFull,
+        ] {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
     }
 
     #[test]

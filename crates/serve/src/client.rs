@@ -14,6 +14,9 @@ pub struct Response {
     pub body: String,
     /// Whether the server asked to close the connection.
     pub close: bool,
+    /// The server's `Retry-After` hint in seconds, when present (shed
+    /// responses carry one).
+    pub retry_after_secs: Option<u32>,
 }
 
 /// One keep-alive connection to the server.
@@ -126,6 +129,7 @@ fn try_parse_response(buf: &mut Vec<u8>) -> std::io::Result<Option<Response>> {
         })?;
     let mut content_length = 0usize;
     let mut close = false;
+    let mut retry_after_secs = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -138,6 +142,8 @@ fn try_parse_response(buf: &mut Vec<u8>) -> std::io::Result<Option<Response>> {
             })?;
         } else if name == "connection" {
             close = value.eq_ignore_ascii_case("close");
+        } else if name == "retry-after" {
+            retry_after_secs = value.parse().ok();
         }
     }
     if buf.len() < head_end + content_length {
@@ -149,7 +155,95 @@ fn try_parse_response(buf: &mut Vec<u8>) -> std::io::Result<Option<Response>> {
         status,
         body,
         close,
+        retry_after_secs,
     }))
+}
+
+/// Opt-in bounded retry for shed (`503 Retry-After`) responses and torn
+/// connections. The chaos suite and `servebench --overload` use this; the
+/// plain [`Client`] methods never retry.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retry at most this many times (0 = behave like a plain request).
+    pub max_retries: u32,
+    /// Cap on honored back-off — the server's `Retry-After` hint is in
+    /// whole seconds, far too coarse for tests, so the policy clamps it.
+    pub max_backoff: Duration,
+    /// Seed for deterministic back-off jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            max_backoff: Duration::from_millis(50),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// POST with bounded, jittered retry: honors the server's `Retry-After`
+/// hint (clamped to `policy.max_backoff`) on `503`, and reconnects on
+/// connection errors (refused mid-restart, torn mid-response write). Each
+/// attempt uses a fresh connection when the previous one is unusable.
+/// Returns the first non-503 response, the final 503 once retries are
+/// exhausted, or the final connection error.
+pub fn post_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<Response> {
+    let mut rng_state = policy.seed | 1;
+    let mut client: Option<Client> = None;
+    let mut attempt = 0u32;
+    loop {
+        let result = match &mut client {
+            Some(c) => c.post(path, body),
+            None => match Client::connect(addr) {
+                Ok(mut c) => {
+                    let r = c.post(path, body);
+                    client = Some(c);
+                    r
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match result {
+            Ok(resp) if resp.status == 503 && attempt < policy.max_retries => {
+                let hinted = resp
+                    .retry_after_secs
+                    .map(|s| Duration::from_secs(u64::from(s)))
+                    .unwrap_or(policy.max_backoff);
+                sleep_jittered(hinted.min(policy.max_backoff), &mut rng_state);
+                if resp.close {
+                    client = None;
+                }
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) if attempt < policy.max_retries => {
+                let _ = e;
+                client = None;
+                sleep_jittered(policy.max_backoff, &mut rng_state);
+            }
+            Err(e) => return Err(e),
+        }
+        attempt += 1;
+    }
+}
+
+/// Sleep a uniformly jittered duration in `[backoff/2, backoff]` — full
+/// synchronization of retries is exactly what an overloaded server does
+/// not need.
+fn sleep_jittered(backoff: Duration, rng_state: &mut u64) {
+    let half_us = (backoff.as_micros() as u64) / 2;
+    let jitter_us = if half_us == 0 {
+        0
+    } else {
+        rotom_rng::splitmix64(rng_state) % (half_us + 1)
+    };
+    std::thread::sleep(Duration::from_micros(half_us + jitter_us));
 }
 
 #[cfg(test)]
@@ -166,6 +260,17 @@ mod tests {
         assert_eq!(resp.body, "{}");
         assert!(!resp.close);
         assert_eq!(buf, b"extra", "trailing bytes left for the next response");
+    }
+
+    #[test]
+    fn parses_retry_after_hint() {
+        let mut buf =
+            b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 0\r\nconnection: close\r\nretry-after: 3\r\n\r\n"
+                .to_vec();
+        let resp = try_parse_response(&mut buf).unwrap().unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after_secs, Some(3));
+        assert!(resp.close);
     }
 
     #[test]

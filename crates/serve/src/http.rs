@@ -277,13 +277,30 @@ pub fn response_bytes(
     body: &[u8],
     keep_alive: bool,
 ) -> Vec<u8> {
+    response_bytes_with(status, reason, content_type, body, keep_alive, &[])
+}
+
+/// Serialize one HTTP/1.1 response with extra `(name, value)` headers —
+/// the shed path uses this for `Retry-After`.
+pub fn response_bytes_with(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(128 + body.len());
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body);
     out
 }
@@ -425,6 +442,23 @@ mod tests {
         assert_eq!(HttpError::HeadersTooLarge.status().0, 431);
         assert_eq!(HttpError::UnsupportedTransferEncoding.status().0, 501);
         assert_eq!(HttpError::UnsupportedVersion.status().0, 505);
+    }
+
+    #[test]
+    fn response_bytes_with_inserts_extra_headers_before_body() {
+        let out = response_bytes_with(
+            503,
+            "Service Unavailable",
+            "application/json",
+            b"{}",
+            false,
+            &[("retry-after", "2".to_string())],
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

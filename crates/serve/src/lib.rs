@@ -16,6 +16,14 @@
 //! * **Observability** — `GET /healthz`, `GET /metrics` (JSON counters +
 //!   log2-bucketed latency quantiles, mirrored into the `ROTOM_TELEMETRY`
 //!   plane as `serve` records).
+//! * **Overload protection** — bounded batcher queue with deadline-budget
+//!   admission control (`503` + `Retry-After` sheds, never silent
+//!   queueing), a hard connection cap, accept-loop error backoff, a
+//!   watchdog that respawns a wedged or panic-dead batcher worker, and
+//!   graceful drain shutdown ([`Server::drain`](server::Server::drain)) —
+//!   chaos-tested via the serve-side `ROTOM_FAULT` faultpoints
+//!   (`score_panic`, `slow_score`, `batcher_die`, `torn_write`,
+//!   `queue_full`; see `rotom_nn::faultpoint`).
 //!
 //! The [`http`] parser is incremental and pipelining-aware, with a strict
 //! error taxonomy (400/408/411/413/431/501/505) fuzzed by the
@@ -31,8 +39,8 @@ pub mod metrics;
 pub mod plane;
 pub mod server;
 
-pub use batcher::{Batcher, BatcherConfig, JobReply, JobResult};
-pub use client::{Client, Response};
+pub use batcher::{Batcher, BatcherConfig, DrainReport, JobError, JobReply, JobResult};
+pub use client::{post_with_retry, Client, Response, RetryPolicy};
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use plane::{demo_model, demo_model_config, Endpoint, ScoredBatch, SwapInfo, TaskPlane};
 pub use server::{Server, ServerConfig, MAX_INPUTS_PER_REQUEST};

@@ -113,6 +113,21 @@ pub struct ServeMetrics {
     pub queue_wait_us: AtomicU64,
     /// Successful hot swaps across all planes.
     pub swaps: AtomicU64,
+    /// Jobs currently queued in the batcher (gauge, stored not added).
+    pub queue_depth: AtomicU64,
+    /// Requests shed with 503 + Retry-After: queue full, predicted wait
+    /// over deadline, deadline expired in queue, draining/shutdown, or the
+    /// connection cap.
+    pub shed_total: AtomicU64,
+    /// Times the watchdog respawned a dead or wedged batcher thread.
+    pub batcher_respawns: AtomicU64,
+    /// Drains that hit their deadline with jobs still queued (those jobs
+    /// were failed, not completed).
+    pub drain_deadline_exceeded: AtomicU64,
+    /// Connections refused at accept because `--max-conns` was reached.
+    pub conns_rejected: AtomicU64,
+    /// Transient accept-loop errors survived via backoff.
+    pub accept_errors: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -156,15 +171,21 @@ impl ServeMetrics {
             }
         }
         out.push_str(&format!(
-            "}},\"status\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\"connections\":{},\"parse_errors\":{},\"batcher\":{{\"batches\":{},\"jobs\":{},\"queue_wait_us\":{}}},\"swaps\":{},\"gemm\":{{\"quant_i8_calls\":{},\"fma\":{},\"quant_simd\":{}}}}}",
+            "}},\"status\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\"connections\":{},\"conns_rejected\":{},\"accept_errors\":{},\"parse_errors\":{},\"batcher\":{{\"batches\":{},\"jobs\":{},\"queue_wait_us\":{},\"queue_depth\":{},\"shed_total\":{},\"batcher_respawns\":{},\"drain_deadline_exceeded\":{}}},\"swaps\":{},\"gemm\":{{\"quant_i8_calls\":{},\"fma\":{},\"quant_simd\":{}}}}}",
             self.status_2xx.load(Ordering::Relaxed),
             self.status_4xx.load(Ordering::Relaxed),
             self.status_5xx.load(Ordering::Relaxed),
             self.connections.load(Ordering::Relaxed),
+            self.conns_rejected.load(Ordering::Relaxed),
+            self.accept_errors.load(Ordering::Relaxed),
             self.parse_errors.load(Ordering::Relaxed),
             self.batches.load(Ordering::Relaxed),
             self.batched_jobs.load(Ordering::Relaxed),
             self.queue_wait_us.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+            self.shed_total.load(Ordering::Relaxed),
+            self.batcher_respawns.load(Ordering::Relaxed),
+            self.drain_deadline_exceeded.load(Ordering::Relaxed),
             self.swaps.load(Ordering::Relaxed),
             profile::quant_i8_count(),
             profile::fma_active(),
@@ -205,6 +226,14 @@ impl ServeMetrics {
                 (
                     "batched_jobs",
                     Value::U64(self.batched_jobs.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed_total",
+                    Value::U64(self.shed_total.load(Ordering::Relaxed)),
+                ),
+                (
+                    "batcher_respawns",
+                    Value::U64(self.batcher_respawns.load(Ordering::Relaxed)),
                 ),
                 ("swaps", Value::U64(self.swaps.load(Ordering::Relaxed))),
                 (
@@ -298,6 +327,39 @@ mod tests {
                 .and_then(|v| v.as_u64())
                 .is_some(),
             "gemm dispatch-tier counters present"
+        );
+    }
+
+    #[test]
+    fn metrics_render_carries_robustness_counters() {
+        let m = ServeMetrics::default();
+        m.queue_depth.store(5, Ordering::Relaxed);
+        m.shed_total.fetch_add(3, Ordering::Relaxed);
+        m.batcher_respawns.fetch_add(1, Ordering::Relaxed);
+        m.drain_deadline_exceeded.fetch_add(2, Ordering::Relaxed);
+        m.conns_rejected.fetch_add(4, Ordering::Relaxed);
+        let doc = m.render_json(&[
+            ("match", "f32", None),
+            ("clean", "f32", None),
+            ("classify", "f32", None),
+        ]);
+        let parsed = crate::json::parse(&doc).expect("valid JSON");
+        let batcher = parsed.get("batcher").expect("batcher section");
+        for (key, want) in [
+            ("queue_depth", 5),
+            ("shed_total", 3),
+            ("batcher_respawns", 1),
+            ("drain_deadline_exceeded", 2),
+        ] {
+            assert_eq!(
+                batcher.get(key).and_then(|v| v.as_u64()),
+                Some(want),
+                "batcher.{key}"
+            );
+        }
+        assert_eq!(
+            parsed.get("conns_rejected").and_then(|v| v.as_u64()),
+            Some(4)
         );
     }
 }

@@ -147,7 +147,25 @@ impl TaskPlane {
     /// The swap counter and parameter fingerprint are captured under the
     /// same lock, so they describe exactly the weights that produced the
     /// scores.
+    ///
+    /// Two serve-side faultpoints fire here (before the lock, so a stalled
+    /// batch never blocks a hot swap): `slow_score` stalls the batch for
+    /// its argument in milliseconds (default 200 — long enough to trip a
+    /// test-sized wedge timeout), `score_panic` panics. Both are one-shot
+    /// and armed only via [`rotom_nn::faultpoint::arm_global`]/`ROTOM_FAULT`;
+    /// the disarmed check is one relaxed atomic load.
     pub fn score(&self, inputs: &[Vec<String>], pool: &RotomPool) -> ScoredBatch {
+        use rotom_nn::faultpoint::{self, FaultKind};
+        if let Some(ms) = faultpoint::fire_global(FaultKind::SlowScore) {
+            std::thread::sleep(std::time::Duration::from_millis(if ms == 0 {
+                200
+            } else {
+                ms
+            }));
+        }
+        if faultpoint::fire_global(FaultKind::ScorePanic).is_some() {
+            panic!("injected score_panic faultpoint");
+        }
         let slot = self.slot.read().unwrap_or_else(|e| e.into_inner());
         ScoredBatch {
             scores: slot.model.score_batch(inputs, pool),

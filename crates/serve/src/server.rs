@@ -24,14 +24,15 @@
 //! 400 malformed JSON body or wrong shape, 422 checkpoint rejected on swap,
 //! 500 scoring failure. Every error body is JSON: `{"error": ..., "status": ...}`.
 
-use crate::batcher::{endpoint_index, Batcher, BatcherConfig};
+use crate::batcher::{endpoint_index, Batcher, BatcherConfig, DrainReport, JobError};
 use crate::http::{self, Request};
 use crate::json::{self, Json};
 use crate::metrics::ServeMetrics;
 use crate::plane::{demo_model, demo_model_config, Endpoint, TaskPlane};
+use rotom_nn::faultpoint::{self, FaultKind};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -60,10 +61,26 @@ pub struct ServerConfig {
     /// Close connections idle longer than this between requests; a
     /// connection idle mid-request gets a 408 first.
     pub idle_timeout: Duration,
+    /// Batcher queue depth cap; submissions beyond it are shed with 503 +
+    /// `Retry-After` (0 = unbounded).
+    pub max_queue: usize,
+    /// Per-request deadline budget: shed at admission when the predicted
+    /// queue wait exceeds it, expire jobs queued longer than it
+    /// (zero = no deadline).
+    pub deadline: Duration,
+    /// Hard cap on concurrently open connections; excess accepts are
+    /// answered 503 + `Retry-After` and closed (0 = uncapped).
+    pub max_conns: usize,
+    /// Watchdog: replace a batcher worker busy on one batch longer than
+    /// this.
+    pub wedge_timeout: Duration,
+    /// Watchdog poll interval.
+    pub watchdog_tick: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let batcher = BatcherConfig::default();
         Self {
             addr: "127.0.0.1:0".into(),
             window: Duration::from_millis(2),
@@ -73,6 +90,11 @@ impl Default for ServerConfig {
             seed: 7,
             quant: false,
             idle_timeout: Duration::from_secs(30),
+            max_queue: batcher.max_queue,
+            deadline: batcher.deadline,
+            max_conns: 256,
+            wedge_timeout: batcher.wedge_timeout,
+            watchdog_tick: batcher.watchdog_tick,
         }
     }
 }
@@ -82,7 +104,23 @@ struct Inner {
     metrics: Arc<ServeMetrics>,
     batcher: Batcher,
     shutdown: AtomicBool,
+    /// Drain mode: stop accepting and close idle keep-alive connections,
+    /// but let in-flight and queued jobs complete (see [`Server::drain`]).
+    draining: AtomicBool,
     idle_timeout: Duration,
+    max_conns: usize,
+    active_conns: AtomicU64,
+}
+
+/// Decrements `active_conns` when a connection handler exits (any path).
+struct ConnGuard {
+    inner: Arc<Inner>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running server. Dropping it (or calling [`shutdown`](Server::shutdown))
@@ -129,6 +167,10 @@ impl Server {
                 window: cfg.window,
                 max_batch: cfg.max_batch,
                 score_threads: cfg.score_threads,
+                max_queue: cfg.max_queue,
+                deadline: cfg.deadline,
+                wedge_timeout: cfg.wedge_timeout,
+                watchdog_tick: cfg.watchdog_tick,
             },
         );
         let inner = Arc::new(Inner {
@@ -136,7 +178,10 @@ impl Server {
             metrics,
             batcher,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             idle_timeout: cfg.idle_timeout,
+            max_conns: cfg.max_conns,
+            active_conns: AtomicU64::new(0),
         });
         let accept_inner = Arc::clone(&inner);
         let accept_handle = std::thread::Builder::new()
@@ -169,7 +214,34 @@ impl Server {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the blocking accept() with a throwaway connection.
+        self.stop_accepting();
+    }
+
+    /// Graceful drain: stop accepting new connections, shed new
+    /// submissions, complete in-flight and queued jobs, and only after
+    /// `timeout` fail the stragglers (counted in `drain_deadline_exceeded`).
+    /// The server is shut down when this returns. Idempotent; a drain after
+    /// [`shutdown`](Server::shutdown) (or vice versa) is a no-op.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return DrainReport {
+                completed: true,
+                failed_jobs: 0,
+            };
+        }
+        if !self.inner.draining.swap(true, Ordering::SeqCst) {
+            self.stop_accepting();
+        }
+        let report = self.inner.batcher.drain(timeout);
+        // Only now flip shutdown: handlers blocked on batcher replies have
+        // been answered, and the flag closes idle keep-alive connections.
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        report
+    }
+
+    /// Unblock the blocking `accept()` with a throwaway connection and join
+    /// the accept thread.
+    fn stop_accepting(&self) {
         let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept_handle.lock().unwrap().take() {
             let _ = h.join();
@@ -183,21 +255,76 @@ impl Drop for Server {
     }
 }
 
+/// Exponential backoff for transient `accept()` errors (EMFILE, ECONNABORTED,
+/// resource pressure): 1ms doubling to a 500ms ceiling. The accept thread
+/// sleeps this long and retries instead of dying — an accept loop that exits
+/// on EMFILE turns a transient fd spike into a permanently deaf server.
+fn accept_backoff(consecutive_errors: u32) -> Duration {
+    let ms = 1u64 << consecutive_errors.min(10).saturating_sub(1);
+    Duration::from_millis(ms.min(500))
+}
+
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let mut consecutive_errors = 0u32;
     loop {
         match listener.accept() {
-            Ok((stream, _peer)) => {
-                if inner.shutdown.load(Ordering::SeqCst) {
+            Ok((mut stream, _peer)) => {
+                consecutive_errors = 0;
+                if inner.shutdown.load(Ordering::SeqCst) || inner.draining.load(Ordering::SeqCst) {
                     return;
                 }
+                if inner.max_conns > 0
+                    && inner.active_conns.load(Ordering::SeqCst) >= inner.max_conns as u64
+                {
+                    // Over the connection cap: answer 503 inline (no handler
+                    // thread) and close. Cheap enough to do on the accept
+                    // thread, and the client gets a signal instead of a RST.
+                    inner.metrics.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.record_status(503);
+                    let body = b"{\"error\":\"connection limit reached\",\"status\":503}";
+                    let bytes = http::response_bytes_with(
+                        503,
+                        "Service Unavailable",
+                        "application/json",
+                        body,
+                        false,
+                        &[("retry-after", "1".to_string())],
+                    );
+                    let _ = stream.write_all(&bytes);
+                    continue;
+                }
                 inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                inner.active_conns.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard {
+                    inner: Arc::clone(&inner),
+                };
                 let conn_inner = Arc::clone(&inner);
+                // If the spawn itself fails, dropping the unsent closure
+                // drops the guard, releasing the slot.
                 let _ = std::thread::Builder::new()
                     .name("rotom-serve-conn".into())
-                    .spawn(move || handle_connection(stream, conn_inner));
+                    .spawn(move || {
+                        let _guard = guard;
+                        handle_connection(stream, conn_inner)
+                    });
             }
-            Err(_) if inner.shutdown.load(Ordering::SeqCst) => return,
-            Err(_) => continue,
+            Err(_)
+                if inner.shutdown.load(Ordering::SeqCst)
+                    || inner.draining.load(Ordering::SeqCst) =>
+            {
+                return
+            }
+            Err(e) => {
+                consecutive_errors += 1;
+                inner.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                rotom_nn::telemetry::counter("serve.accept_errors", 1);
+                eprintln!(
+                    "rotom-serve: accept error ({e}); retrying after {:?}",
+                    accept_backoff(consecutive_errors)
+                );
+                std::thread::sleep(accept_backoff(consecutive_errors));
+            }
         }
     }
 }
@@ -222,8 +349,18 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
                     last_activity = Instant::now();
                     let keep_alive = !req.wants_close();
                     let response = route(&req, &inner);
-                    let close = !keep_alive || inner.shutdown.load(Ordering::SeqCst);
+                    let close = !keep_alive
+                        || inner.shutdown.load(Ordering::SeqCst)
+                        || inner.draining.load(Ordering::SeqCst);
                     let bytes = finalize(response, &inner, close);
+                    if faultpoint::fire_global(FaultKind::TornWrite).is_some() {
+                        // Chaos: sever the connection mid-response — the
+                        // client sees a short read and must treat the
+                        // request as failed (and may retry on a fresh
+                        // connection).
+                        let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+                        return;
+                    }
                     if stream.write_all(&bytes).is_err() {
                         return;
                     }
@@ -242,6 +379,9 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
         }
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        if inner.draining.load(Ordering::SeqCst) && buf.is_empty() {
+            return; // drain closes idle keep-alive connections
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
@@ -277,6 +417,8 @@ struct Routed {
     status: u16,
     reason: &'static str,
     body: String,
+    /// `Retry-After` seconds for shed (503) responses.
+    retry_after: Option<u32>,
 }
 
 impl Routed {
@@ -285,6 +427,7 @@ impl Routed {
             status: 200,
             reason: "OK",
             body,
+            retry_after: None,
         }
     }
 
@@ -293,18 +436,39 @@ impl Routed {
             status,
             reason,
             body: format!("{{\"error\":{},\"status\":{status}}}", json::quote(detail)),
+            retry_after: None,
+        }
+    }
+
+    /// Map a batcher refusal/failure: sheds render as `503` with a
+    /// `Retry-After` hint, scoring panics as `500`.
+    fn from_job_error(err: &JobError) -> Self {
+        let status = err.status();
+        let reason = if status == 503 {
+            "Service Unavailable"
+        } else {
+            "Internal Server Error"
+        };
+        Self {
+            retry_after: err.retry_after_secs(),
+            ..Self::error(status, reason, &err.to_string())
         }
     }
 }
 
 fn finalize(routed: Routed, inner: &Inner, close: bool) -> Vec<u8> {
     inner.metrics.record_status(routed.status);
-    http::response_bytes(
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if let Some(secs) = routed.retry_after {
+        extra.push(("retry-after", secs.to_string()));
+    }
+    http::response_bytes_with(
         routed.status,
         routed.reason,
         "application/json",
         routed.body.as_bytes(),
         !close,
+        &extra,
     )
 }
 
@@ -345,14 +509,19 @@ fn handle_score(req: &Request, inner: &Inner, endpoint: Endpoint) -> Routed {
     inner.metrics.endpoints[idx]
         .inputs
         .fetch_add(inputs.len() as u64, Ordering::Relaxed);
-    let rx = inner.batcher.submit(endpoint, inputs);
+    let rx = match inner.batcher.submit(endpoint, inputs) {
+        Ok(rx) => rx,
+        Err(err) => return Routed::from_job_error(&err),
+    };
     let reply = match rx.recv() {
         Ok(reply) => reply,
+        // Sender dropped without a reply: the worker died holding this job
+        // (the watchdog respawns it, but this request is lost).
         Err(_) => return Routed::error(500, "Internal Server Error", "batcher unavailable"),
     };
     let result = match reply {
         Ok(result) => result,
-        Err(detail) => return Routed::error(500, "Internal Server Error", &detail),
+        Err(err) => return Routed::from_job_error(&err),
     };
     let plane = &inner.planes[idx];
     let mut body = String::with_capacity(64 + result.scores.len() * 32);
@@ -456,6 +625,40 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], rotom_text::tokenize("Hello world"));
         assert_eq!(got[1], vec!["pre".to_string(), "tokenized".to_string()]);
+    }
+
+    #[test]
+    fn accept_backoff_grows_exponentially_and_caps() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(1));
+        assert_eq!(accept_backoff(2), Duration::from_millis(2));
+        assert_eq!(accept_backoff(5), Duration::from_millis(16));
+        for n in 1..100 {
+            assert!(
+                accept_backoff(n + 1) >= accept_backoff(n),
+                "backoff must be monotone at n={n}"
+            );
+            assert!(
+                accept_backoff(n) <= Duration::from_millis(500),
+                "backoff must stay capped at n={n}"
+            );
+        }
+        assert_eq!(accept_backoff(100), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn job_errors_render_as_503_with_retry_after_except_panics() {
+        let shed = Routed::from_job_error(&JobError::QueueFull {
+            retry_after_secs: 3,
+        });
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.retry_after, Some(3));
+        assert!(shed.body.contains("queue full"));
+        let drain = Routed::from_job_error(&JobError::Draining);
+        assert_eq!(drain.status, 503);
+        assert_eq!(drain.retry_after, Some(1));
+        let panic = Routed::from_job_error(&JobError::ScorePanic);
+        assert_eq!(panic.status, 500);
+        assert_eq!(panic.retry_after, None);
     }
 
     #[test]

@@ -183,7 +183,24 @@ fn health_metrics_and_error_routes_respond() {
         "{}",
         metrics.body
     );
-    assert!(doc.get("batcher").is_some());
+    // Robustness counters: present from boot, zero on an unloaded server
+    // (nothing shed, no respawns, queue already drained back to empty).
+    let batcher = doc.get("batcher").expect("batcher section");
+    for gauge in [
+        "queue_depth",
+        "shed_total",
+        "batcher_respawns",
+        "drain_deadline_exceeded",
+    ] {
+        assert_eq!(
+            batcher.get(gauge).and_then(Json::as_u64),
+            Some(0),
+            "batcher.{gauge} in {}",
+            metrics.body
+        );
+    }
+    assert_eq!(doc.get("conns_rejected").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("accept_errors").and_then(Json::as_u64), Some(0));
 
     // Error taxonomy over the wire.
     assert_eq!(client.get("/nope").expect("404").status, 404);
