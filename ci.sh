@@ -120,6 +120,26 @@ done
 echo "== servebench (writes BENCH_serve.json, gates serving throughput + overload shape)"
 cargo run --release --offline -p rotom-bench --bin servebench -- --check
 
+# Blocking plane gates. The equivalence/property suite proves the sharded
+# streaming pipeline bit-identical to exhaustive block_candidates across
+# shard counts {1,2,7} and pool widths {1,8}, holds the LSH-tier recall
+# floor on known match pairs, and bounds the candidate buffer; the two
+# ROTOM_THREADS invocations additionally pin the process-global pool at
+# both widths (pool sized once per process, like the golden stanzas).
+for t in 1 8; do
+    echo "== blocking plane: equivalence + streaming suite (ROTOM_THREADS=$t)"
+    ROTOM_THREADS=$t cargo test -q --offline --test blocking_pipeline
+    ROTOM_THREADS=$t cargo test -q --offline -p rotom-datasets blocking
+done
+
+# Regenerates BENCH_blocking.json (1M-record index build + streamed
+# candidate emission at worker counts 1 and 8) and exits non-zero if the
+# scale row indexes fewer than 1M records, slice recall vs exhaustive
+# blocked() drops below 0.95, the stress row's df ceiling stops pruning, or
+# pairs/sec regresses more than 20%.
+echo "== blockbench (writes BENCH_blocking.json, gates recall + throughput)"
+cargo run --release --offline -p rotom-bench --bin blockbench -- --check
+
 # Telemetry smoke: a short Rotom training with the observability plane live
 # must emit schema-valid JSONL covering the step, meta-decision,
 # augmentation, and pool record kinds — at 1 worker (inline paths) and at 8

@@ -1,0 +1,427 @@
+//! Million-record blocking benchmark: index-build records/sec, streamed
+//! candidate pairs/sec, recall vs exhaustive `blocked()` on a verification
+//! slice, and a peak-allocation RSS proxy, written to `BENCH_blocking.json`.
+//!
+//! Two rows per thread count:
+//!
+//! * **scale** — a stopword-free [`EmCorpus`] of `--records` entities
+//!   (default 1M, the acceptance floor). The index is built in streamed
+//!   chunks, then the full left side streams through
+//!   [`stream_candidates`] under a bounded candidate buffer. Recall is
+//!   measured against exhaustive [`block_candidates`] on a 2000x2000
+//!   verification slice (the corpus has no high-df token, so the exact
+//!   token tier is feasible and the comparison honest).
+//! * **stress** — a 200k corpus with 3 stopwords welded onto every record,
+//!   which makes exhaustive `blocked(min_shared=2)` degenerate toward the
+//!   cross product. The df ceiling must prune the stopword posting lists
+//!   (`tokens_pruned >= 3`) while match-pair recall (left i vs right i)
+//!   stays >= 0.95, with the LSH tier enabled as the recovery net.
+//!
+//! Because `ROTOM_THREADS` is read once per process, the parent re-executes
+//! itself per thread count (1 and 8) and aggregates children's results. The
+//! first run records `baseline`; later runs preserve it and update
+//! `current`.
+//!
+//! Usage:
+//!   cargo run --release --offline --bin blockbench                # regenerate
+//!   cargo run --release --offline --bin blockbench -- --check     # + gates
+//!   cargo run --release --offline --bin blockbench -- --records N # resize
+
+use rotom_datasets::blocking::{stream_candidates, BlockingConfig, IndexBuilder, LshParams};
+use rotom_datasets::em::{block_candidates, CorpusConfig, CorpusSide, EmCorpus};
+use rotom_nn::RotomPool;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global allocator tracking live bytes and their high-water mark — the
+/// peak-RSS proxy. Dealloc sizes come from the layout, so the live counter
+/// is exact for everything allocated through this process.
+struct CountingAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let grown = new_size.saturating_sub(layout.size());
+        if grown > 0 {
+            note_alloc(grown);
+        } else {
+            LIVE.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+const CHILD_ENV: &str = "BLOCKBENCH_CHILD";
+const RECORDS_ENV: &str = "BLOCKBENCH_RECORDS";
+const OUT_FILE: &str = "BENCH_blocking.json";
+const CHUNK: usize = 8192;
+const SLICE: usize = 2000;
+const STRESS_RECORDS: usize = 200_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    threads: usize,
+    records: usize,
+    index_records_per_sec: f64,
+    pairs_per_sec: f64,
+    candidates: u64,
+    recall: f64,
+    peak_mb: f64,
+    stress_pruned_tokens: f64,
+    stress_recall: f64,
+}
+
+/// One measured child: scale row then stress row at the current
+/// `ROTOM_THREADS`, printed as a parseable result line.
+fn run_child(records: usize) {
+    let pool = RotomPool::global();
+    let corpus = EmCorpus::new(CorpusConfig {
+        num_entities: records,
+        ..Default::default()
+    });
+
+    // --- scale row: streamed build, streamed candidates, slice recall ---
+    let cfg = BlockingConfig {
+        min_shared: 2,
+        df_ceiling: Some(4096),
+        lsh: Some(LshParams::default()),
+        max_buffered_pairs: 1 << 16,
+        ..Default::default()
+    };
+    let max_buffered = cfg.max_buffered_pairs;
+    let t0 = Instant::now();
+    let mut builder = IndexBuilder::new(cfg);
+    for chunk in corpus.chunks(CorpusSide::Right, CHUNK) {
+        builder.add_chunk(&chunk, pool);
+    }
+    let index = builder.finish();
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    // Stream every left record; keep only the verification slice's pairs.
+    let t1 = Instant::now();
+    let mut slice_pairs: Vec<(usize, usize)> = Vec::new();
+    let stats = stream_candidates(
+        &index,
+        corpus.chunks(CorpusSide::Left, CHUNK),
+        pool,
+        |batch| {
+            slice_pairs.extend(
+                batch
+                    .iter()
+                    .filter(|&&(l, r)| l < SLICE && r < SLICE)
+                    .copied(),
+            );
+        },
+    );
+    let stream_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(stats.left_records, records);
+    assert!(
+        stats.peak_buffered_pairs <= max_buffered + records,
+        "candidate buffer unbounded: peak {}",
+        stats.peak_buffered_pairs
+    );
+
+    // Exhaustive token-overlap blocking on the slice; every exhaustive pair
+    // the pipeline misses costs recall.
+    let slice = SLICE.min(records);
+    let left_slice = corpus.chunk(CorpusSide::Left, 0..slice);
+    let right_slice = corpus.chunk(CorpusSide::Right, 0..slice);
+    let exhaustive = block_candidates(&left_slice, &right_slice, 2);
+    slice_pairs.sort_unstable();
+    let hit = exhaustive
+        .iter()
+        .filter(|p| slice_pairs.binary_search(p).is_ok())
+        .count();
+    let recall = hit as f64 / exhaustive.len().max(1) as f64;
+
+    // --- stress row: stopworded corpus, pruning must engage ---
+    let stress = EmCorpus::new(CorpusConfig {
+        num_entities: STRESS_RECORDS.min(records),
+        stopwords: 3,
+        ..Default::default()
+    });
+    let stress_cfg = BlockingConfig {
+        min_shared: 2,
+        df_ceiling: Some(1024),
+        lsh: Some(LshParams::default()),
+        ..Default::default()
+    };
+    let mut sb = IndexBuilder::new(stress_cfg);
+    for chunk in stress.chunks(CorpusSide::Right, CHUNK) {
+        sb.add_chunk(&chunk, pool);
+    }
+    let sindex = sb.finish();
+    let pruned = sindex.stats().tokens_pruned;
+    let n_stress = stress.num_entities();
+    let mut matched = 0usize;
+    let mut streamed = 0usize;
+    stream_candidates(
+        &sindex,
+        stress.chunks(CorpusSide::Left, CHUNK),
+        pool,
+        |batch| {
+            matched += batch.iter().filter(|&&(l, r)| l == r).count();
+            streamed += batch.len();
+        },
+    );
+    let stress_recall = matched as f64 / n_stress as f64;
+    // Pruning is the whole point: without it each stopword posting list has
+    // every record and each probe degenerates to a corpus scan.
+    assert!(
+        streamed < n_stress * n_stress / 10,
+        "stress candidates not pruned: {streamed}"
+    );
+
+    println!(
+        "BLOCKBENCH threads={} records={} index_records_per_sec={:.2} pairs_per_sec={:.2} \
+         candidates={} recall={:.6} peak_mb={:.1} stress_pruned_tokens={} stress_recall={:.6}",
+        pool.threads(),
+        records,
+        records as f64 / build_secs,
+        stats.candidates as f64 / stream_secs,
+        stats.candidates,
+        recall,
+        PEAK.load(Ordering::Relaxed) as f64 / (1024.0 * 1024.0),
+        pruned,
+        stress_recall,
+    );
+}
+
+/// Extract `key=value` from a child's result line.
+fn field(line: &str, key: &str) -> f64 {
+    let pat = format!("{key}=");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("missing {key}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(' ').unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric field")
+}
+
+/// Pull samples out of one JSON section of a previous `BENCH_blocking.json`.
+/// Hand-rolled: the workspace carries no serde.
+fn parse_section(json: &str, section: &str) -> Vec<Sample> {
+    let key = format!("\"{section}\": [");
+    let Some(start) = json.find(&key) else {
+        return Vec::new();
+    };
+    let body = &json[start + key.len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for obj in body[..end].split('}') {
+        if !obj.contains("\"threads\"") {
+            continue;
+        }
+        let num = |k: &str| -> Option<f64> {
+            let pat = format!("\"{k}\": ");
+            let s = obj.find(&pat)? + pat.len();
+            let rest = &obj[s..];
+            let e = rest
+                .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..e].parse().ok()
+        };
+        let get = |k: &str| num(k).unwrap_or(0.0);
+        if let Some(t) = num("threads") {
+            out.push(Sample {
+                threads: t as usize,
+                records: get("records") as usize,
+                index_records_per_sec: get("index_records_per_sec"),
+                pairs_per_sec: get("pairs_per_sec"),
+                candidates: get("candidates") as u64,
+                recall: get("recall"),
+                peak_mb: get("peak_mb"),
+                stress_pruned_tokens: get("stress_pruned_tokens"),
+                stress_recall: get("stress_recall"),
+            });
+        }
+    }
+    out
+}
+
+fn write_section(json: &mut String, name: &str, samples: &[Sample]) {
+    let _ = writeln!(json, "  \"{name}\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"records\": {}, \"index_records_per_sec\": {:.2}, \
+             \"pairs_per_sec\": {:.2}, \"candidates\": {}, \"recall\": {:.6}, \
+             \"peak_mb\": {:.1}, \"stress_pruned_tokens\": {}, \"stress_recall\": {:.6}}}",
+            s.threads,
+            s.records,
+            s.index_records_per_sec,
+            s.pairs_per_sec,
+            s.candidates,
+            s.recall,
+            s.peak_mb,
+            s.stress_pruned_tokens as u64,
+            s.stress_recall
+        );
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+}
+
+fn main() {
+    let records: usize = std::env::var(RECORDS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    if std::env::var(CHILD_ENV).is_ok() {
+        run_child(records);
+        return;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let records = args
+        .iter()
+        .position(|a| a == "--records")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(records);
+    let exe = std::env::current_exe().expect("current_exe");
+
+    let mut current = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let out = std::process::Command::new(&exe)
+            .env(CHILD_ENV, "1")
+            .env(RECORDS_ENV, records.to_string())
+            .env("ROTOM_THREADS", threads.to_string())
+            .output()
+            .expect("spawn blockbench child");
+        assert!(
+            out.status.success(),
+            "child (threads={threads}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("BLOCKBENCH "))
+            .expect("child result line");
+        let sample = Sample {
+            threads,
+            records: field(line, "records") as usize,
+            index_records_per_sec: field(line, "index_records_per_sec"),
+            pairs_per_sec: field(line, "pairs_per_sec"),
+            candidates: field(line, "candidates") as u64,
+            recall: field(line, "recall"),
+            peak_mb: field(line, "peak_mb"),
+            stress_pruned_tokens: field(line, "stress_pruned_tokens"),
+            stress_recall: field(line, "stress_recall"),
+        };
+        println!(
+            "blocking, {} thread(s): {:.0} rec/s indexed, {:.0} pairs/s, recall {:.4}, \
+             peak {:.0} MB, stress pruned {} recall {:.4}",
+            sample.threads,
+            sample.index_records_per_sec,
+            sample.pairs_per_sec,
+            sample.recall,
+            sample.peak_mb,
+            sample.stress_pruned_tokens as u64,
+            sample.stress_recall
+        );
+        current.push(sample);
+    }
+
+    let old = std::fs::read_to_string(OUT_FILE).unwrap_or_default();
+    let baseline = {
+        let b = parse_section(&old, "baseline");
+        if b.is_empty() {
+            println!("no existing baseline; recording this run as the baseline");
+            current.clone()
+        } else {
+            b
+        }
+    };
+
+    // Acceptance + regression gates (ci.sh runs with --check).
+    if check {
+        for s in &current {
+            assert!(
+                s.records >= 1_000_000,
+                "blockbench: scale row must index >= 1M records (got {})",
+                s.records
+            );
+            assert!(
+                s.recall >= 0.95,
+                "blockbench: recall {} < 0.95 at {} thread(s)",
+                s.recall,
+                s.threads
+            );
+            assert!(
+                s.stress_pruned_tokens >= 3.0,
+                "blockbench: df ceiling pruned {} tokens (expected >= 3 stopwords)",
+                s.stress_pruned_tokens
+            );
+            assert!(
+                s.stress_recall >= 0.95,
+                "blockbench: stress match recall {} < 0.95",
+                s.stress_recall
+            );
+        }
+        let prev = parse_section(&old, "current");
+        for p in &prev {
+            let Some(now) = current.iter().find(|s| s.threads == p.threads) else {
+                continue;
+            };
+            if p.records == now.records && now.pairs_per_sec < 0.8 * p.pairs_per_sec {
+                eprintln!(
+                    "blockbench: pairs/sec regression at {} thread(s): {:.0} -> {:.0} (>20%)",
+                    p.threads, p.pairs_per_sec, now.pairs_per_sec
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"sharded blocking: {records}-record EmCorpus, min_shared 2, \
+         df_ceiling 4096, lsh 8x2, chunk {CHUNK}; stress {STRESS_RECORDS} records + 3 stopwords, \
+         df_ceiling 1024\",",
+    );
+    write_section(&mut json, "baseline", &baseline);
+    write_section(&mut json, "current", &current);
+    json.push_str("  \"speedup\": [\n");
+    for (i, s) in current.iter().enumerate() {
+        let b = baseline
+            .iter()
+            .find(|x| x.threads == s.threads)
+            .copied()
+            .unwrap_or(*s);
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"pairs_per_sec_ratio\": {:.3}, \"index_ratio\": {:.3}}}",
+            s.threads,
+            s.pairs_per_sec / b.pairs_per_sec.max(1e-9),
+            s.index_records_per_sec / b.index_records_per_sec.max(1e-9)
+        );
+        json.push_str(if i + 1 < current.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(OUT_FILE, &json).expect("write BENCH_blocking.json");
+    println!("wrote {OUT_FILE}");
+}

@@ -1,0 +1,741 @@
+//! Blocking plane: scalable candidate generation for million-record EM.
+//!
+//! The paper's EM datasets arrive pre-blocked at Table-6 sizes; production
+//! EM over millions of records is bottlenecked on *candidate generation*,
+//! not scoring (§2.1: "the blocking phase typically uses simple
+//! heuristics"). This module scales [`crate::em::block_candidates`]'s
+//! token-overlap semantics to that regime:
+//!
+//! * **Sharded inverted token index** — tokens are assigned to shards by
+//!   token hash, so shards build pool-parallel and posting lists stay
+//!   shard-local. A candidate's shared-token count is split across shards;
+//!   the query path merges per-shard partial counts before thresholding, so
+//!   the sharded result is *bit-identical* to the single-shard path at any
+//!   shard or worker count.
+//! * **IDF pruning** — posting lists whose document frequency exceeds
+//!   [`BlockingConfig::df_ceiling`] are dropped (the df comes straight from
+//!   posting-list lengths via [`rotom_text::IdfIndex::from_doc_freqs`]).
+//!   This bounds per-token posting lists and kills the stopword quadratic
+//!   blowup: without it, one token present in every record makes each probe
+//!   touch the whole corpus.
+//! * **MinHash/LSH banding second tier** — per-record minhash signatures
+//!   (splitmix64 hash streams seeded from [`BlockingConfig::seed`]) are
+//!   banded into buckets; records colliding in any band become candidates
+//!   regardless of which tokens were pruned, recovering high-similarity
+//!   pairs the pruned token tier misses.
+//! * **Streaming pipeline** — left records are ingested in bounded chunks
+//!   (e.g. [`crate::em::EmCorpus::chunks`] or [`crate::csv::table_chunks`]),
+//!   candidates are flushed to the caller's sink whenever the buffer reaches
+//!   [`BlockingConfig::max_buffered_pairs`], and
+//!   [`stream_candidates_channel`] decouples production from consumption
+//!   through a bounded channel. Peak memory is O(shards + chunk), never
+//!   O(candidates).
+
+use crate::em::content_token_list;
+use rotom_nn::RotomPool;
+use rotom_rng::splitmix64;
+use rotom_text::{IdfIndex, Record};
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+/// MinHash/LSH banding parameters. The signature has `bands * rows` hashes;
+/// two records collide when all `rows` hashes of any band agree, so the
+/// catch probability for Jaccard similarity `j` is `1 - (1 - j^rows)^bands`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshParams {
+    /// Number of bands (each band is one bucket table).
+    pub bands: usize,
+    /// MinHash rows per band.
+    pub rows: usize,
+    /// Buckets holding more than this many records are skipped at probe
+    /// time. Corpus-wide shared tokens (stopwords) drag every record's
+    /// minhash toward the same few values, merging huge fractions of the
+    /// collection into a handful of mega-buckets; probing those degenerates
+    /// to a corpus scan, exactly the blowup the df ceiling kills in the
+    /// token tier. A mega-bucket carries no similarity signal, so skipping
+    /// it costs almost no recall.
+    pub max_bucket: usize,
+}
+
+impl Default for LshParams {
+    fn default() -> Self {
+        // 8 bands x 2 rows: catches ~90% of pairs at jaccard 0.5, ~99.6% at
+        // 0.7, while pairs below 0.2 almost never collide.
+        Self {
+            bands: 8,
+            rows: 2,
+            max_bucket: 256,
+        }
+    }
+}
+
+/// Configuration of the blocking pipeline.
+#[derive(Debug, Clone)]
+pub struct BlockingConfig {
+    /// Candidate threshold: pairs sharing at least this many content tokens
+    /// are emitted by the token tier. `0` means *no blocking* — every
+    /// `(left, right)` pair is a candidate, mirroring
+    /// [`crate::em::blocked`]'s trivially-true semantics at 0 (only sensible
+    /// for tiny collections).
+    pub min_shared: usize,
+    /// Document-frequency ceiling: tokens present in more than this many
+    /// indexed records are pruned from the token tier. `None` keeps
+    /// everything (exact [`crate::em::block_candidates`] semantics).
+    pub df_ceiling: Option<usize>,
+    /// Number of token-hash shards (clamped to at least 1).
+    pub num_shards: usize,
+    /// MinHash/LSH second tier; `None` disables it.
+    pub lsh: Option<LshParams>,
+    /// Candidate pairs buffered before the streaming driver flushes to its
+    /// sink. The observed peak never exceeds this by more than one record's
+    /// candidate list ([`BlockingStats::peak_buffered_pairs`]).
+    pub max_buffered_pairs: usize,
+    /// Capacity (in flushed batches) of [`stream_candidates_channel`]'s
+    /// bounded channel.
+    pub channel_batches: usize,
+    /// Seed of the minhash hash streams.
+    pub seed: u64,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        Self {
+            min_shared: 2,
+            df_ceiling: None,
+            num_shards: 8,
+            lsh: None,
+            max_buffered_pairs: 1 << 16,
+            channel_batches: 4,
+            seed: 0x510c,
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of a token — the shard-assignment and minhash base
+/// hash. Fixed algorithm: changing it re-shards every index.
+#[inline]
+fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shard owning a token hash: multiply-shift map of the hash onto
+/// `0..num_shards` (uniform, avoids modulo bias on low bits).
+#[inline]
+fn token_shard(hash: u64, num_shards: usize) -> usize {
+    (((hash as u128) * (num_shards as u128)) >> 64) as usize
+}
+
+/// Per-band bucket keys of one record's minhash signature. Records with no
+/// content tokens get no signature (they cannot match anything lexically).
+fn band_keys(tokens: &[String], params: LshParams, seed: u64) -> Vec<u64> {
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let nh = params.bands * params.rows;
+    let mut sig = vec![u64::MAX; nh];
+    for t in tokens {
+        let th = fnv1a64(t);
+        for (h, slot) in sig.iter_mut().enumerate() {
+            // One splitmix step per (token, hash-index): an independent
+            // permutation family keyed on the pipeline seed.
+            let mut s = seed ^ th ^ ((h as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let v = splitmix64(&mut s);
+            if v < *slot {
+                *slot = v;
+            }
+        }
+    }
+    (0..params.bands)
+        .map(|b| {
+            let mut key = 0x100_0000_01b3u64 ^ (b as u64) << 32;
+            for r in 0..params.rows {
+                let mut s = key ^ sig[b * params.rows + r];
+                key = splitmix64(&mut s);
+            }
+            key
+        })
+        .collect()
+}
+
+/// One token shard: posting lists for the tokens it owns (record ids
+/// ascending, by construction of the chunked build).
+#[derive(Debug, Default, Clone)]
+struct Shard {
+    postings: HashMap<String, Vec<u32>>,
+}
+
+/// Index-build statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStats {
+    /// Records indexed.
+    pub records: usize,
+    /// Distinct tokens kept in the token tier.
+    pub tokens_kept: usize,
+    /// Distinct tokens dropped by the df ceiling.
+    pub tokens_pruned: usize,
+    /// Posting entries kept.
+    pub postings_kept: usize,
+    /// Posting entries dropped with pruned tokens — the per-probe scan work
+    /// the ceiling avoids.
+    pub postings_pruned: usize,
+}
+
+/// Streaming builder for [`ShardedIndex`]: feed the right-hand collection in
+/// bounded chunks, then [`finish`](IndexBuilder::finish). Records are
+/// assigned ids in feed order.
+pub struct IndexBuilder {
+    cfg: BlockingConfig,
+    shards: Vec<Shard>,
+    lsh_entries: Option<Vec<Vec<(u64, u32)>>>,
+    num_records: usize,
+}
+
+impl IndexBuilder {
+    /// Start an empty index under `cfg`.
+    pub fn new(cfg: BlockingConfig) -> Self {
+        let num_shards = cfg.num_shards.max(1);
+        let lsh_entries = cfg.lsh.map(|p| vec![Vec::new(); p.bands]);
+        Self {
+            cfg: BlockingConfig { num_shards, ..cfg },
+            shards: vec![Shard::default(); num_shards],
+            lsh_entries,
+            num_records: 0,
+        }
+    }
+
+    /// Index one chunk of records (tokenization fans out over `pool`).
+    pub fn add_chunk(&mut self, records: &[Record], pool: &RotomPool) {
+        let tokens: Vec<Vec<String>> = pool.map(records.len(), |i| content_token_list(&records[i]));
+        self.add_token_chunk(&tokens, pool);
+    }
+
+    /// Index one chunk of pre-tokenized records (sorted deduplicated content
+    /// tokens, as produced by [`content_token_list`]).
+    pub fn add_token_chunk(&mut self, tokens: &[Vec<String>], pool: &RotomPool) {
+        let base = u32::try_from(self.num_records).expect("index capped at u32 records");
+        let ns = self.cfg.num_shards;
+        // Pool-parallel over shards: each worker walks the whole chunk and
+        // claims the tokens hashing into its shard, so shard maps build with
+        // no locks and posting lists stay in ascending record order.
+        let partials: Vec<HashMap<&str, Vec<u32>>> = pool.map(ns, |s| {
+            let mut m: HashMap<&str, Vec<u32>> = HashMap::new();
+            for (i, ts) in tokens.iter().enumerate() {
+                for t in ts {
+                    if token_shard(fnv1a64(t), ns) == s {
+                        m.entry(t.as_str()).or_default().push(base + i as u32);
+                    }
+                }
+            }
+            m
+        });
+        for (shard, part) in self.shards.iter_mut().zip(partials) {
+            for (t, mut ids) in part {
+                match shard.postings.get_mut(t) {
+                    Some(list) => list.append(&mut ids),
+                    None => {
+                        shard.postings.insert(t.to_string(), ids);
+                    }
+                }
+            }
+        }
+        if let (Some(entries), Some(params)) = (self.lsh_entries.as_mut(), self.cfg.lsh) {
+            let seed = self.cfg.seed;
+            let keys: Vec<Vec<u64>> =
+                pool.map(tokens.len(), |i| band_keys(&tokens[i], params, seed));
+            for (i, ks) in keys.iter().enumerate() {
+                for (band, &k) in ks.iter().enumerate() {
+                    entries[band].push((k, base + i as u32));
+                }
+            }
+        }
+        self.num_records += tokens.len();
+    }
+
+    /// Seal the index: apply the df ceiling, derive the [`IdfIndex`] from
+    /// posting-list lengths, and sort the LSH bucket tables.
+    pub fn finish(self) -> ShardedIndex {
+        let mut stats = IndexStats {
+            records: self.num_records,
+            ..Default::default()
+        };
+        let ceiling = self.cfg.df_ceiling.unwrap_or(usize::MAX);
+        // Posting-list lengths are document frequencies (tokens are unique
+        // per record): the IdfIndex falls out of the build for free.
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for shard in &self.shards {
+            for (t, list) in &shard.postings {
+                df.insert(t.clone(), list.len());
+            }
+        }
+        let idf = IdfIndex::from_doc_freqs(df, self.num_records);
+        let mut shards = self.shards;
+        for shard in &mut shards {
+            shard.postings.retain(|_, list| {
+                if list.len() > ceiling {
+                    stats.tokens_pruned += 1;
+                    stats.postings_pruned += list.len();
+                    false
+                } else {
+                    stats.tokens_kept += 1;
+                    stats.postings_kept += list.len();
+                    true
+                }
+            });
+        }
+        let lsh = self.cfg.lsh.map(|params| {
+            let mut bands: Vec<Vec<(u64, u32)>> = self.lsh_entries.unwrap_or_default();
+            for band in &mut bands {
+                // Sort by (bucket, id): buckets become contiguous runs
+                // binary-searchable at probe time, ids stay ascending.
+                band.sort_unstable();
+            }
+            LshIndex { params, bands }
+        });
+        ShardedIndex {
+            cfg: self.cfg,
+            shards,
+            lsh,
+            idf,
+            stats,
+        }
+    }
+}
+
+/// The LSH band tables: per band, `(bucket_key, record_id)` sorted by key —
+/// flat arrays instead of per-bucket `Vec`s, because at 1M records the
+/// allocator overhead of a million tiny `Vec`s dominates the index.
+#[derive(Debug, Clone)]
+struct LshIndex {
+    params: LshParams,
+    bands: Vec<Vec<(u64, u32)>>,
+}
+
+impl LshIndex {
+    /// Record ids colliding with `tokens` in any band (sorted,
+    /// deduplicated). Buckets larger than [`LshParams::max_bucket`] are
+    /// skipped — see that field for why mega-buckets are noise, not signal.
+    fn probe(&self, tokens: &[String], seed: u64) -> Vec<u32> {
+        let keys = band_keys(tokens, self.params, seed);
+        let mut out = Vec::new();
+        for (band, &key) in self.bands.iter().zip(&keys) {
+            let start = band.partition_point(|&(k, _)| k < key);
+            let end = start + band[start..].partition_point(|&(k, _)| k == key);
+            if end - start <= self.params.max_bucket {
+                out.extend(band[start..end].iter().map(|&(_, id)| id));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A sealed sharded blocking index over one record collection (the "right"
+/// side). Queries are read-only and thread-safe.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    cfg: BlockingConfig,
+    shards: Vec<Shard>,
+    lsh: Option<LshIndex>,
+    idf: IdfIndex,
+    stats: IndexStats,
+}
+
+impl ShardedIndex {
+    /// Build in one call from a full record slice (convenience for tests and
+    /// small collections; large builds should feed [`IndexBuilder`] in
+    /// chunks).
+    pub fn build(records: &[Record], cfg: BlockingConfig, pool: &RotomPool) -> Self {
+        let mut b = IndexBuilder::new(cfg);
+        b.add_chunk(records, pool);
+        b.finish()
+    }
+
+    /// Number of records indexed.
+    pub fn num_records(&self) -> usize {
+        self.stats.records
+    }
+
+    /// Build statistics (pruning counts).
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Configuration the index was built under.
+    pub fn config(&self) -> &BlockingConfig {
+        &self.cfg
+    }
+
+    /// The corpus IDF statistics derived from the build (document
+    /// frequencies of *all* tokens, including pruned ones).
+    pub fn idf(&self) -> &IdfIndex {
+        &self.idf
+    }
+
+    /// Candidate record ids for one chunk of pre-tokenized left records:
+    /// `out[i]` is the sorted deduplicated candidate list for `left[i]`.
+    ///
+    /// Stage 1 fans out over shards (each shard probes its own posting
+    /// lists and emits per-left partial counts); stage 2 fans out over left
+    /// records (summing per-shard counts, thresholding, and unioning the
+    /// LSH tier). Both stages are order-independent sums followed by a sort,
+    /// so the result is bit-identical at any shard or worker count.
+    pub fn candidates_for_tokens(&self, left: &[Vec<String>], pool: &RotomPool) -> Vec<Vec<u32>> {
+        let n = self.stats.records;
+        if self.cfg.min_shared == 0 {
+            // Documented "no blocking" semantics: the full cross product.
+            return left.iter().map(|_| (0..n as u32).collect()).collect();
+        }
+        let ns = self.cfg.num_shards;
+        // Stage 1: per-shard partial counts, flat per shard with per-left
+        // offsets (one allocation per shard, not per (shard, left)).
+        let partials: Vec<(Vec<u32>, Vec<(u32, u32)>)> = pool.map(ns, |s| {
+            let shard = &self.shards[s];
+            let mut offsets = Vec::with_capacity(left.len() + 1);
+            let mut flat: Vec<(u32, u32)> = Vec::new();
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            offsets.push(0u32);
+            for ts in left {
+                counts.clear();
+                for t in ts {
+                    if token_shard(fnv1a64(t), ns) == s {
+                        if let Some(js) = shard.postings.get(t.as_str()) {
+                            for &j in js {
+                                *counts.entry(j).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+                flat.extend(counts.iter().map(|(&j, &c)| (j, c)));
+                offsets.push(flat.len() as u32);
+            }
+            (offsets, flat)
+        });
+        // LSH tier: probe pool-parallel over left records.
+        let lsh_hits: Option<Vec<Vec<u32>>> = self
+            .lsh
+            .as_ref()
+            .map(|l| pool.map(left.len(), |i| l.probe(&left[i], self.cfg.seed)));
+        // Stage 2: merge per left record.
+        let min_shared = self.cfg.min_shared as u32;
+        pool.map(left.len(), |i| {
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for (offsets, flat) in &partials {
+                let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                for &(j, c) in &flat[lo..hi] {
+                    *counts.entry(j).or_insert(0) += c;
+                }
+            }
+            let mut out: Vec<u32> = counts
+                .into_iter()
+                .filter(|&(_, c)| c >= min_shared)
+                .map(|(j, _)| j)
+                .collect();
+            if let Some(hits) = &lsh_hits {
+                out.extend_from_slice(&hits[i]);
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+    }
+
+    /// Candidate ids for one chunk of records (tokenizes over `pool`, then
+    /// [`candidates_for_tokens`](Self::candidates_for_tokens)).
+    pub fn candidates_for_records(&self, left: &[Record], pool: &RotomPool) -> Vec<Vec<u32>> {
+        let tokens: Vec<Vec<String>> = pool.map(left.len(), |i| content_token_list(&left[i]));
+        self.candidates_for_tokens(&tokens, pool)
+    }
+}
+
+/// Statistics of one streaming run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockingStats {
+    /// Left records streamed.
+    pub left_records: usize,
+    /// Chunks ingested.
+    pub chunks: usize,
+    /// Candidate pairs emitted.
+    pub candidates: u64,
+    /// Largest candidate buffer observed before a flush — bounded by
+    /// `max_buffered_pairs` plus one record's candidate list, independent of
+    /// total candidate count.
+    pub peak_buffered_pairs: usize,
+}
+
+/// Stream candidate pairs for `left` chunks against `index`, flushing
+/// `(left_id, right_id)` batches to `sink` whenever the buffer reaches
+/// [`BlockingConfig::max_buffered_pairs`]. Left ids number records in
+/// stream order. Pairs arrive sorted within and across batches, so the
+/// concatenation of all batches equals [`crate::em::block_candidates`]'s
+/// sorted output when the config is exact (no pruning, no LSH).
+pub fn stream_candidates<I, F>(
+    index: &ShardedIndex,
+    chunks: I,
+    pool: &RotomPool,
+    mut sink: F,
+) -> BlockingStats
+where
+    I: IntoIterator<Item = Vec<Record>>,
+    F: FnMut(&[(usize, usize)]),
+{
+    let mut stats = BlockingStats::default();
+    let mut buf: Vec<(usize, usize)> = Vec::new();
+    let cap = index.cfg.max_buffered_pairs.max(1);
+    for records in chunks {
+        let per_left = index.candidates_for_records(&records, pool);
+        for (i, rights) in per_left.iter().enumerate() {
+            let left_id = stats.left_records + i;
+            buf.extend(rights.iter().map(|&j| (left_id, j as usize)));
+            stats.peak_buffered_pairs = stats.peak_buffered_pairs.max(buf.len());
+            if buf.len() >= cap {
+                stats.candidates += buf.len() as u64;
+                sink(&buf);
+                buf.clear();
+            }
+        }
+        stats.left_records += records.len();
+        stats.chunks += 1;
+    }
+    if !buf.is_empty() {
+        stats.candidates += buf.len() as u64;
+        sink(&buf);
+    }
+    stats
+}
+
+/// [`stream_candidates`] with production and consumption decoupled through a
+/// bounded channel: a scoped producer thread runs the pipeline (pool
+/// fan-out included) and sends flushed batches through a
+/// [`BlockingConfig::channel_batches`]-deep channel while the calling
+/// thread consumes, so a slow consumer back-pressures the producer instead
+/// of buffering unbounded candidates.
+pub fn stream_candidates_channel<I, F>(
+    index: &ShardedIndex,
+    chunks: I,
+    pool: &RotomPool,
+    mut consume: F,
+) -> BlockingStats
+where
+    I: IntoIterator<Item = Vec<Record>> + Send,
+    F: FnMut(Vec<(usize, usize)>),
+{
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<Vec<(usize, usize)>>(index.cfg.channel_batches.max(1));
+        let producer = scope.spawn(move || {
+            stream_candidates(index, chunks, pool, |batch| {
+                // A dropped receiver only happens if the consumer panicked;
+                // the join below re-raises that, so the send error is moot.
+                let _ = tx.send(batch.to_vec());
+            })
+        });
+        for batch in rx {
+            consume(batch);
+        }
+        match producer.join() {
+            Ok(stats) => stats,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::{self, block_candidates, EmConfig, EmFlavor};
+
+    fn pairs_from_stream(
+        index: &ShardedIndex,
+        left: &[Record],
+        chunk: usize,
+    ) -> Vec<(usize, usize)> {
+        let chunks: Vec<Vec<Record>> = left.chunks(chunk.max(1)).map(|c| c.to_vec()).collect();
+        let mut out = Vec::new();
+        stream_candidates(index, chunks, &RotomPool::new(2), |batch| {
+            out.extend_from_slice(batch)
+        });
+        out
+    }
+
+    fn small_collections() -> (Vec<Record>, Vec<Record>) {
+        let d = em::generate(
+            EmFlavor::AbtBuy,
+            &EmConfig {
+                num_entities: 40,
+                train_pairs: 80,
+                test_pairs: 20,
+                ..Default::default()
+            },
+        );
+        let left = d.train_pairs.iter().map(|p| p.left.clone()).collect();
+        let right = d.train_pairs.iter().map(|p| p.right.clone()).collect();
+        (left, right)
+    }
+
+    #[test]
+    fn exact_config_matches_block_candidates() {
+        let (left, right) = small_collections();
+        let pool = RotomPool::new(2);
+        for min_shared in [1usize, 2, 3] {
+            let cfg = BlockingConfig {
+                min_shared,
+                ..Default::default()
+            };
+            let index = ShardedIndex::build(&right, cfg, &pool);
+            let expect = block_candidates(&left, &right, min_shared);
+            assert_eq!(
+                pairs_from_stream(&index, &left, 17),
+                expect,
+                "min_shared={min_shared}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_shared_zero_is_cross_product() {
+        let (left, right) = small_collections();
+        let pool = RotomPool::new(2);
+        let index = ShardedIndex::build(
+            &right[..5],
+            BlockingConfig {
+                min_shared: 0,
+                ..Default::default()
+            },
+            &pool,
+        );
+        let pairs = pairs_from_stream(&index, &left[..4], 2);
+        assert_eq!(pairs, block_candidates(&left[..4], &right[..5], 0));
+        assert_eq!(pairs.len(), 20);
+    }
+
+    #[test]
+    fn df_ceiling_prunes_stopwords_but_keeps_matches() {
+        // Every record carries the same stopword tokens; a low ceiling must
+        // prune them without losing pairs that share enough rare tokens.
+        let corpus = em::EmCorpus::new(em::CorpusConfig {
+            num_entities: 300,
+            stopwords: 3,
+            ..Default::default()
+        });
+        let left = corpus.chunk(em::CorpusSide::Left, 0..300);
+        let right = corpus.chunk(em::CorpusSide::Right, 0..300);
+        let pool = RotomPool::new(2);
+        let cfg = BlockingConfig {
+            min_shared: 2,
+            df_ceiling: Some(50),
+            ..Default::default()
+        };
+        let index = ShardedIndex::build(&right, cfg, &pool);
+        let stats = index.stats();
+        assert!(
+            stats.tokens_pruned >= 3,
+            "stopwords must be pruned: {stats:?}"
+        );
+        assert!(stats.postings_pruned >= 3 * 300, "{stats:?}");
+        // df is still reported for pruned tokens through the IdfIndex.
+        assert_eq!(index.idf().doc_freq("the"), 300);
+        let pairs = pairs_from_stream(&index, &left, 64);
+        let matched = (0..300)
+            .filter(|&i| pairs.binary_search(&(i, i)).is_ok())
+            .count();
+        assert!(matched >= 295, "match recall under pruning: {matched}/300");
+        // Pruning only ever removes candidates relative to the exact path.
+        let exact = block_candidates(&left, &right, 2);
+        assert!(pairs.iter().all(|p| exact.binary_search(p).is_ok()));
+    }
+
+    #[test]
+    fn lsh_probe_finds_its_own_signature() {
+        let corpus = em::EmCorpus::new(em::CorpusConfig {
+            num_entities: 100,
+            ..Default::default()
+        });
+        let right = corpus.chunk(em::CorpusSide::Right, 0..100);
+        let pool = RotomPool::new(1);
+        let index = ShardedIndex::build(
+            &right,
+            BlockingConfig {
+                lsh: Some(LshParams::default()),
+                ..Default::default()
+            },
+            &pool,
+        );
+        // A record always collides with itself in every band.
+        let toks: Vec<Vec<String>> = right.iter().map(content_token_list).collect();
+        let lsh = index.lsh.as_ref().unwrap();
+        for (j, ts) in toks.iter().enumerate() {
+            let hits = lsh.probe(ts, index.cfg.seed);
+            assert!(hits.binary_search(&(j as u32)).is_ok(), "record {j}");
+        }
+        // Empty records produce no signature and no probe hits.
+        assert!(band_keys(&[], LshParams::default(), 1).is_empty());
+        assert!(lsh.probe(&[], index.cfg.seed).is_empty());
+    }
+
+    #[test]
+    fn streaming_buffer_stays_bounded() {
+        let (left, right) = small_collections();
+        let pool = RotomPool::new(2);
+        let cfg = BlockingConfig {
+            min_shared: 1,
+            max_buffered_pairs: 64,
+            ..Default::default()
+        };
+        let index = ShardedIndex::build(&right, cfg, &pool);
+        let chunks: Vec<Vec<Record>> = left.chunks(16).map(|c| c.to_vec()).collect();
+        let mut batches = 0usize;
+        let mut total = 0usize;
+        let stats = stream_candidates(&index, chunks, &pool, |batch| {
+            batches += 1;
+            total += batch.len();
+        });
+        assert_eq!(stats.candidates as usize, total);
+        assert!(
+            stats.candidates as usize > 64,
+            "workload too small to test streaming"
+        );
+        // The buffer bound: cap plus at most one record's candidate list.
+        assert!(
+            stats.peak_buffered_pairs <= 64 + right.len(),
+            "peak {} exceeds bound",
+            stats.peak_buffered_pairs
+        );
+        assert!(batches > 1, "must flush more than once");
+    }
+
+    #[test]
+    fn channel_variant_is_equivalent_and_bounded() {
+        let (left, right) = small_collections();
+        let pool = RotomPool::new(2);
+        let cfg = BlockingConfig {
+            min_shared: 2,
+            channel_batches: 2,
+            max_buffered_pairs: 32,
+            ..Default::default()
+        };
+        let index = ShardedIndex::build(&right, cfg, &pool);
+        let chunks: Vec<Vec<Record>> = left.chunks(8).map(|c| c.to_vec()).collect();
+        let mut streamed = Vec::new();
+        let stats = stream_candidates_channel(&index, chunks, &pool, |batch| {
+            streamed.extend(batch);
+        });
+        assert_eq!(streamed, block_candidates(&left, &right, 2));
+        assert_eq!(stats.candidates as usize, streamed.len());
+    }
+
+    #[test]
+    fn token_shard_is_stable_and_in_range() {
+        for ns in [1usize, 2, 7, 64] {
+            for t in ["alpha", "beta", "x-100.5", "zu"] {
+                let s = token_shard(fnv1a64(t), ns);
+                assert!(s < ns);
+                assert_eq!(s, token_shard(fnv1a64(t), ns), "stable for {t}");
+            }
+        }
+    }
+}

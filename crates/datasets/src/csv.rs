@@ -45,6 +45,75 @@ impl std::fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
+/// Incremental row reader: assembles one logical CSV row at a time from
+/// physical lines (quoted fields may span lines), tracking 1-based line
+/// numbers for error reporting. The shared core of [`parse_table`] and
+/// [`table_chunks`].
+struct RowReader<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> RowReader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            lines: text.lines().enumerate(),
+        }
+    }
+
+    /// Next logical row, or `None` at end of input.
+    fn next_row(&mut self) -> Option<Result<Vec<String>, CsvError>> {
+        let (i, first) = self.lines.next()?;
+        let start = i + 1;
+        // A row whose quoted field contains '\n' spans physical lines:
+        // extend the record until the quoting balances.
+        let mut record = first.to_string();
+        let mut parsed = parse_row(&record);
+        while parsed.is_none() {
+            match self.lines.next() {
+                Some((_, next)) => {
+                    record.push('\n');
+                    record.push_str(next);
+                    parsed = parse_row(&record);
+                }
+                None => {
+                    return Some(Err(CsvError {
+                        line: start,
+                        msg: "unterminated quoted field".to_string(),
+                    }))
+                }
+            }
+        }
+        Some(Ok(parsed.expect("loop exits only once parsed")))
+    }
+
+    /// Next logical row validated against the header width, with its start
+    /// line number for errors.
+    fn next_data_row(&mut self, width: usize) -> Option<Result<Vec<String>, CsvError>> {
+        // Recompute the start line from the enumerate cursor before reading.
+        let start = self.lines.clone().next().map(|(i, _)| i + 1).unwrap_or(1);
+        let row = match self.next_row()? {
+            Ok(row) => row,
+            Err(e) => return Some(Err(e)),
+        };
+        if row.len() != width {
+            let kind = if row.len() < width {
+                "ragged row"
+            } else {
+                "over-long row"
+            };
+            return Some(Err(CsvError {
+                line: start,
+                msg: format!(
+                    "{kind}: {} fields where the header has {}",
+                    row.len(),
+                    width
+                ),
+            }));
+        }
+        Some(Ok(row))
+    }
+}
+
 /// Parse a whole CSV table produced by the exporters: a header row followed
 /// by data rows of exactly the header's width.
 ///
@@ -53,59 +122,97 @@ impl std::error::Error for CsvError {}
 /// offending line number: unterminated quotes, ragged (short) rows, and
 /// over-long rows all error instead of silently reading `""` for missing
 /// cells or dropping extras.
+///
+/// The whole table is materialized; for bounded-memory ingestion of large
+/// tables use [`table_chunks`], which shares this grammar.
 pub fn parse_table(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), CsvError> {
-    let mut header: Option<Vec<String>> = None;
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut lines = text.lines().enumerate();
-    while let Some((i, first)) = lines.next() {
-        let start = i + 1;
-        // A row whose quoted field contains '\n' spans physical lines:
-        // extend the record until the quoting balances.
-        let mut record = first.to_string();
-        let mut parsed = parse_row(&record);
-        while parsed.is_none() {
-            match lines.next() {
-                Some((_, next)) => {
-                    record.push('\n');
-                    record.push_str(next);
-                    parsed = parse_row(&record);
+    let mut chunks = table_chunks(text, usize::MAX)?;
+    let header = chunks.header().to_vec();
+    let mut rows = Vec::new();
+    for chunk in &mut chunks {
+        rows.extend(chunk?);
+    }
+    Ok((header, rows))
+}
+
+/// Streaming chunked reader over a CSV table: the header is parsed eagerly,
+/// then each iterator item yields up to `chunk_rows` validated data rows.
+/// Identical grammar and errors to [`parse_table`], but peak memory is one
+/// chunk — the ingestion shape the blocking pipeline consumes.
+pub fn table_chunks(text: &str, chunk_rows: usize) -> Result<TableChunks<'_>, CsvError> {
+    let mut reader = RowReader::new(text);
+    let header = match reader.next_row() {
+        Some(Ok(h)) => h,
+        Some(Err(e)) => return Err(e),
+        None => {
+            return Err(CsvError {
+                line: 1,
+                msg: "empty input: missing header row".to_string(),
+            })
+        }
+    };
+    Ok(TableChunks {
+        reader,
+        header,
+        chunk_rows: chunk_rows.max(1),
+        failed: false,
+    })
+}
+
+/// Iterator returned by [`table_chunks`].
+pub struct TableChunks<'a> {
+    reader: RowReader<'a>,
+    header: Vec<String>,
+    chunk_rows: usize,
+    failed: bool,
+}
+
+impl TableChunks<'_> {
+    /// The header row (column names).
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+}
+
+impl Iterator for TableChunks<'_> {
+    type Item = Result<Vec<Vec<String>>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let mut rows = Vec::new();
+        while rows.len() < self.chunk_rows {
+            match self.reader.next_data_row(self.header.len()) {
+                Some(Ok(row)) => rows.push(row),
+                Some(Err(e)) => {
+                    self.failed = true;
+                    return Some(Err(e));
                 }
-                None => {
-                    return Err(CsvError {
-                        line: start,
-                        msg: "unterminated quoted field".to_string(),
-                    })
-                }
+                None => break,
             }
         }
-        let row = parsed.expect("loop exits only once parsed");
-        match &header {
-            None => header = Some(row),
-            Some(h) => {
-                if row.len() != h.len() {
-                    let kind = if row.len() < h.len() {
-                        "ragged row"
-                    } else {
-                        "over-long row"
-                    };
-                    return Err(CsvError {
-                        line: start,
-                        msg: format!(
-                            "{kind}: {} fields where the header has {}",
-                            row.len(),
-                            h.len()
-                        ),
-                    });
-                }
-                rows.push(row);
-            }
+        if rows.is_empty() {
+            None
+        } else {
+            Some(Ok(rows))
         }
     }
-    let header = header.ok_or(CsvError {
-        line: 1,
-        msg: "empty input: missing header row".to_string(),
-    })?;
-    Ok((header, rows))
+}
+
+/// Interpret parsed rows as records: one attribute per header column, in
+/// header order. The inverse of the exporters' row layout (modulo the
+/// `label` column, which callers strip themselves when present).
+pub fn rows_to_records(header: &[String], rows: &[Vec<String>]) -> Vec<Record> {
+    rows.iter()
+        .map(|row| Record {
+            attrs: header
+                .iter()
+                .zip(row)
+                .map(|(a, v)| (a.clone(), v.clone()))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Parse one CSV row produced by [`write_row`]. Returns `None` on malformed
@@ -276,6 +383,56 @@ mod tests {
 
         let err = parse_table("").unwrap_err();
         assert!(err.msg.contains("missing header"), "{}", err.msg);
+    }
+
+    #[test]
+    fn table_chunks_matches_parse_table() {
+        let cfg = EmConfig {
+            num_entities: 20,
+            train_pairs: 37,
+            test_pairs: 10,
+            ..Default::default()
+        };
+        let csv = em_pairs_csv(&em::generate(EmFlavor::AbtBuy, &cfg));
+        let (header, rows) = parse_table(&csv).unwrap();
+        for chunk_rows in [1, 5, 16, 1000] {
+            let mut chunks = table_chunks(&csv, chunk_rows).unwrap();
+            assert_eq!(chunks.header(), &header[..]);
+            let mut streamed = Vec::new();
+            let mut peak = 0usize;
+            for c in &mut chunks {
+                let c = c.unwrap();
+                peak = peak.max(c.len());
+                streamed.extend(c);
+            }
+            assert_eq!(streamed, rows, "chunk_rows={chunk_rows}");
+            assert!(peak <= chunk_rows, "chunk_rows={chunk_rows} peak={peak}");
+        }
+    }
+
+    #[test]
+    fn table_chunks_reports_errors_and_fuses() {
+        let text = "a,b,c\n1,2,3\n4,5\n6,7,8\n";
+        let mut chunks = table_chunks(text, 1).unwrap();
+        assert!(chunks.next().unwrap().is_ok());
+        let err = chunks.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("ragged row"), "{}", err.msg);
+        // The iterator fuses after an error.
+        assert!(chunks.next().is_none());
+
+        assert!(table_chunks("", 8).is_err(), "missing header must error");
+    }
+
+    #[test]
+    fn rows_to_records_preserves_schema_order() {
+        let header = vec!["title".to_string(), "price".to_string()];
+        let rows = vec![vec!["ok go".to_string(), "9.99".to_string()]];
+        let recs = rows_to_records(&header, &rows);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get("title"), Some("ok go"));
+        assert_eq!(recs[0].get("price"), Some("9.99"));
+        assert_eq!(recs[0].attrs[0].0, "title");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::perturb::{abbreviate, initial, jitter, pick, typo};
 use crate::task::{shuffle, TaskDataset, TaskKind};
 use crate::words::*;
 use rotom_rng::rngs::StdRng;
-use rotom_rng::{RngExt, SeedableRng};
+use rotom_rng::{split_seed, RngExt, SeedableRng};
 use rotom_text::example::Example;
 use rotom_text::serialize::{serialize_pair, Record};
 
@@ -582,19 +582,67 @@ fn flavor_seed(flavor: EmFlavor) -> u64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Blocking (token-overlap heuristics, §2.1)
+// ---------------------------------------------------------------------------
+
+/// All attribute-value tokens of a record, in attribute order (lowercased,
+/// punctuation split — see [`rotom_text::tokenize`]). The shared core of
+/// every lexical helper below; may contain duplicates.
+fn attr_tokens(r: &Record) -> impl Iterator<Item = String> + '_ {
+    r.attrs.iter().flat_map(|(_, v)| rotom_text::tokenize(v))
+}
+
+/// The *content tokens* of a record: attribute-value tokens longer than two
+/// characters (drops "of"/"to"/lone punctuation). This is the single token
+/// definition the blocking APIs ([`blocked`], [`block_candidates`], and the
+/// [`crate::blocking`] pipeline) agree on; callers looping over many pairs
+/// should tokenize each record once and use [`blocked_tokens`].
+pub fn content_tokens(r: &Record) -> std::collections::HashSet<String> {
+    attr_tokens(r).filter(|t| t.len() > 2).collect()
+}
+
+/// Pre-tokenized list form of [`content_tokens`]: sorted and deduplicated,
+/// the shape the streaming blocking pipeline indexes and probes with.
+pub fn content_token_list(r: &Record) -> Vec<String> {
+    let mut toks: Vec<String> = attr_tokens(r).filter(|t| t.len() > 2).collect();
+    toks.sort_unstable();
+    toks.dedup();
+    toks
+}
+
+/// Pre-tokenized variant of [`blocked`]: true when the two content-token
+/// sets share at least `min_shared` tokens. Trivially true at
+/// `min_shared = 0`.
+pub fn blocked_tokens(
+    left: &std::collections::HashSet<String>,
+    right: &std::collections::HashSet<String>,
+    min_shared: usize,
+) -> bool {
+    // Intersect from the smaller side and stop as soon as the bar is met.
+    let (small, large) = if left.len() <= right.len() {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let mut shared = 0usize;
+    for t in small {
+        if large.contains(t) {
+            shared += 1;
+            if shared >= min_shared {
+                return true;
+            }
+        }
+    }
+    shared >= min_shared
+}
+
 /// Token-overlap blocking: true when the two records share at least
 /// `min_shared` content tokens. Provided for completeness of the EM workflow
 /// (§2.1: "the blocking phase typically uses simple heuristics").
+/// `min_shared = 0` is trivially true for every pair.
 pub fn blocked(left: &Record, right: &Record, min_shared: usize) -> bool {
-    use std::collections::HashSet;
-    let toks = |r: &Record| -> HashSet<String> {
-        r.attrs
-            .iter()
-            .flat_map(|(_, v)| rotom_text::tokenize(v))
-            .filter(|t| t.len() > 2)
-            .collect()
-    };
-    toks(left).intersection(&toks(right)).count() >= min_shared
+    blocked_tokens(&content_tokens(left), &content_tokens(right), min_shared)
 }
 
 /// The blocking phase of the EM workflow (§2.1): given two record
@@ -602,33 +650,38 @@ pub fn blocked(left: &Record, right: &Record, min_shared: usize) -> bool {
 /// least `min_shared` content tokens. Uses an inverted token index so the
 /// cost is proportional to true candidate count rather than the cross
 /// product.
+///
+/// `min_shared = 0` means *no blocking*: the full cross product is emitted,
+/// matching [`blocked`], which is trivially true at 0 (previously the index
+/// path silently required at least one shared token here, so the two
+/// documented-equivalent APIs disagreed).
 pub fn block_candidates(
     left: &[Record],
     right: &[Record],
     min_shared: usize,
 ) -> Vec<(usize, usize)> {
-    use std::collections::{HashMap, HashSet};
-    let toks = |r: &Record| -> HashSet<String> {
-        r.attrs
-            .iter()
-            .flat_map(|(_, v)| rotom_text::tokenize(v))
-            .filter(|t| t.len() > 2)
-            .collect()
-    };
+    use std::collections::HashMap;
+    if min_shared == 0 {
+        let mut out = Vec::with_capacity(left.len() * right.len());
+        for i in 0..left.len() {
+            for j in 0..right.len() {
+                out.push((i, j));
+            }
+        }
+        return out;
+    }
     // Inverted index over the right collection.
     let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-    let right_tokens: Vec<HashSet<String>> = right.iter().map(toks).collect();
-    for (j, ts) in right_tokens.iter().enumerate() {
-        for t in ts {
-            index.entry(t.clone()).or_default().push(j);
+    for (j, r) in right.iter().enumerate() {
+        for t in content_token_list(r) {
+            index.entry(t).or_default().push(j);
         }
     }
     let mut out = Vec::new();
     for (i, l) in left.iter().enumerate() {
-        let lt = toks(l);
         let mut counts: HashMap<usize, usize> = HashMap::new();
-        for t in &lt {
-            if let Some(js) = index.get(t) {
+        for t in content_token_list(l) {
+            if let Some(js) = index.get(&t) {
                 for &j in js {
                     *counts.entry(j).or_insert(0) += 1;
                 }
@@ -662,17 +715,13 @@ pub fn all_em_tasks(cfg: &EmConfig) -> Vec<TaskDataset> {
 }
 
 /// A quick lexical-similarity score used in tests and by the Raha-style
-/// baseline: Jaccard similarity over content tokens.
+/// baseline: Jaccard similarity over *all* attribute tokens (unlike the
+/// blocking helpers, short tokens count — dropping them would change the
+/// baseline's scores).
 pub fn jaccard(left: &Record, right: &Record) -> f32 {
     use std::collections::HashSet;
-    let toks = |r: &Record| -> HashSet<String> {
-        r.attrs
-            .iter()
-            .flat_map(|(_, v)| rotom_text::tokenize(v))
-            .collect()
-    };
-    let a = toks(left);
-    let b = toks(right);
+    let a: HashSet<String> = attr_tokens(left).collect();
+    let b: HashSet<String> = attr_tokens(right).collect();
     let inter = a.intersection(&b).count() as f32;
     let union = a.union(&b).count() as f32;
     if union == 0.0 {
@@ -685,6 +734,218 @@ pub fn jaccard(left: &Record, right: &Record) -> f32 {
 /// Sample a train/test-size report matching Table 6's columns.
 pub fn table6_row(d: &EmDataset) -> (String, usize, usize) {
     (d.name.clone(), d.train_pairs.len(), d.test_pairs.len())
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-scale streaming generator (blocking workloads)
+// ---------------------------------------------------------------------------
+
+/// Which of the two sources a corpus record is rendered for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusSide {
+    /// Source A: clean rendering of the latent entity.
+    Left,
+    /// Source B: noisy rendering (typos, dropped tokens, dropped model).
+    Right,
+}
+
+/// High-frequency filler tokens the stopword-injection knob draws from (all
+/// longer than two characters, so they survive the content-token filter and
+/// land in the blocking index — exactly the posting-list blowup IDF pruning
+/// exists to kill).
+pub const CORPUS_STOPWORDS: &[&str] =
+    &["the", "with", "for", "and", "pro", "new", "series", "plus"];
+
+/// Configuration of the corpus-scale generator ([`EmCorpus`]).
+///
+/// Unlike [`EmConfig`], which builds Table-6-sized labeled pair sets in
+/// memory, this generator is *index-addressable*: record `i` of either side
+/// is computed on demand from `split_seed(seed, i)`, so million-entity
+/// corpora stream in bounded chunks with no up-front materialization.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of latent entities; each renders one record per side, and
+    /// `(i, i)` is the ground-truth match pair.
+    pub num_entities: usize,
+    /// Synthetic body-word vocabulary size. Per-token document frequency
+    /// scales as roughly `6 * num_entities / vocab_words`, which is the knob
+    /// that keeps posting lists bounded at scale (the Table-6 generators'
+    /// fixed word lists would make every token a stopword at 1M records).
+    /// `0` auto-scales to `max(1024, num_entities / 16)`.
+    pub vocab_words: usize,
+    /// Number of [`CORPUS_STOPWORDS`] appended to *every* record (0..=8).
+    /// Non-zero values create tokens with document frequency equal to the
+    /// corpus size — the IDF-pruning stress case.
+    pub stopwords: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_entities: 10_000,
+            vocab_words: 0,
+            stopwords: 0,
+            seed: 0xb10c,
+        }
+    }
+}
+
+/// Streaming, index-addressable EM corpus: two record sources over shared
+/// latent entities, cheap enough to emit 1M+ records.
+#[derive(Debug, Clone)]
+pub struct EmCorpus {
+    cfg: CorpusConfig,
+    vocab_words: usize,
+    words: Vec<String>,
+}
+
+/// Salt decorrelating the right side's noise stream from the latent stream.
+const RIGHT_NOISE_SALT: u64 = 0x0b51_de00;
+
+/// Build one synthetic body word: a unique syllable composition of `k`
+/// (3 syllables below 24³, 4 above), always at least 6 characters so every
+/// word survives the content-token filter.
+fn corpus_word(k: usize) -> String {
+    const SYL: [&str; 24] = [
+        "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na", "po", "qu", "ri", "so", "tu",
+        "ve", "wa", "xi", "yo", "zu", "ar", "en", "is", "or",
+    ];
+    let n = SYL.len();
+    let mut w = String::with_capacity(8);
+    if k < n * n * n {
+        w.push_str(SYL[k % n]);
+        w.push_str(SYL[(k / n) % n]);
+        w.push_str(SYL[(k / (n * n)) % n]);
+    } else {
+        let k = k - n * n * n;
+        w.push_str(SYL[k % n]);
+        w.push_str(SYL[(k / n) % n]);
+        w.push_str(SYL[(k / (n * n)) % n]);
+        w.push_str(SYL[(k / (n * n * n)) % n]);
+    }
+    w
+}
+
+impl EmCorpus {
+    /// Build the corpus source (materializes only the word vocabulary; the
+    /// records themselves are computed on demand).
+    pub fn new(cfg: CorpusConfig) -> Self {
+        assert!(cfg.num_entities > 0, "corpus needs at least one entity");
+        assert!(
+            cfg.stopwords <= CORPUS_STOPWORDS.len(),
+            "at most {} stopwords available",
+            CORPUS_STOPWORDS.len()
+        );
+        let vocab_words = if cfg.vocab_words == 0 {
+            (cfg.num_entities / 16).max(1024)
+        } else {
+            cfg.vocab_words
+        };
+        let words = (0..vocab_words).map(corpus_word).collect();
+        Self {
+            cfg,
+            vocab_words,
+            words,
+        }
+    }
+
+    /// Number of latent entities (= records per side).
+    pub fn num_entities(&self) -> usize {
+        self.cfg.num_entities
+    }
+
+    /// Resolved body-word vocabulary size.
+    pub fn vocab_words(&self) -> usize {
+        self.vocab_words
+    }
+
+    /// Render record `i` of `side`. Records `(Left, i)` and `(Right, i)`
+    /// refer to the same latent entity; the right side adds rendering noise
+    /// from an independent `split_seed` stream, so either side can be
+    /// generated (in any chunking, on any worker) without the other.
+    pub fn record(&self, side: CorpusSide, i: usize) -> Record {
+        let mut latent = StdRng::seed_from_u64(split_seed(self.cfg.seed, i as u64));
+        let w = |r: &mut StdRng, words: &[String]| words[r.random_range(0..words.len())].clone();
+        let brand = w(&mut latent, &self.words);
+        let w1 = w(&mut latent, &self.words);
+        let mut w2 = Some(w(&mut latent, &self.words));
+        let w3 = w(&mut latent, &self.words);
+        let w4 = w(&mut latent, &self.words);
+        let mut model = Some(format!(
+            "{}{}-{}",
+            char::from(b'a' + latent.random_range(0..26u8)),
+            char::from(b'a' + latent.random_range(0..26u8)),
+            latent.random_range(1000..999_999u32)
+        ));
+        // Capacity and unit fuse into one wide-range token ("412gb"): with
+        // ~3600 distinct values its document frequency stays O(n/3600), so
+        // the corpus has no organically high-df content token — stopword
+        // pressure is opt-in via `cfg.stopwords`, which blocking-plane
+        // benchmarks rely on to separate the pruning story from the base
+        // recall story.
+        let capacity = format!(
+            "{}{}",
+            latent.random_range(100..999u32),
+            ["gb", "tb", "in", "watt"][latent.random_range(0..4usize)]
+        );
+
+        let mut title_words = vec![brand, w1];
+        if side == CorpusSide::Right {
+            let mut noise =
+                StdRng::seed_from_u64(split_seed(self.cfg.seed ^ RIGHT_NOISE_SALT, i as u64));
+            if noise.random_bool(0.15) {
+                w2 = None;
+            }
+            if noise.random_bool(0.08) {
+                model = None;
+            }
+            if noise.random_bool(0.10) {
+                let k = noise.random_range(0..title_words.len());
+                title_words[k] = typo(&title_words[k], &mut noise);
+            }
+        }
+        if let Some(w2) = w2 {
+            title_words.push(w2);
+        }
+        if let Some(model) = model {
+            title_words.push(model);
+        }
+        let title = title_words.join(" ");
+        let mut desc = format!("{w3} {w4} {capacity}");
+        for stop in &CORPUS_STOPWORDS[..self.cfg.stopwords] {
+            desc.push(' ');
+            desc.push_str(stop);
+        }
+        Record {
+            attrs: vec![
+                ("title".to_string(), title),
+                ("description".to_string(), desc),
+            ],
+        }
+    }
+
+    /// Render a contiguous chunk of records — the unit the streaming
+    /// blocking pipeline ingests. Panics if the range exceeds
+    /// [`num_entities`](Self::num_entities).
+    pub fn chunk(&self, side: CorpusSide, range: std::ops::Range<usize>) -> Vec<Record> {
+        assert!(range.end <= self.cfg.num_entities, "range past corpus end");
+        range.map(|i| self.record(side, i)).collect()
+    }
+
+    /// Iterator over all of one side in chunks of `chunk_records` — the
+    /// shape [`crate::blocking::stream_candidates`] consumes. Peak memory is
+    /// one chunk.
+    pub fn chunks(
+        &self,
+        side: CorpusSide,
+        chunk_records: usize,
+    ) -> impl Iterator<Item = Vec<Record>> + '_ {
+        let n = self.cfg.num_entities;
+        let step = chunk_records.max(1);
+        (0..n.div_ceil(step)).map(move |c| self.chunk(side, c * step..((c + 1) * step).min(n)))
+    }
 }
 
 #[cfg(test)]
@@ -802,13 +1063,33 @@ mod tests {
             .take(30)
             .map(|p| p.right.clone())
             .collect();
-        let fast = block_candidates(&left, &right, 2);
-        for i in 0..left.len() {
-            for j in 0..right.len() {
-                let expected = blocked(&left[i], &right[j], 2);
-                assert_eq!(fast.contains(&(i, j)), expected, "pair ({i},{j})");
+        // Tokenize each record once (the pre-tokenized variant must agree
+        // with the per-pair API it replaces in hot loops).
+        let lt: Vec<_> = left.iter().map(content_tokens).collect();
+        let rt: Vec<_> = right.iter().map(content_tokens).collect();
+        for min_shared in [0usize, 1, 2] {
+            let fast = block_candidates(&left, &right, min_shared);
+            for i in 0..left.len() {
+                for j in 0..right.len() {
+                    let expected = blocked(&left[i], &right[j], min_shared);
+                    assert_eq!(
+                        fast.contains(&(i, j)),
+                        expected,
+                        "pair ({i},{j}) at min_shared={min_shared}"
+                    );
+                    assert_eq!(
+                        blocked_tokens(&lt[i], &rt[j], min_shared),
+                        expected,
+                        "pre-tokenized pair ({i},{j}) at min_shared={min_shared}"
+                    );
+                }
             }
         }
+        // min_shared = 0 is documented as "no blocking": the full cross
+        // product, in sorted order.
+        let all = block_candidates(&left, &right, 0);
+        assert_eq!(all.len(), left.len() * right.len());
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -820,6 +1101,71 @@ mod tests {
         let cands = block_candidates(&left, &right, 1);
         let recalled = (0..left.len()).filter(|&i| cands.contains(&(i, i))).count();
         assert!(recalled as f32 / left.len() as f32 > 0.95);
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_chunkable() {
+        let c = EmCorpus::new(CorpusConfig {
+            num_entities: 200,
+            ..Default::default()
+        });
+        // record() is index-addressable: any chunking yields the same rows.
+        let whole = c.chunk(CorpusSide::Right, 0..200);
+        let mut pieces = Vec::new();
+        for chunk in c.chunks(CorpusSide::Right, 64) {
+            pieces.extend(chunk);
+        }
+        assert_eq!(whole.len(), pieces.len());
+        for (a, b) in whole.iter().zip(&pieces) {
+            assert_eq!(a.attrs, b.attrs);
+        }
+        // And independent of the left side's generation.
+        let again = c.record(CorpusSide::Right, 77);
+        assert_eq!(again.attrs, whole[77].attrs);
+    }
+
+    #[test]
+    fn corpus_match_pairs_overlap_heavily() {
+        let c = EmCorpus::new(CorpusConfig {
+            num_entities: 300,
+            ..Default::default()
+        });
+        let mut blocked_pairs = 0usize;
+        let mut jac = 0.0f32;
+        for i in 0..300 {
+            let l = c.record(CorpusSide::Left, i);
+            let r = c.record(CorpusSide::Right, i);
+            jac += jaccard(&l, &r);
+            if blocked(&l, &r, 2) {
+                blocked_pairs += 1;
+            }
+        }
+        assert!(jac / 300.0 > 0.5, "mean match jaccard {}", jac / 300.0);
+        assert!(
+            blocked_pairs as f32 / 300.0 > 0.95,
+            "match blocking recall {blocked_pairs}/300"
+        );
+    }
+
+    #[test]
+    fn corpus_stopwords_reach_every_record() {
+        let c = EmCorpus::new(CorpusConfig {
+            num_entities: 50,
+            stopwords: 3,
+            ..Default::default()
+        });
+        for i in 0..50 {
+            let toks = content_tokens(&c.record(CorpusSide::Left, i));
+            for stop in &CORPUS_STOPWORDS[..3] {
+                assert!(toks.contains(*stop), "record {i} missing {stop}");
+            }
+        }
+        // Distinct body words stay distinct (unique syllable composition).
+        assert_eq!(corpus_word(0), corpus_word(0));
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..20_000 {
+            assert!(seen.insert(corpus_word(k)), "collision at {k}");
+        }
     }
 
     #[test]

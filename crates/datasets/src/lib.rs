@@ -16,9 +16,14 @@
 //! All generators are deterministic per seed and emit the common
 //! [`TaskDataset`] sequence-classification form. [`csv`] exports the
 //! generated benchmarks in the CSV shape the real suites ship in.
+//!
+//! [`blocking`] scales the EM candidate-generation step to million-record
+//! collections: a sharded IDF-pruned inverted index with an optional
+//! minhash/LSH tier and a streaming bounded-memory pipeline.
 
 #![warn(missing_docs)]
 
+pub mod blocking;
 pub mod csv;
 pub mod edt;
 pub mod em;
@@ -27,7 +32,11 @@ pub mod task;
 pub mod textcls;
 pub mod words;
 
+pub use blocking::{
+    stream_candidates, stream_candidates_channel, BlockingConfig, BlockingStats, IndexBuilder,
+    IndexStats, LshParams, ShardedIndex,
+};
 pub use edt::{EdtConfig, EdtDataset, EdtFlavor};
-pub use em::{EmConfig, EmDataset, EmFlavor, LabeledPair};
+pub use em::{CorpusConfig, CorpusSide, EmConfig, EmCorpus, EmDataset, EmFlavor, LabeledPair};
 pub use task::{TaskDataset, TaskKind};
 pub use textcls::{TextClsConfig, TextClsFlavor};

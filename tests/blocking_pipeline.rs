@@ -1,0 +1,212 @@
+//! Blocking-plane integration suite: the sharded streaming pipeline must be
+//! a drop-in for exhaustive `block_candidates`, bit-identical at any shard
+//! or worker count, with the LSH tier holding a recall floor on known match
+//! pairs and the df ceiling carrying the stopword stress case.
+//!
+//! ci.sh runs this at `ROTOM_THREADS` 1 and 8; the tests additionally pin
+//! explicit pool widths so both axes are covered in one process.
+
+use rotom_datasets::blocking::{
+    stream_candidates, stream_candidates_channel, BlockingConfig, LshParams, ShardedIndex,
+};
+use rotom_datasets::csv;
+use rotom_datasets::em::{self, block_candidates, CorpusConfig, CorpusSide, EmCorpus};
+use rotom_nn::RotomPool;
+use rotom_text::Record;
+
+fn corpus(n: usize, stopwords: usize) -> EmCorpus {
+    EmCorpus::new(CorpusConfig {
+        num_entities: n,
+        stopwords,
+        ..Default::default()
+    })
+}
+
+fn streamed_pairs(
+    index: &ShardedIndex,
+    left: &[Record],
+    chunk: usize,
+    pool: &RotomPool,
+) -> Vec<(usize, usize)> {
+    let chunks: Vec<Vec<Record>> = left.chunks(chunk).map(|c| c.to_vec()).collect();
+    let mut out = Vec::new();
+    stream_candidates(index, chunks, pool, |batch| out.extend_from_slice(batch));
+    out
+}
+
+/// Property test: the sharded pipeline equals single-shard
+/// `block_candidates` (sorted) for shard counts {1, 2, 7} x pool widths
+/// {1, 8}, and every configuration produces the identical byte-for-byte
+/// candidate sequence.
+#[test]
+fn sharded_pipeline_matches_block_candidates_at_any_width() {
+    let c = corpus(300, 0);
+    let left = c.chunk(CorpusSide::Left, 0..300);
+    let right = c.chunk(CorpusSide::Right, 0..300);
+    for min_shared in [1usize, 2] {
+        let exhaustive = block_candidates(&left, &right, min_shared);
+        let mut outputs = Vec::new();
+        for num_shards in [1usize, 2, 7] {
+            for threads in [1usize, 8] {
+                let pool = RotomPool::new(threads);
+                let cfg = BlockingConfig {
+                    min_shared,
+                    num_shards,
+                    df_ceiling: None,
+                    lsh: None,
+                    ..Default::default()
+                };
+                let index = ShardedIndex::build(&right, cfg, &pool);
+                let pairs = streamed_pairs(&index, &left, 37, &pool);
+                assert_eq!(
+                    pairs, exhaustive,
+                    "shards={num_shards} threads={threads} min_shared={min_shared}"
+                );
+                outputs.push(pairs);
+            }
+        }
+        // Bit-identical across the whole grid, not merely set-equal.
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+/// The LSH tier alone (token tier disabled via an unreachable `min_shared`)
+/// must recover at least 90% of the corpus's known match pairs.
+#[test]
+fn lsh_tier_recall_floor_on_known_matches() {
+    let n = 400;
+    let c = corpus(n, 0);
+    let left = c.chunk(CorpusSide::Left, 0..n);
+    let right = c.chunk(CorpusSide::Right, 0..n);
+    let pool = RotomPool::new(2);
+    let cfg = BlockingConfig {
+        // No record carries this many content tokens: the token tier emits
+        // nothing and every candidate below comes from LSH banding.
+        min_shared: 1000,
+        lsh: Some(LshParams::default()),
+        ..Default::default()
+    };
+    let index = ShardedIndex::build(&right, cfg, &pool);
+    let pairs = streamed_pairs(&index, &left, 64, &pool);
+    let matched = (0..n)
+        .filter(|&i| pairs.binary_search(&(i, i)).is_ok())
+        .count();
+    assert!(
+        matched as f64 / n as f64 >= 0.9,
+        "LSH-only match recall {matched}/{n}"
+    );
+    // Sanity: LSH produced candidates, but far fewer than the cross product.
+    assert!(!pairs.is_empty() && pairs.len() < n * n / 10);
+}
+
+/// Stopword stress: with shared tokens on every record the exhaustive pair
+/// set degenerates toward the cross product; the df ceiling must prune the
+/// stopword posting lists while keeping >= 95% of true matches, and the
+/// bucket cap must keep the LSH tier from re-introducing the blowup.
+#[test]
+fn df_ceiling_carries_stopword_stress_with_bounded_buffer() {
+    let n = 500;
+    let c = corpus(n, 3);
+    let left = c.chunk(CorpusSide::Left, 0..n);
+    let right = c.chunk(CorpusSide::Right, 0..n);
+    let pool = RotomPool::new(8);
+    let cfg = BlockingConfig {
+        min_shared: 2,
+        df_ceiling: Some(100),
+        lsh: Some(LshParams::default()),
+        max_buffered_pairs: 128,
+        ..Default::default()
+    };
+    let max_buffered = cfg.max_buffered_pairs;
+    let index = ShardedIndex::build(&right, cfg, &pool);
+    assert!(index.stats().tokens_pruned >= 3, "{:?}", index.stats());
+    let chunks: Vec<Vec<Record>> = left.chunks(50).map(|c| c.to_vec()).collect();
+    let mut pairs = Vec::new();
+    let stats = stream_candidates(&index, chunks, &pool, |batch| {
+        pairs.extend_from_slice(batch)
+    });
+    // Streaming bound: the buffer never held more than the flush threshold
+    // plus one record's candidate list.
+    assert!(
+        stats.peak_buffered_pairs <= max_buffered + n,
+        "peak {} unbounded",
+        stats.peak_buffered_pairs
+    );
+    let matched = (0..n)
+        .filter(|&i| pairs.binary_search(&(i, i)).is_ok())
+        .count();
+    assert!(matched as f64 / n as f64 >= 0.95, "recall {matched}/{n}");
+    assert!(
+        pairs.len() < n * n / 10,
+        "stopword blowup not pruned: {} pairs",
+        pairs.len()
+    );
+}
+
+/// The bounded-channel variant emits exactly the same candidate stream as
+/// the direct sink, at every pool width.
+#[test]
+fn channel_pipeline_is_equivalent_to_direct_sink() {
+    let c = corpus(200, 0);
+    let left = c.chunk(CorpusSide::Left, 0..200);
+    let right = c.chunk(CorpusSide::Right, 0..200);
+    for threads in [1usize, 8] {
+        let pool = RotomPool::new(threads);
+        let cfg = BlockingConfig {
+            min_shared: 2,
+            max_buffered_pairs: 64,
+            channel_batches: 2,
+            ..Default::default()
+        };
+        let index = ShardedIndex::build(&right, cfg, &pool);
+        let direct = streamed_pairs(&index, &left, 32, &pool);
+        let chunks: Vec<Vec<Record>> = left.chunks(32).map(|c| c.to_vec()).collect();
+        let mut channeled = Vec::new();
+        let stats =
+            stream_candidates_channel(&index, chunks, &pool, |batch| channeled.extend(batch));
+        assert_eq!(channeled, direct, "threads={threads}");
+        assert_eq!(stats.candidates as usize, direct.len());
+    }
+}
+
+/// End-to-end ingestion path: corpus -> CSV text -> `table_chunks` ->
+/// `rows_to_records` -> streaming pipeline, matching the in-memory result.
+#[test]
+fn csv_chunked_ingestion_feeds_the_pipeline() {
+    let n = 120;
+    let c = corpus(n, 0);
+    let left = c.chunk(CorpusSide::Left, 0..n);
+    let right = c.chunk(CorpusSide::Right, 0..n);
+
+    // Render the left side as a CSV table (quoting handled by write_row).
+    let mut text = csv::write_row(&["title", "description"]);
+    text.push('\n');
+    for r in &left {
+        let fields: Vec<&str> = r.attrs.iter().map(|(_, v)| v.as_str()).collect();
+        text.push_str(&csv::write_row(&fields));
+        text.push('\n');
+    }
+
+    let pool = RotomPool::new(4);
+    let index = ShardedIndex::build(
+        &right,
+        BlockingConfig {
+            min_shared: 2,
+            ..Default::default()
+        },
+        &pool,
+    );
+    let chunks = csv::table_chunks(&text, 16).expect("header");
+    let header = chunks.header().to_vec();
+    let record_chunks: Vec<Vec<Record>> = chunks
+        .map(|rows| csv::rows_to_records(&header, &rows.expect("chunk")))
+        .collect();
+    assert!(record_chunks.len() > 1, "must ingest in multiple chunks");
+    let mut via_csv = Vec::new();
+    let stats = stream_candidates(&index, record_chunks, &pool, |batch| {
+        via_csv.extend_from_slice(batch)
+    });
+    assert_eq!(stats.left_records, n);
+    assert_eq!(via_csv, streamed_pairs(&index, &left, 16, &pool));
+    assert_eq!(via_csv, em::block_candidates(&left, &right, 2));
+}
